@@ -1,0 +1,62 @@
+"""ABL-SIG — which delta statistic detects saturation best? (§IV-C-1)
+
+Compares three candidate in-kernel signals over the same sweeps:
+* mean(Δt_send)         — tracks rate, monotone, no knee;
+* var(Δt_send) (Eq. 2)  — the paper's choice; raw form is rate-dependent;
+* var/mean² (dispersion)— rate-independent variant.
+
+A good saturation signal should fire near the QoS-failure point: not at
+40 % load, not never.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, sweep_cache
+
+from repro.analysis import save_record, series_table
+from repro.core import detect_knee
+from repro.sim import SEC
+
+
+def knee_at(xs, ys) -> float:
+    knee = detect_knee(xs, ys, baseline_fraction=0.4, threshold_factor=3.0)
+    return None if knee is None else knee.x
+
+
+def analyze(sweep) -> dict:
+    xs = sweep.achieved
+    mean_deltas = [SEC / l.rps_obsv if l.rps_obsv else 0.0 for l in sweep.levels]
+    return {
+        "workload": sweep.workload,
+        "qos_fail": sweep.qos_failure_rps(),
+        "knee_mean": knee_at(xs, mean_deltas),
+        "knee_var": knee_at(xs, sweep.variances),
+        "knee_dispersion": knee_at(xs, sweep.dispersion),
+    }
+
+
+def test_signal_ablation(benchmark, sweep_cache):
+    def run():
+        return [analyze(sweep_cache.full_sweep(key))
+                for key in ("xapian", "triton-grpc", "data-caching")]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_record({"ablation": "signals", "rows": rows}, "abl_signals")
+
+    emit("ABL-SIG — saturation-detection knee per candidate signal")
+    emit(series_table({
+        "workload": [r["workload"] for r in rows],
+        "QoS fail": [r["qos_fail"] for r in rows],
+        "mean knee": [str(r["knee_mean"]) for r in rows],
+        "var knee": [str(r["knee_var"]) for r in rows],
+        "disp. knee": [str(r["knee_dispersion"]) for r in rows],
+    }))
+
+    for row in rows:
+        fail = row["qos_fail"]
+        assert fail is not None, row["workload"]
+        # mean(delta) only falls with load; a rise-detector never fires.
+        assert row["knee_mean"] is None, row["workload"]
+        # The dispersion form fires, in the saturation neighbourhood.
+        assert row["knee_dispersion"] is not None, row["workload"]
+        assert row["knee_dispersion"] >= 0.5 * fail, row["workload"]

@@ -1,0 +1,84 @@
+"""ABL-WIN — §IV-B's windowing guidance: "at least 2048 syscalls".
+
+At a fixed load, slice the send-timestamp trace into windows of growing
+size and measure the relative spread of per-window RPS_obsv estimates.
+The paper's 2048-event guidance should land where estimates stabilize.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, scaled
+
+from repro.analysis import save_record, series_table
+from repro.analysis.experiment import _SendTimestampProbe, run_level
+from repro.core import DeltaStats, chunk_by_count
+from repro.kernel import Kernel
+from repro.kernel.machine import AMD_EPYC_7302
+from repro.loadgen import OpenLoopClient
+from repro.sim import Environment, SeedSequence
+from repro.workloads import get_workload
+
+WINDOW_SIZES = (64, 128, 256, 512, 1024, 2048)
+
+
+def _collect_send_trace(key: str, total_events: int) -> list:
+    definition = get_workload(key)
+    config = definition.config
+    env = Environment()
+    kernel = Kernel(env, AMD_EPYC_7302.with_cores(config.cores), SeedSequence(7))
+    app = definition.build(kernel)
+    probe = _SendTimestampProbe(kernel, app.tgid, (config.syscalls.send_nr,)).attach()
+    client = OpenLoopClient(
+        env, app.client_sockets, kernel.seeds.stream("ablwin"),
+        rate_rps=definition.paper_fail_rps * 0.6,
+        total_requests=total_events,
+        arrival="uniform",
+    )
+    client.start()
+    env.run(until=client.done)
+    return probe.timestamps
+
+
+def spread_of(timestamps, events_per_window) -> float:
+    estimates = []
+    for window in chunk_by_count(timestamps, events_per_window):
+        estimates.append(DeltaStats.from_timestamps(window).rps_obsv())
+    if len(estimates) < 2:
+        return 0.0
+    mean = sum(estimates) / len(estimates)
+    var = sum((e - mean) ** 2 for e in estimates) / len(estimates)
+    return (var ** 0.5) / mean
+
+
+def run_ablation() -> list:
+    rows = []
+    for key in ("data-caching", "xapian"):
+        trace = _collect_send_trace(key, scaled(16_384, minimum=4_096))
+        usable = [w for w in WINDOW_SIZES if len(trace) // w >= 2]
+        rows.append({
+            "workload": key,
+            "events": len(trace),
+            "window_sizes": usable,
+            "spread": [spread_of(trace, w) for w in usable],
+        })
+    return rows
+
+
+def test_window_size_ablation(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_record({"ablation": "window", "rows": rows}, "abl_window")
+
+    emit("ABL-WIN — RPS_obsv estimate spread vs observation-window size")
+    for row in rows:
+        emit(f"\n[{row['workload']}]  ({row['events']} send events)")
+        emit(series_table({
+            "window events": row["window_sizes"],
+            "rel. spread": row["spread"],
+        }))
+
+    for row in rows:
+        spreads = row["spread"]
+        # Larger windows are uniformly more stable...
+        assert spreads[-1] < spreads[0], row["workload"]
+        # ...and paper-sized windows are comfortably stable (<5% spread).
+        assert spreads[-1] < 0.05, row["workload"]

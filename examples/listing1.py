@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The paper's Listing 1, compiled from C and run against a live workload.
+
+The paper presents its collector as a BCC C program measuring the duration
+of ``epoll_wait`` (syscall 232) for one pid_tgid.  This example feeds that
+C source — comments and all — through the bundled bpfc compiler, shows the
+generated eBPF, loads it through the verifier, attaches it to the
+raw_syscalls tracepoints, runs the Data Caching workload, and reads the
+mean epoll_wait duration out of the map, comparing it with what a trusted
+Python-side recorder saw.
+
+Run:  python examples/listing1.py
+"""
+
+from repro import (
+    AMD_EPYC_7302,
+    Environment,
+    Kernel,
+    OpenLoopClient,
+    SeedSequence,
+    get_workload,
+)
+from repro.ebpf.bpfc import compile_source, load_c
+from repro.kernel import Sys, TraceRecorder
+
+LISTING_1 = """
+// Hash map for looking up entry timestamp of each pid-tgid
+BPF_HASH(start, u64, u64);
+// Aggregates: [0] = total duration, [1] = completed syscalls
+BPF_HASH(metrics, u64, u64);
+
+// Executed at the start of every syscall
+TRACEPOINT_PROBE(raw_syscalls, sys_enter) {
+    // Get pid_tgid of the application calling this syscall
+    u64 pid_tgid = bpf_get_current_pid_tgid();
+    if (pid_tgid != PID_TGID) return 0;  // Filter application
+    if (args->id != 232) return 0;       // Filter epoll_wait
+    u64 t = bpf_ktime_get_ns();          // Entry timestamp
+    start.update(&pid_tgid, &t);         // Store start
+    return 0;
+}
+
+// Executed at the exit of every syscall
+TRACEPOINT_PROBE(raw_syscalls, sys_exit) {
+    u64 pid_tgid = bpf_get_current_pid_tgid();
+    if (pid_tgid != PID_TGID) return 0;
+    if (args->id != 232) return 0;
+    u64 *start_ns = start.lookup(&pid_tgid);  // Retrieve entry
+    if (!start_ns) return 0;
+    u64 end_ns = bpf_ktime_get_ns();          // Exit timestamp
+    u64 duration = end_ns - *start_ns;        // Latest duration
+    /* Update metrics or stream data */
+    u64 total_key = 0;
+    u64 *total = metrics.lookup(&total_key);
+    if (!total) {
+        metrics.update(&total_key, &duration);
+    } else {
+        *total += duration;
+    }
+    metrics.increment(1);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    definition = get_workload("data-caching")
+    config = definition.config
+    env = Environment()
+    seeds = SeedSequence(8)
+    kernel = Kernel(env, AMD_EPYC_7302.with_cores(config.cores), seeds)
+    app = definition.build(kernel)
+
+    # Listing 1 filters one thread; pick the app's first worker.
+    target = app.process.tasks[0]
+    print(f"target: {target.name} (pid_tgid={target.pid_tgid:#x})\n")
+
+    unit = compile_source(LISTING_1, constants={"PID_TGID": target.pid_tgid})
+    enter_prog = unit.programs[0].resolve_maps(unit.maps)
+    print(f"compiled {len(unit.programs)} programs; sys_enter is "
+          f"{len(enter_prog)} insns ({len(enter_prog.bytecode())} bytes):")
+    for line in enter_prog.disasm().splitlines()[:8]:
+        print("   " + line)
+    print("   ...")
+
+    bpf = load_c(kernel, LISTING_1, constants={"PID_TGID": target.pid_tgid})
+    recorder = TraceRecorder(kernel.tracepoints).attach()  # ground truth
+
+    client = OpenLoopClient(
+        env, app.client_sockets, seeds.stream("client"),
+        rate_rps=definition.paper_fail_rps * 0.4, total_requests=3000,
+        arrival="uniform",
+    )
+    client.start()
+    env.run(until=client.done)
+
+    total = bpf["metrics"].lookup_int(0) or 0
+    count = bpf["metrics"].lookup_int(1) or 0
+    mean_ms = total / count / 1e6 if count else 0.0
+    truth = [r for r in recorder.records
+             if r.pid_tgid == target.pid_tgid and r.syscall_nr == Sys.EPOLL_WAIT]
+    truth_mean = sum(r.duration_ns for r in truth) / len(truth) / 1e6
+
+    print(f"\nListing 1 (in eBPF): {count} epoll_waits, mean {mean_ms:.3f} ms")
+    print(f"trusted recorder   : {len(truth)} epoll_waits, mean {truth_mean:.3f} ms")
+    assert count == len(truth)
+    assert abs(mean_ms - truth_mean) < 1e-6
+    print("\nOK — the paper's C collector runs verbatim on this substrate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Finding the saturating stage of a multi-tier service (§V-B).
+
+Web Search is two processes: a front-end that fans requests out to an
+index-search tier.  Watching only the externally visible front-end is
+deceptive — it stays comfortable while the index tier drowns.  The paper's
+prescription is per-service eBPF observability with the metrics combined;
+this example runs that combination live across a load ramp and prints the
+bottleneck attribution at each step.
+
+Run:  python examples/multitier_bottleneck.py
+"""
+
+from repro import (
+    AMD_EPYC_7302,
+    Environment,
+    Kernel,
+    OpenLoopClient,
+    SeedSequence,
+    get_workload,
+)
+from repro.core import MultiServiceMonitor
+
+SEED = 11
+
+
+def probe_level(fraction: float) -> dict:
+    definition = get_workload("web-search")
+    config = definition.config
+    env = Environment()
+    seeds = SeedSequence(SEED).child(f"{fraction:g}")
+    kernel = Kernel(env, AMD_EPYC_7302.with_cores(config.cores), seeds)
+    app = definition.build(kernel)
+    monitor = MultiServiceMonitor.for_two_tier_app(kernel, app).attach()
+    client = OpenLoopClient(
+        env, app.client_sockets, seeds.stream("client"),
+        rate_rps=definition.paper_fail_rps * fraction,
+        total_requests=1500, arrival="uniform",
+        qos_latency_ns=config.qos_latency_ns,
+    )
+    client.start()
+    report = env.run(until=client.done)
+    combined = monitor.snapshot()
+    return {
+        "fraction": fraction,
+        "p99_ms": report.p99_ns / 1e6,
+        "qos": report.qos_violated,
+        "front": combined.tier("front-end"),
+        "back": combined.tier("index-search"),
+        "bottleneck": combined.bottleneck.name,
+    }
+
+
+def main() -> None:
+    print(f"{'load':>6} {'p99 ms':>8} {'QoS':>5} {'FE idle':>9} {'IX idle':>9} "
+          f"{'bottleneck':>14}")
+    rows = [probe_level(f) for f in (0.3, 0.5, 0.7, 0.9, 1.1)]
+    for row in rows:
+        print(f"{row['fraction']:>6.1f} {row['p99_ms']:>8.1f} "
+              f"{'FAIL' if row['qos'] else 'ok':>5} "
+              f"{row['front'].idleness:>9.2f} {row['back'].idleness:>9.2f} "
+              f"{row['bottleneck']:>14}")
+
+    hot = rows[-1]
+    assert hot["bottleneck"] == "index-search"
+    assert hot["front"].idleness > hot["back"].idleness
+    print("\nOK — the combined view pins saturation on the index tier while "
+          "the front-end alone still looks healthy.")
+
+
+if __name__ == "__main__":
+    main()

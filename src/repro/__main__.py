@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the workload registry with calibration targets;
+* ``run`` — one load level of one workload; prints ground truth vs the
+  eBPF-side observations;
+* ``sweep`` — a full load sweep with sparkline summaries of the three
+  signals (Figs. 2-4 in miniature);
+* ``report`` — render ``results/*.json`` into markdown
+  (same as ``python -m repro.analysis.report``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import default_levels, run_level, sweep
+from .analysis.figures import series_table, sparkline
+from .analysis.report import load_results, render_report
+from .analysis.results import results_dir
+from .workloads import get_workload, workload_keys, WORKLOADS
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    rows = [WORKLOADS[key] for key in workload_keys()]
+    print(series_table({
+        "workload": [d.key for d in rows],
+        "suite": [d.suite for d in rows],
+        "arch": [d.app_class.__name__ for d in rows],
+        "workers": [d.config.workers for d in rows],
+        "cores": [d.config.cores for d in rows],
+        "fail RPS": [d.paper_fail_rps for d in rows],
+        "QoS ms": [d.config.qos_latency_ns / 1e6 for d in rows],
+    }))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    definition = get_workload(args.workload)
+    rate = args.rps if args.rps else definition.paper_fail_rps * args.load
+    level = run_level(
+        definition, rate, requests=args.requests, seed=args.seed,
+        monitor_mode=args.monitor,
+    )
+    print(f"workload {definition.label!r} at {rate:g} offered rps "
+          f"({args.requests} requests, seed {args.seed})\n")
+    print(f"  achieved RPS       : {level.achieved_rps:12.1f}   (ground truth)")
+    print(f"  RPS_obsv (Eq. 1)   : {level.rps_obsv:12.1f}   "
+          f"({100 * abs(level.rps_obsv - level.achieved_rps) / max(level.achieved_rps, 1e-9):.2f}% off)")
+    print(f"  p50 / p99 latency  : {level.p50_ns / 1e6:9.2f} / {level.p99_ns / 1e6:.2f} ms"
+          f"   QoS {'VIOLATED' if level.qos_violated else 'ok'}")
+    print(f"  var(dt_send) Eq. 2 : {level.send_delta_variance:12.3g} ns^2 "
+          f"(dispersion {level.send_delta_cov2:.3f})")
+    print(f"  poll duration      : {level.poll_mean_duration_ns / 1e6:12.3f} ms "
+          f"({level.poll_count} polls)")
+    print(f"  cpu utilization    : {level.utilization:12.2f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    definition = get_workload(args.workload)
+    levels = default_levels(definition, count=args.levels, high_frac=args.high)
+    result = sweep(definition, levels=levels, requests=args.requests,
+                   seed=args.seed)
+    print(f"sweep of {definition.label!r} "
+          f"(paper failure at {definition.paper_fail_rps:g} rps)\n")
+    print(series_table(
+        {
+            "offered": result.offered,
+            "achieved": result.achieved,
+            "RPS_obsv": result.observed,
+            "dispersion": result.dispersion,
+            "poll ms": [d / 1e6 for d in result.poll_durations],
+            "p99 ms": [l.p99_ns / 1e6 for l in result.levels],
+        },
+        qos_marker=[l.qos_violated for l in result.levels],
+    ))
+    print(f"\n  RPS_obsv    {sparkline(result.observed)}")
+    print(f"  dispersion  {sparkline(result.dispersion)}")
+    print(f"  poll dur.   {sparkline(result.poll_durations)}")
+    fail = result.qos_failure_rps()
+    print(f"\nQoS failure at offered ~{fail:g} rps" if fail
+          else "\nQoS never violated in this sweep")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    directory = results_dir() if args.results is None else args.results
+    print(render_report(load_results(directory)))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ebpf-observer: in-kernel request-level observability "
+                    "(ISPASS 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the workload registry")
+
+    run_parser = sub.add_parser("run", help="run one load level")
+    run_parser.add_argument("workload", choices=workload_keys())
+    run_parser.add_argument("--rps", type=float, default=None,
+                            help="offered RPS (overrides --load)")
+    run_parser.add_argument("--load", type=float, default=0.6,
+                            help="fraction of the paper failure RPS (default 0.6)")
+    run_parser.add_argument("--requests", type=int, default=3000)
+    run_parser.add_argument("--seed", type=int, default=1317)
+    run_parser.add_argument("--monitor", choices=("native", "vm"),
+                            default="native")
+
+    sweep_parser = sub.add_parser("sweep", help="run a full load sweep")
+    sweep_parser.add_argument("workload", choices=workload_keys())
+    sweep_parser.add_argument("--levels", type=int, default=10)
+    sweep_parser.add_argument("--high", type=float, default=1.1,
+                              help="top level as a fraction of failure RPS")
+    sweep_parser.add_argument("--requests", type=int, default=2000)
+    sweep_parser.add_argument("--seed", type=int, default=1317)
+
+    report_parser = sub.add_parser("report", help="render results/ to markdown")
+    report_parser.add_argument("--results", default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Experiment harness: sweeps, persistence, figure/table renderers."""
+
+from .experiment import (
+    DEFAULT_SEED,
+    LevelResult,
+    SweepResult,
+    default_levels,
+    run_level,
+    sweep,
+)
+from .figures import figure_header, series_table, sparkline
+from .results import load_sweep, results_dir, save_record, save_sweep
+from .tables import render_table1, render_table2
+from .timeline import phase_summary, render_stream, render_timeline
+
+__all__ = [
+    "run_level",
+    "sweep",
+    "default_levels",
+    "LevelResult",
+    "SweepResult",
+    "DEFAULT_SEED",
+    "save_sweep",
+    "load_sweep",
+    "save_record",
+    "results_dir",
+    "sparkline",
+    "series_table",
+    "figure_header",
+    "render_table1",
+    "render_table2",
+    "phase_summary",
+    "render_stream",
+    "render_timeline",
+]

@@ -1,0 +1,68 @@
+"""Text renderers for the paper's figures.
+
+Benchmarks print the same series the figures plot — normalized axes, QoS
+markers — as aligned tables plus unicode sparklines, so a terminal run of
+``pytest benchmarks/`` shows every figure's shape directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.regression import normalize
+
+__all__ = ["sparkline", "series_table", "figure_header"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of a series (normalized to its own max)."""
+    if not values:
+        return ""
+    scaled = normalize([float(v) for v in values])
+    return "".join(_BARS[min(len(_BARS) - 1, int(v * (len(_BARS) - 1) + 0.5))] for v in scaled)
+
+
+def figure_header(title: str, caption: str = "") -> str:
+    line = "=" * max(len(title), 60)
+    parts = [line, title, line]
+    if caption:
+        parts.append(caption)
+    return "\n".join(parts)
+
+
+def series_table(
+    columns: dict,
+    qos_marker: Optional[Sequence[bool]] = None,
+    float_format: str = "{:>12.4g}",
+) -> str:
+    """Render named, equal-length series as an aligned table.
+
+    ``qos_marker`` appends a column flagging QoS-violated rows (the paper's
+    vertical failure line).
+    """
+    names = list(columns)
+    if not names:
+        return ""
+    length = len(columns[names[0]])
+    for name in names:
+        if len(columns[name]) != length:
+            raise ValueError(f"column {name!r} has mismatched length")
+    header = "".join(f"{name:>14}" for name in names)
+    if qos_marker is not None:
+        header += "   QoS"
+    lines = [header, "-" * len(header)]
+    for row in range(length):
+        cells = []
+        for name in names:
+            value = columns[name][row]
+            if isinstance(value, float):
+                cells.append(float_format.format(value).rjust(14))
+            else:
+                cells.append(f"{value:>14}")
+        line = "".join(cells)
+        if qos_marker is not None:
+            line += "   " + ("<-- FAIL" if qos_marker[row] else "")
+        lines.append(line.rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Markdown report generation from persisted benchmark results.
+
+``python -m repro.analysis.report [results_dir]`` renders everything under
+``results/`` into a single markdown document (the machine-generated
+counterpart of EXPERIMENTS.md), so a full benchmark run can be turned into
+a shareable artifact without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["render_report", "load_results", "main"]
+
+
+def load_results(directory: Path) -> Dict[str, dict]:
+    """All ``*.json`` records in a results directory, keyed by stem."""
+    records = {}
+    for path in sorted(Path(directory).glob("*.json")):
+        try:
+            records[path.stem] = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue  # foreign file; skip silently is wrong — note it
+    return records
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value, digits=4) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _section_fig2(record: dict) -> str:
+    rows = [
+        [r["workload"], _fmt(r["r2"]), _fmt(r["paper_r2"]),
+         _fmt(r["residual_sign_balance"], 2)]
+        for r in record["rows"]
+    ]
+    return "## Figure 2 — RPS correlation\n\n" + _md_table(
+        ["workload", "measured R²", "paper R²", "residual balance"], rows
+    )
+
+
+def _section_fig3(record: dict) -> str:
+    rows = [
+        [r["workload"], _fmt(r["qos_fail_rps"], 1), _fmt(r["knee_rps"], 1)]
+        for r in record["rows"]
+    ]
+    return "## Figure 3 — variance knee vs QoS failure\n\n" + _md_table(
+        ["workload", "QoS fails at", "knee at"], rows
+    )
+
+
+def _section_fig4(record: dict) -> str:
+    rows = []
+    for r in record["rows"]:
+        rows.append([
+            r["workload"], _fmt(r["poll_ms"][0], 2), _fmt(r["poll_ms"][-1], 2),
+            _fmt(r["stabilizes_at"], 1) if r["stabilizes_at"] is not None else "—",
+        ])
+    return "## Figure 4 — poll duration (idleness)\n\n" + _md_table(
+        ["workload", "low-load ms", "overload ms", "stabilizes at"], rows
+    )
+
+
+def _section_fig5(record: dict) -> str:
+    clean = record["series"]["no loss"]
+    lossy = record["series"]["1% loss"]
+    rows = [
+        [_fmt(level, 1), _fmt(c, 1), _fmt(l, 1), _fmt(pc, 1), _fmt(pl, 1)]
+        for level, c, l, pc, pl in zip(
+            record["levels"], clean["p99_ms"], lossy["p99_ms"],
+            clean["poll_ms"], lossy["poll_ms"],
+        )
+    ]
+    return "## Figure 5 — loss vs tail vs metric (Triton/gRPC)\n\n" + _md_table(
+        ["offered", "p99 clean", "p99 lossy", "poll clean", "poll lossy"], rows
+    )
+
+
+def _section_table2(record: dict) -> str:
+    rows = []
+    for workload, values in sorted(record["rows"].items()):
+        paper = record.get("paper", {}).get(workload, {})
+        rows.append([
+            workload, _fmt(values["ideal"]), _fmt(values["impaired"]),
+            _fmt(paper.get("ideal", "—")), _fmt(paper.get("impaired", "—")),
+        ])
+    return "## Table II — R² under netem\n\n" + _md_table(
+        ["workload", "ideal", "impaired", "paper ideal", "paper impaired"], rows
+    )
+
+
+def _section_overhead(record: dict) -> str:
+    rows = [
+        [r["workload"], _fmt(r["p99_base_ms"], 2), _fmt(r["p99_traced_ms"], 2),
+         f"{100 * r['p99_overhead']:.3f}%"]
+        for r in record["rows"]
+    ]
+    return "## Probe overhead\n\n" + _md_table(
+        ["workload", "p99 base ms", "p99 traced ms", "p99 overhead"], rows
+    )
+
+
+_SECTIONS = {
+    "fig2_rps_correlation": _section_fig2,
+    "fig3_send_variance": _section_fig3,
+    "fig4_epoll_duration": _section_fig4,
+    "fig5_loss_tail": _section_fig5,
+    "table2_netem_r2": _section_table2,
+    "overhead": _section_overhead,
+}
+
+
+def render_report(records: Dict[str, dict]) -> str:
+    """Render all known result records into one markdown document."""
+    parts = ["# ebpf-observer — generated experiment report", ""]
+    rendered = 0
+    for name, section in _SECTIONS.items():
+        if name in records:
+            parts.append(section(records[name]))
+            parts.append("")
+            rendered += 1
+    remaining = sorted(set(records) - set(_SECTIONS))
+    if remaining:
+        parts.append("## Other records\n")
+        for name in remaining:
+            parts.append(f"* `{name}.json`")
+        parts.append("")
+    if rendered == 0:
+        parts.append("_No renderable results found — run the benchmarks first._")
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    directory = Path(args[0]) if args else Path("results")
+    if not directory.is_dir():
+        print(f"no results directory at {directory}", file=sys.stderr)
+        return 1
+    print(render_report(load_results(directory)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

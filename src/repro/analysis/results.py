@@ -1,0 +1,46 @@
+"""Result persistence: JSON records under ``results/``."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional
+
+from .experiment import LevelResult, SweepResult
+
+__all__ = ["save_sweep", "load_sweep", "save_record", "results_dir"]
+
+
+def results_dir(base: Optional[Path] = None) -> Path:
+    """The repository's results directory (created on demand)."""
+    root = Path(base) if base is not None else Path(__file__).resolve().parents[3]
+    path = root / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_sweep(sweep: SweepResult, name: str, base: Optional[Path] = None) -> Path:
+    """Persist a sweep as ``results/<name>.json``; returns the path."""
+    path = results_dir(base) / f"{name}.json"
+    payload = {
+        "workload": sweep.workload,
+        "levels": [level.to_dict() for level in sweep.levels],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_sweep(name: str, base: Optional[Path] = None) -> SweepResult:
+    """Load a sweep previously written by :func:`save_sweep`."""
+    path = results_dir(base) / f"{name}.json"
+    payload = json.loads(path.read_text())
+    levels: List[LevelResult] = [LevelResult(**entry) for entry in payload["levels"]]
+    return SweepResult(workload=payload["workload"], levels=levels)
+
+
+def save_record(record: dict, name: str, base: Optional[Path] = None) -> Path:
+    """Persist an arbitrary experiment record as JSON."""
+    path = results_dir(base) / f"{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True, default=str))
+    return path

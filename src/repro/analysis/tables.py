@@ -1,0 +1,57 @@
+"""Text renderers for the paper's tables (Table I and Table II)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..kernel.machine import MachineSpec
+from ..sim.timebase import USEC
+
+__all__ = ["render_table1", "render_table2"]
+
+
+def render_table1(machines: Sequence[MachineSpec]) -> str:
+    """Table I analogue: the simulated platform profiles."""
+    rows = [
+        ("Profile", lambda m: m.name),
+        ("Schedulable CPUs", lambda m: str(m.cores)),
+        ("Scheduler quantum", lambda m: f"{m.quantum_ns / 1e6:g} ms"),
+        ("Context switch", lambda m: f"{m.ctx_switch_ns / USEC:g} us"),
+        ("Syscall overhead", lambda m: f"{m.syscall_overhead_ns} ns"),
+        ("Convoy stall mean", lambda m: f"{m.interference.stall_mean_ns / 1e6:g} ms"),
+        ("Convoy duty cap", lambda m: f"{m.interference.duty_cycle:.0%}"),
+    ]
+    label_width = max(len(label) for label, _ in rows)
+    col_width = max(max(len(fn(m)) for _, fn in rows) for m in machines) + 2
+    lines = ["TABLE I — SIMULATED SYSTEM SPECIFICATION"]
+    header = " " * label_width + "".join(m.name.upper().rjust(col_width) for m in machines)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, fn in rows:
+        lines.append(label.ljust(label_width) + "".join(fn(m).rjust(col_width) for m in machines))
+    return "\n".join(lines)
+
+
+def render_table2(
+    r2_by_workload: Dict[str, Tuple[float, float]],
+    config_labels: Tuple[str, str] = ("0ms delay / 0% loss", "10ms delay / 1% loss"),
+    paper_values: Dict[str, Tuple[float, float]] = None,
+) -> str:
+    """Table II analogue: R² of RPS_obsv under the two netem configs.
+
+    ``r2_by_workload`` maps workload label to (ideal R², impaired R²);
+    ``paper_values`` (optional) adds the paper's columns for comparison.
+    """
+    lines = ["TABLE II — EFFECT OF THE NETWORK ON APPROXIMATED RPS (R^2)"]
+    header = f"{'Workload':<24}{config_labels[0]:>22}{config_labels[1]:>22}"
+    if paper_values:
+        header += f"{'paper(0/0)':>12}{'paper(10/1)':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload, (ideal, impaired) in r2_by_workload.items():
+        line = f"{workload:<24}{ideal:>22.4f}{impaired:>22.4f}"
+        if paper_values and workload in paper_values:
+            p_ideal, p_impaired = paper_values[workload]
+            line += f"{p_ideal:>12.4f}{p_impaired:>12.4f}"
+        lines.append(line)
+    return "\n".join(lines)

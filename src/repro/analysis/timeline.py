@@ -1,0 +1,74 @@
+"""Syscall-timeline rendering (Fig. 1's visual, in text).
+
+Turns a recorded syscall trace into the paper's three-panel story:
+the raw stream with its setup/processing phases, the request-oriented
+subset, and (when pairing succeeds) per-request reconstruction lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kernel.syscalls import SETUP_SYSCALLS, SyscallFamily
+from ..kernel.tracelog import SyscallRecord
+from ..core.pairing import reconstruct_timelines
+
+__all__ = ["phase_summary", "render_stream", "render_timeline"]
+
+_FAMILY_GLYPH = {
+    SyscallFamily.RECV: "r",
+    SyscallFamily.SEND: "s",
+    SyscallFamily.POLL: ".",
+    SyscallFamily.OTHER: "+",
+}
+
+
+def phase_summary(records: Sequence[SyscallRecord]) -> Dict[str, int]:
+    """Counts per lifecycle phase: setup vs request-oriented vs other."""
+    setup = sum(1 for r in records if r.syscall_nr in SETUP_SYSCALLS)
+    request = sum(1 for r in records if r.family != SyscallFamily.OTHER)
+    return {
+        "total": len(records),
+        "setup": setup,
+        "request_oriented": request,
+        "other": len(records) - setup - request,
+    }
+
+
+def render_stream(records: Sequence[SyscallRecord], width: int = 72,
+                  request_only: bool = False) -> str:
+    """A glyph-per-syscall strip in time order (Fig. 1(b)/(c)).
+
+    ``r`` recv-family, ``s`` send-family, ``.`` poll-family, ``+`` other
+    (setup/teardown).  ``request_only`` drops the ``+`` glyphs — the
+    paper's "extracted subset".
+    """
+    ordered = sorted(records, key=lambda r: r.enter_ns)
+    glyphs = []
+    for record in ordered:
+        if request_only and record.family == SyscallFamily.OTHER:
+            continue
+        glyphs.append(_FAMILY_GLYPH[record.family])
+    lines = []
+    for start in range(0, len(glyphs), width):
+        lines.append("".join(glyphs[start : start + width]))
+    return "\n".join(lines) if lines else "(no syscalls)"
+
+
+def render_timeline(records: Sequence[SyscallRecord], limit: int = 10) -> str:
+    """Per-request reconstruction lines (Fig. 1(c)) for paired traces."""
+    result = reconstruct_timelines(list(records))
+    lines = [
+        f"reconstructed {result.paired} requests "
+        f"(pairing rate {result.pairing_rate:.0%}, "
+        f"mean service {result.mean_service_ns() / 1e6:.3f} ms)"
+    ]
+    for timeline in result.timelines[:limit]:
+        lines.append(
+            f"  tid {timeline.tid}: recv@{timeline.recv.enter_ns / 1e6:10.3f}ms "
+            f"--service {timeline.service_ns / 1e6:7.3f}ms--> "
+            f"send@{timeline.send.enter_ns / 1e6:10.3f}ms"
+        )
+    if result.paired > limit:
+        lines.append(f"  ... {result.paired - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""The paper's contribution: in-kernel request-level observability.
+
+Public API tour::
+
+    monitor = RequestMetricsMonitor(kernel, tgid, spec, mode="vm").attach()
+    ...run load...
+    snap = monitor.snapshot(reset=True)
+    snap.rps_obsv                # Eq. 1
+    snap.send_delta_variance     # Eq. 2 (saturation signal)
+    snap.poll_mean_duration_ns   # idleness / saturation slack signal
+"""
+
+from .collectors import (
+    DeltaCollector,
+    DurationCollector,
+    DurationStats,
+    build_delta_program,
+    build_duration_programs,
+)
+from .deltas import DeltaStats, deltas_of, variance_int
+from .governor import GovernorDecision, SlackDvfsGovernor
+from .monitor import MetricsSnapshot, RequestMetricsMonitor
+from .multiservice import (
+    CombinedSnapshot,
+    MultiServiceMonitor,
+    ServiceSpec,
+    TierReading,
+)
+from .pairing import PairingResult, RequestTimeline, reconstruct_timelines
+from .regression import LinearFit, fit_linear, normalize, residual_summary
+from .saturation import OnlineSaturationDetector, VarianceKneeDetector, detect_knee
+from .slack import SlackEstimator, idleness_fraction, stabilization_point
+from .streaming import StreamingDeltaCollector
+from .windows import RECOMMENDED_WINDOW_EVENTS, chunk_by_count, window_estimates
+
+__all__ = [
+    "RequestMetricsMonitor",
+    "MetricsSnapshot",
+    "MultiServiceMonitor",
+    "ServiceSpec",
+    "CombinedSnapshot",
+    "TierReading",
+    "DeltaCollector",
+    "DurationCollector",
+    "DurationStats",
+    "DeltaStats",
+    "deltas_of",
+    "variance_int",
+    "SlackDvfsGovernor",
+    "GovernorDecision",
+    "build_delta_program",
+    "build_duration_programs",
+    "LinearFit",
+    "fit_linear",
+    "normalize",
+    "residual_summary",
+    "VarianceKneeDetector",
+    "OnlineSaturationDetector",
+    "detect_knee",
+    "SlackEstimator",
+    "idleness_fraction",
+    "stabilization_point",
+    "StreamingDeltaCollector",
+    "PairingResult",
+    "RequestTimeline",
+    "reconstruct_timelines",
+    "RECOMMENDED_WINDOW_EVENTS",
+    "chunk_by_count",
+    "window_estimates",
+]

@@ -1,0 +1,423 @@
+"""In-kernel metric collectors.
+
+Two collector shapes cover everything the paper measures:
+
+* :class:`DeltaCollector` — for ``send``/``recv`` families: accumulates
+  {count, sum, sumsq} of **inter-syscall deltas** across *all threads of the
+  target process, aggregated into a single trace* (§IV-C-1's "most effective
+  strategy").  Feeds Eq. 1 (``RPS_obsv``) and Eq. 2 (variance).
+* :class:`DurationCollector` — for the ``poll`` family: Listing 1's
+  enter-timestamp hash keyed by ``pid_tgid`` plus duration accumulation.
+  Feeds the saturation-slack signal (Fig. 4).
+
+Each collector runs in one of two modes:
+
+* ``mode="vm"`` — a genuine eBPF program, assembled here, verified, and
+  interpreted per tracepoint firing (the honest reproduction);
+* ``mode="native"`` — a Python probe performing the **identical integer
+  arithmetic** (a fast path for large parameter sweeps).
+
+Equivalence of the two modes on identical traces is asserted by
+``tests/core/test_collector_equivalence.py`` and benchmarked by ABL-VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..ebpf.asm import Asm
+from ..ebpf.bcc import BPF
+from ..ebpf.context import ProgType
+from ..ebpf.maps import ArrayMap, HashMap
+from ..ebpf.opcodes import MemSize, Reg
+from ..ebpf.helpers import Helper
+from ..ebpf.program import Program
+from ..kernel.kernel import Kernel
+from .deltas import DeltaStats
+
+__all__ = ["DeltaCollector", "DurationCollector", "DurationStats",
+           "build_delta_program", "build_duration_programs"]
+
+# Slot offsets (bytes) in the delta collector's single array entry.
+_LAST = 0
+_COUNT = 8
+_SUM = 16
+_SUMSQ = 24
+_FIRST = 32
+_EVENTS = 40
+_DELTA_VALUE_SIZE = 48
+
+# Slot offsets in the duration collector's entry.
+_D_COUNT = 0
+_D_SUM = 8
+_D_SUMSQ = 16
+_DUR_VALUE_SIZE = 24
+
+_U64 = (1 << 64) - 1
+
+
+def _emit_prologue(asm: Asm, tgid: int, syscall_nrs: Sequence[int]) -> None:
+    """Common filter: bail unless current tgid and syscall id match."""
+    asm.mov_reg(Reg.R9, Reg.R1)  # save ctx across helper calls
+    asm.call(Helper.GET_CURRENT_PID_TGID)
+    asm.rsh_imm(Reg.R0, 32)
+    asm.jne_imm(Reg.R0, tgid, "out")
+    asm.ldx(MemSize.DW, Reg.R8, Reg.R9, 8)  # args->id
+    for nr in syscall_nrs:
+        asm.jeq_imm(Reg.R8, nr, "matched")
+    asm.ja("out")
+    asm.label("matched")
+
+
+def _emit_epilogue(asm: Asm) -> None:
+    asm.label("out")
+    asm.mov_imm(Reg.R0, 0)
+    asm.exit_()
+
+
+def build_delta_program(map_name: str, tgid: int, syscall_nrs: Sequence[int],
+                        prog_name: str = "delta_enter") -> Program:
+    """sys_enter program accumulating inter-call delta statistics."""
+    if not syscall_nrs:
+        raise ValueError("need at least one syscall number")
+    asm = Asm()
+    _emit_prologue(asm, tgid, syscall_nrs)
+    asm.call(Helper.KTIME_GET_NS)
+    asm.mov_reg(Reg.R7, Reg.R0)  # now
+    # state = lookup(map, key=0)
+    asm.st_imm(MemSize.W, Reg.R10, -4, 0)
+    asm.ld_map_fd(Reg.R1, map_name)
+    asm.mov_reg(Reg.R2, Reg.R10)
+    asm.add_imm(Reg.R2, -4)
+    asm.call(Helper.MAP_LOOKUP_ELEM)
+    asm.jeq_imm(Reg.R0, 0, "out")
+    # if (events == 0) { first = now; } else { accumulate delta }
+    asm.ldx(MemSize.DW, Reg.R1, Reg.R0, _EVENTS)
+    asm.jne_imm(Reg.R1, 0, "have_last")
+    asm.stx(MemSize.DW, Reg.R0, _FIRST, Reg.R7)
+    asm.ja("finish")
+    asm.label("have_last")
+    asm.ldx(MemSize.DW, Reg.R2, Reg.R0, _LAST)
+    asm.mov_reg(Reg.R3, Reg.R7)
+    asm.sub_reg(Reg.R3, Reg.R2)  # delta = now - last
+    asm.ldx(MemSize.DW, Reg.R4, Reg.R0, _COUNT)
+    asm.add_imm(Reg.R4, 1)
+    asm.stx(MemSize.DW, Reg.R0, _COUNT, Reg.R4)
+    asm.ldx(MemSize.DW, Reg.R4, Reg.R0, _SUM)
+    asm.add_reg(Reg.R4, Reg.R3)
+    asm.stx(MemSize.DW, Reg.R0, _SUM, Reg.R4)
+    asm.mov_reg(Reg.R5, Reg.R3)
+    asm.mul_reg(Reg.R5, Reg.R3)  # delta^2
+    asm.ldx(MemSize.DW, Reg.R4, Reg.R0, _SUMSQ)
+    asm.add_reg(Reg.R4, Reg.R5)
+    asm.stx(MemSize.DW, Reg.R0, _SUMSQ, Reg.R4)
+    asm.label("finish")
+    asm.stx(MemSize.DW, Reg.R0, _LAST, Reg.R7)
+    asm.ldx(MemSize.DW, Reg.R1, Reg.R0, _EVENTS)
+    asm.add_imm(Reg.R1, 1)
+    asm.stx(MemSize.DW, Reg.R0, _EVENTS, Reg.R1)
+    _emit_epilogue(asm)
+    return Program(prog_name, asm.build(), ProgType.tracepoint_sys_enter())
+
+
+def build_duration_programs(
+    start_map: str,
+    state_map: str,
+    tgid: int,
+    syscall_nrs: Sequence[int],
+    prog_prefix: str = "dur",
+) -> Tuple[Program, Program]:
+    """Listing-1-style (enter, exit) programs measuring syscall duration."""
+    if not syscall_nrs:
+        raise ValueError("need at least one syscall number")
+
+    enter = Asm()
+    _emit_prologue(enter, tgid, syscall_nrs)
+    # start[pid_tgid] = ktime
+    enter.call(Helper.GET_CURRENT_PID_TGID)
+    enter.stx(MemSize.DW, Reg.R10, -8, Reg.R0)
+    enter.call(Helper.KTIME_GET_NS)
+    enter.stx(MemSize.DW, Reg.R10, -16, Reg.R0)
+    enter.ld_map_fd(Reg.R1, start_map)
+    enter.mov_reg(Reg.R2, Reg.R10)
+    enter.add_imm(Reg.R2, -8)
+    enter.mov_reg(Reg.R3, Reg.R10)
+    enter.add_imm(Reg.R3, -16)
+    enter.mov_imm(Reg.R4, 0)
+    enter.call(Helper.MAP_UPDATE_ELEM)
+    _emit_epilogue(enter)
+
+    exit_ = Asm()
+    _emit_prologue(exit_, tgid, syscall_nrs)
+    # start_ns = start[pid_tgid]; if missing, skip
+    exit_.call(Helper.GET_CURRENT_PID_TGID)
+    exit_.stx(MemSize.DW, Reg.R10, -8, Reg.R0)
+    exit_.ld_map_fd(Reg.R1, start_map)
+    exit_.mov_reg(Reg.R2, Reg.R10)
+    exit_.add_imm(Reg.R2, -8)
+    exit_.call(Helper.MAP_LOOKUP_ELEM)
+    exit_.jeq_imm(Reg.R0, 0, "out")
+    exit_.ldx(MemSize.DW, Reg.R6, Reg.R0, 0)
+    # duration = ktime - start_ns
+    exit_.call(Helper.KTIME_GET_NS)
+    exit_.sub_reg(Reg.R0, Reg.R6)
+    exit_.mov_reg(Reg.R7, Reg.R0)
+    # state = lookup(state_map, 0); accumulate
+    exit_.st_imm(MemSize.W, Reg.R10, -4, 0)
+    exit_.ld_map_fd(Reg.R1, state_map)
+    exit_.mov_reg(Reg.R2, Reg.R10)
+    exit_.add_imm(Reg.R2, -4)
+    exit_.call(Helper.MAP_LOOKUP_ELEM)
+    exit_.jeq_imm(Reg.R0, 0, "out")
+    exit_.ldx(MemSize.DW, Reg.R1, Reg.R0, _D_COUNT)
+    exit_.add_imm(Reg.R1, 1)
+    exit_.stx(MemSize.DW, Reg.R0, _D_COUNT, Reg.R1)
+    exit_.ldx(MemSize.DW, Reg.R1, Reg.R0, _D_SUM)
+    exit_.add_reg(Reg.R1, Reg.R7)
+    exit_.stx(MemSize.DW, Reg.R0, _D_SUM, Reg.R1)
+    exit_.mov_reg(Reg.R5, Reg.R7)
+    exit_.mul_reg(Reg.R5, Reg.R7)
+    exit_.ldx(MemSize.DW, Reg.R1, Reg.R0, _D_SUMSQ)
+    exit_.add_reg(Reg.R1, Reg.R5)
+    exit_.stx(MemSize.DW, Reg.R0, _D_SUMSQ, Reg.R1)
+    _emit_epilogue(exit_)
+
+    return (
+        Program(f"{prog_prefix}_enter", enter.build(), ProgType.tracepoint_sys_enter()),
+        Program(f"{prog_prefix}_exit", exit_.build(), ProgType.tracepoint_sys_exit()),
+    )
+
+
+def _read_u64(entry: bytearray, offset: int) -> int:
+    return int.from_bytes(entry[offset : offset + 8], "little")
+
+
+def _write_u64(entry: bytearray, offset: int, value: int) -> None:
+    entry[offset : offset + 8] = (value & _U64).to_bytes(8, "little")
+
+
+class DeltaCollector:
+    """Inter-syscall delta statistics for one syscall set of one process."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        tgid: int,
+        syscall_nrs: Iterable[int],
+        mode: str = "native",
+        charge_cost: bool = False,
+        name: str = "delta",
+    ) -> None:
+        if mode not in ("native", "vm"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.kernel = kernel
+        self.tgid = tgid
+        self.syscall_nrs = tuple(syscall_nrs)
+        if not self.syscall_nrs:
+            raise ValueError("need at least one syscall number")
+        self.mode = mode
+        self.name = name
+        self._attached = False
+        if mode == "vm":
+            self._map = ArrayMap(value_size=_DELTA_VALUE_SIZE, max_entries=1, name=f"{name}_state")
+            program = build_delta_program(f"{name}_state", tgid, self.syscall_nrs,
+                                          prog_name=f"{name}_enter")
+            self._bpf = BPF(kernel, maps={f"{name}_state": self._map},
+                            programs=[program], charge_cost=charge_cost)
+        else:
+            self._bpf = None
+            self._stats = DeltaStats()
+            self._nr_set = frozenset(self.syscall_nrs)
+
+    @property
+    def bpf(self) -> Optional[BPF]:
+        """The underlying BPF object (``None`` in native mode)."""
+        return self._bpf
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> "DeltaCollector":
+        if self._attached:
+            raise RuntimeError("collector already attached")
+        if self.mode == "vm":
+            self._bpf.attach_tracepoint("raw_syscalls:sys_enter", f"{self.name}_enter")
+        else:
+            self.kernel.tracepoints.sys_enter.attach(self._native_probe)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        if self.mode == "vm":
+            self._bpf.detach_all()
+        else:
+            self.kernel.tracepoints.sys_enter.detach(self._native_probe)
+        self._attached = False
+
+    def _native_probe(self, ctx) -> int:
+        if ctx.pid_tgid >> 32 != self.tgid:
+            return 0
+        if ctx.syscall_nr not in self._nr_set:
+            return 0
+        self._stats.add_timestamp(ctx.ktime_ns)
+        return 0
+
+    # -- window access -----------------------------------------------------
+    def snapshot(self) -> DeltaStats:
+        """Current window's statistics (a copy; window keeps accumulating)."""
+        if self.mode == "native":
+            s = self._stats
+            return DeltaStats(count=s.count, sum=s.sum, sumsq=s.sumsq,
+                              first_ns=s.first_ns, last_ns=s.last_ns)
+        entry = self._map.lookup(self._map.key_of(0))
+        events = _read_u64(entry, _EVENTS)
+        if events == 0:
+            return DeltaStats()
+        return DeltaStats(
+            count=_read_u64(entry, _COUNT),
+            sum=_read_u64(entry, _SUM),
+            sumsq=_read_u64(entry, _SUMSQ),
+            first_ns=_read_u64(entry, _FIRST),
+            last_ns=_read_u64(entry, _LAST),
+        )
+
+    def reset_window(self) -> None:
+        """Zero the accumulators; the next delta spans the boundary."""
+        if self.mode == "native":
+            self._stats.reset_window()
+            return
+        entry = self._map.lookup(self._map.key_of(0))
+        events = _read_u64(entry, _EVENTS)
+        _write_u64(entry, _COUNT, 0)
+        _write_u64(entry, _SUM, 0)
+        _write_u64(entry, _SUMSQ, 0)
+        if events > 0:
+            _write_u64(entry, _FIRST, _read_u64(entry, _LAST))
+            _write_u64(entry, _EVENTS, 1)
+
+
+@dataclass
+class DurationStats:
+    """Accumulated syscall durations (integer ns, eBPF-computable)."""
+
+    count: int = 0
+    sum: int = 0
+    sumsq: int = 0
+
+    def mean_ns(self) -> int:
+        return self.sum // self.count if self.count else 0
+
+    def variance_ns2(self) -> int:
+        if not self.count:
+            return 0
+        mean = self.sum // self.count
+        return self.sumsq // self.count - mean * mean
+
+
+class DurationCollector:
+    """Syscall duration statistics (Listing 1 generalized to a process)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        tgid: int,
+        syscall_nrs: Iterable[int],
+        mode: str = "native",
+        charge_cost: bool = False,
+        name: str = "dur",
+    ) -> None:
+        if mode not in ("native", "vm"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.kernel = kernel
+        self.tgid = tgid
+        self.syscall_nrs = tuple(syscall_nrs)
+        if not self.syscall_nrs:
+            raise ValueError("need at least one syscall number")
+        self.mode = mode
+        self.name = name
+        self._attached = False
+        if mode == "vm":
+            self._start = HashMap(key_size=8, value_size=8, max_entries=4096,
+                                  name=f"{name}_start")
+            self._state = ArrayMap(value_size=_DUR_VALUE_SIZE, max_entries=1,
+                                   name=f"{name}_state")
+            enter, exit_ = build_duration_programs(
+                f"{name}_start", f"{name}_state", tgid, self.syscall_nrs,
+                prog_prefix=name,
+            )
+            self._bpf = BPF(
+                kernel,
+                maps={f"{name}_start": self._start, f"{name}_state": self._state},
+                programs=[enter, exit_],
+                charge_cost=charge_cost,
+            )
+        else:
+            self._bpf = None
+            self._open: Dict[int, int] = {}
+            self._stats = DurationStats()
+            self._nr_set = frozenset(self.syscall_nrs)
+
+    @property
+    def bpf(self) -> Optional[BPF]:
+        """The underlying BPF object (``None`` in native mode)."""
+        return self._bpf
+
+    def attach(self) -> "DurationCollector":
+        if self._attached:
+            raise RuntimeError("collector already attached")
+        if self.mode == "vm":
+            self._bpf.attach_tracepoint("raw_syscalls:sys_enter", f"{self.name}_enter")
+            self._bpf.attach_tracepoint("raw_syscalls:sys_exit", f"{self.name}_exit")
+        else:
+            self.kernel.tracepoints.sys_enter.attach(self._native_enter)
+            self.kernel.tracepoints.sys_exit.attach(self._native_exit)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        if self.mode == "vm":
+            self._bpf.detach_all()
+        else:
+            self.kernel.tracepoints.sys_enter.detach(self._native_enter)
+            self.kernel.tracepoints.sys_exit.detach(self._native_exit)
+        self._attached = False
+
+    def _wanted(self, ctx) -> bool:
+        return ctx.pid_tgid >> 32 == self.tgid and ctx.syscall_nr in self._nr_set
+
+    def _native_enter(self, ctx) -> int:
+        if self._wanted(ctx):
+            self._open[ctx.pid_tgid] = ctx.ktime_ns
+        return 0
+
+    def _native_exit(self, ctx) -> int:
+        if self._wanted(ctx):
+            start_ns = self._open.get(ctx.pid_tgid)
+            if start_ns is not None:
+                duration = ctx.ktime_ns - start_ns
+                self._stats.count += 1
+                self._stats.sum += duration
+                self._stats.sumsq += duration * duration
+        return 0
+
+    def snapshot(self) -> DurationStats:
+        if self.mode == "native":
+            s = self._stats
+            return DurationStats(count=s.count, sum=s.sum, sumsq=s.sumsq)
+        entry = self._state.lookup(self._state.key_of(0))
+        return DurationStats(
+            count=_read_u64(entry, _D_COUNT),
+            sum=_read_u64(entry, _D_SUM),
+            sumsq=_read_u64(entry, _D_SUMSQ),
+        )
+
+    def reset_window(self) -> None:
+        if self.mode == "native":
+            self._stats = DurationStats()
+            return
+        entry = self._state.lookup(self._state.key_of(0))
+        for offset in (_D_COUNT, _D_SUM, _D_SUMSQ):
+            _write_u64(entry, offset, 0)

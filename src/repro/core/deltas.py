@@ -1,0 +1,149 @@
+"""Inter-syscall delta statistics — the paper's primary signal (§III).
+
+The methodology reduces a syscall trace to the stream of **deltas** between
+consecutive occurrences, then keeps only what fits in a few integer map
+slots: count, sum, and sum of squares.  From those three integers,
+
+* Eq. 1 recovers throughput: ``RPS_obsv = 1 / mean(Δt_send)``;
+* Eq. 2 recovers the saturation signal:
+  ``var(Δt) = mean(Δt²) − mean(Δt)²``.
+
+:class:`DeltaStats` is the exact arithmetic the in-kernel collector
+performs: integer nanoseconds only (the eBPF verifier bans floats), with
+the same truncating divisions.  Float conveniences are provided for
+userspace analysis on drained windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..sim.timebase import SEC
+
+__all__ = ["DeltaStats", "deltas_of", "variance_int"]
+
+
+def deltas_of(timestamps: Sequence[int]) -> List[int]:
+    """Deltas between consecutive timestamps of a sorted trace."""
+    return [b - a for a, b in zip(timestamps, timestamps[1:])]
+
+
+def variance_int(deltas: Iterable[int]) -> int:
+    """Eq. 2 with pure integer arithmetic, as computable inside eBPF."""
+    count = 0
+    total = 0
+    total_sq = 0
+    for delta in deltas:
+        count += 1
+        total += delta
+        total_sq += delta * delta
+    if count == 0:
+        return 0
+    mean = total // count
+    return total_sq // count - mean * mean
+
+
+@dataclass
+class DeltaStats:
+    """Streaming {count, sum, sumsq} over deltas, plus window endpoints."""
+
+    count: int = 0
+    sum: int = 0
+    sumsq: int = 0
+    first_ns: Optional[int] = None
+    last_ns: Optional[int] = None
+
+    # -- kernel-side updates ----------------------------------------------
+    def add_timestamp(self, ts_ns: int) -> None:
+        """Feed the next event timestamp (must be monotone non-decreasing)."""
+        if self.last_ns is not None:
+            delta = ts_ns - self.last_ns
+            if delta < 0:
+                raise ValueError(f"timestamps went backwards ({self.last_ns} -> {ts_ns})")
+            self.count += 1
+            self.sum += delta
+            self.sumsq += delta * delta
+        else:
+            self.first_ns = ts_ns
+        self.last_ns = ts_ns
+
+    def add_delta(self, delta_ns: int) -> None:
+        """Feed a pre-computed delta (used when merging partial traces)."""
+        if delta_ns < 0:
+            raise ValueError(f"negative delta {delta_ns}")
+        self.count += 1
+        self.sum += delta_ns
+        self.sumsq += delta_ns * delta_ns
+
+    def reset_window(self) -> None:
+        """Start a new observation window, keeping the last timestamp so the
+        next delta spans the window boundary correctly."""
+        self.count = 0
+        self.sum = 0
+        self.sumsq = 0
+        self.first_ns = self.last_ns
+
+    # -- Eq. 1 / Eq. 2 ---------------------------------------------------
+    @property
+    def events(self) -> int:
+        """Number of events observed in this window (deltas + 1)."""
+        return self.count + 1 if self.last_ns is not None else 0
+
+    def mean_delta_ns(self) -> int:
+        """Integer mean inter-event time (0 when under two events)."""
+        return self.sum // self.count if self.count else 0
+
+    def variance_ns2(self) -> int:
+        """Eq. 2, integer form (the in-kernel computation)."""
+        if not self.count:
+            return 0
+        mean = self.sum // self.count
+        return self.sumsq // self.count - mean * mean
+
+    def variance_float(self) -> float:
+        """Eq. 2 computed in floats (userspace analysis)."""
+        if not self.count:
+            return 0.0
+        mean = self.sum / self.count
+        return self.sumsq / self.count - mean * mean
+
+    def rps_obsv(self) -> float:
+        """Eq. 1: observed requests/second, ``1 / mean(Δt)``."""
+        mean = self.mean_delta_ns()
+        return SEC / mean if mean else 0.0
+
+    def cov2(self) -> float:
+        """Dispersion index ``var(Δt) / mean(Δt)²``.
+
+        A rate-independent form of Eq. 2: raw variance scales like 1/λ² with
+        load, so sparse senders look noisy at low RPS; dividing by the
+        squared mean removes that trend, leaving the contention signature.
+        Computable in eBPF integers as ``count·sumsq/sum² − 1`` (scaled).
+        """
+        mean = self.sum / self.count if self.count else 0.0
+        if mean <= 0.0:
+            return 0.0
+        return self.variance_float() / (mean * mean)
+
+    # -- composition -----------------------------------------------------
+    def merge(self, other: "DeltaStats") -> "DeltaStats":
+        """Combine two disjoint windows (delta populations are concatenated;
+        window endpoints take the extremes)."""
+        merged = DeltaStats(
+            count=self.count + other.count,
+            sum=self.sum + other.sum,
+            sumsq=self.sumsq + other.sumsq,
+        )
+        firsts = [f for f in (self.first_ns, other.first_ns) if f is not None]
+        lasts = [l for l in (self.last_ns, other.last_ns) if l is not None]
+        merged.first_ns = min(firsts) if firsts else None
+        merged.last_ns = max(lasts) if lasts else None
+        return merged
+
+    @classmethod
+    def from_timestamps(cls, timestamps: Sequence[int]) -> "DeltaStats":
+        stats = cls()
+        for ts in timestamps:
+            stats.add_timestamp(ts)
+        return stats

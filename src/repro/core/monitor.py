@@ -1,0 +1,158 @@
+"""The high-level observability façade: one monitor per target process.
+
+:class:`RequestMetricsMonitor` bundles the three collectors the paper's
+methodology needs — send-family deltas (Eq. 1 + Eq. 2), recv-family deltas,
+and poll-family durations (saturation slack) — behind a windowed snapshot
+API.  This is the interface a management runtime (power governor, resource
+allocator) would consume (§VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kernel.kernel import Kernel
+from ..kernel.syscalls import POLL_FAMILY, RECV_FAMILY, SEND_FAMILY, SyscallSpec
+from ..sim.timebase import SEC
+from .collectors import DeltaCollector, DurationCollector, DurationStats
+from .deltas import DeltaStats
+
+__all__ = ["RequestMetricsMonitor", "MetricsSnapshot"]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One observation window's worth of request-level observability."""
+
+    window_start_ns: int
+    window_end_ns: int
+    send: DeltaStats
+    recv: DeltaStats
+    poll: DurationStats
+
+    @property
+    def duration_ns(self) -> int:
+        return self.window_end_ns - self.window_start_ns
+
+    @property
+    def rps_obsv(self) -> float:
+        """Eq. 1 over the send family."""
+        return self.send.rps_obsv()
+
+    @property
+    def rps_obsv_recv(self) -> float:
+        """Eq. 1 computed from the recv family (ABL-RECV)."""
+        return self.recv.rps_obsv()
+
+    @property
+    def send_delta_variance(self) -> int:
+        """Eq. 2 over the send family (integer, in-kernel form)."""
+        return self.send.variance_ns2()
+
+    @property
+    def recv_delta_variance(self) -> int:
+        return self.recv.variance_ns2()
+
+    @property
+    def send_delta_cov2(self) -> float:
+        """Rate-independent dispersion index of send deltas."""
+        return self.send.cov2()
+
+    @property
+    def poll_mean_duration_ns(self) -> int:
+        """Mean poll-family syscall duration — the idleness signal."""
+        return self.poll.mean_ns()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsSnapshot rps={self.rps_obsv:.1f} "
+            f"var={self.send_delta_variance} poll={self.poll_mean_duration_ns}ns>"
+        )
+
+
+class RequestMetricsMonitor:
+    """Attach/observe/window the paper's three signals for one process.
+
+    Parameters
+    ----------
+    kernel, tgid:
+        Target kernel and process.
+    spec:
+        The workload's :class:`~repro.kernel.syscalls.SyscallSpec`.  When
+        omitted, whole families are monitored (the deployable blackbox
+        configuration — no per-app knowledge needed).
+    mode:
+        ``"vm"`` for interpreted eBPF collectors, ``"native"`` for the fast
+        equivalent path.
+    charge_cost:
+        Charge probe execution cost to traced syscalls (overhead study).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        tgid: int,
+        spec: Optional[SyscallSpec] = None,
+        mode: str = "native",
+        charge_cost: bool = False,
+    ) -> None:
+        self.kernel = kernel
+        self.tgid = tgid
+        send_nrs = (spec.send_nr,) if spec else tuple(sorted(SEND_FAMILY))
+        recv_nrs = (spec.recv_nr,) if spec else tuple(sorted(RECV_FAMILY))
+        poll_nrs = (spec.poll_nr,) if spec else tuple(sorted(POLL_FAMILY))
+        self.send_collector = DeltaCollector(
+            kernel, tgid, send_nrs, mode=mode, charge_cost=charge_cost, name="send"
+        )
+        self.recv_collector = DeltaCollector(
+            kernel, tgid, recv_nrs, mode=mode, charge_cost=charge_cost, name="recv"
+        )
+        self.poll_collector = DurationCollector(
+            kernel, tgid, poll_nrs, mode=mode, charge_cost=charge_cost, name="poll"
+        )
+        self._window_start: Optional[int] = None
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> "RequestMetricsMonitor":
+        self.send_collector.attach()
+        self.recv_collector.attach()
+        self.poll_collector.attach()
+        self._window_start = self.kernel.env.now
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        self.send_collector.detach()
+        self.recv_collector.detach()
+        self.poll_collector.detach()
+        self._attached = False
+
+    def __enter__(self) -> "RequestMetricsMonitor":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- windows ---------------------------------------------------------
+    def snapshot(self, reset: bool = False) -> MetricsSnapshot:
+        """Read the current window; optionally start a fresh one."""
+        if not self._attached:
+            raise RuntimeError("monitor is not attached")
+        snap = MetricsSnapshot(
+            window_start_ns=self._window_start if self._window_start is not None else 0,
+            window_end_ns=self.kernel.env.now,
+            send=self.send_collector.snapshot(),
+            recv=self.recv_collector.snapshot(),
+            poll=self.poll_collector.snapshot(),
+        )
+        if reset:
+            self.reset_window()
+        return snap
+
+    def reset_window(self) -> None:
+        self.send_collector.reset_window()
+        self.recv_collector.reset_window()
+        self.poll_collector.reset_window()
+        self._window_start = self.kernel.env.now

@@ -1,0 +1,94 @@
+"""Per-request timeline reconstruction (Fig. 1(c), §III).
+
+In the *simple* case — a single thread handling the whole request cycle —
+``recv`` and ``send`` syscalls pair up one-to-one and service time is
+directly observable as the gap between the recv's exit and the send's
+entry.  The paper shows this breaks down with multi-threaded dispatch
+("eBPF has no observability into request boundaries"); the pairing below
+therefore reports how many syscalls it could *not* pair, which is exactly
+the signal that a workload needs the statistical methodology instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..kernel.syscalls import SyscallFamily
+from ..kernel.tracelog import SyscallRecord
+
+__all__ = ["RequestTimeline", "PairingResult", "reconstruct_timelines"]
+
+
+@dataclass(frozen=True)
+class RequestTimeline:
+    """One reconstructed request: recv → (service) → send."""
+
+    tid: int
+    recv: SyscallRecord
+    send: SyscallRecord
+
+    @property
+    def service_ns(self) -> int:
+        """Time between finishing the read and starting the response."""
+        return self.send.enter_ns - self.recv.exit_ns
+
+    @property
+    def total_ns(self) -> int:
+        """recv entry to send exit."""
+        return self.send.exit_ns - self.recv.enter_ns
+
+
+@dataclass
+class PairingResult:
+    """Reconstruction outcome + bookkeeping on what could not be paired."""
+
+    timelines: List[RequestTimeline]
+    unmatched_recvs: int
+    unmatched_sends: int
+
+    @property
+    def paired(self) -> int:
+        return len(self.timelines)
+
+    @property
+    def pairing_rate(self) -> float:
+        total = self.paired * 2 + self.unmatched_recvs + self.unmatched_sends
+        return (self.paired * 2) / total if total else 0.0
+
+    def mean_service_ns(self) -> float:
+        if not self.timelines:
+            return 0.0
+        return sum(t.service_ns for t in self.timelines) / len(self.timelines)
+
+
+def reconstruct_timelines(records: Sequence[SyscallRecord]) -> PairingResult:
+    """Pair recv/send records per thread, in time order.
+
+    Within each tid, a ``send`` is matched to the most recent still-unmatched
+    ``recv`` that *precedes* it.  This succeeds exactly for the
+    single-thread-per-request structure; cross-thread request hand-offs
+    surface as unmatched syscalls.
+    """
+    timelines: List[RequestTimeline] = []
+    pending: Dict[int, List[SyscallRecord]] = {}
+    unmatched_sends = 0
+
+    for record in sorted(records, key=lambda r: r.enter_ns):
+        family = record.family
+        if family == SyscallFamily.RECV:
+            pending.setdefault(record.tid, []).append(record)
+        elif family == SyscallFamily.SEND:
+            stack = pending.get(record.tid)
+            if stack:
+                recv = stack.pop(0)  # FIFO: oldest outstanding request first
+                timelines.append(RequestTimeline(tid=record.tid, recv=recv, send=record))
+            else:
+                unmatched_sends += 1
+
+    unmatched_recvs = sum(len(stack) for stack in pending.values())
+    return PairingResult(
+        timelines=timelines,
+        unmatched_recvs=unmatched_recvs,
+        unmatched_sends=unmatched_sends,
+    )

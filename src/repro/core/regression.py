@@ -1,0 +1,80 @@
+"""Linear regression + residual analysis (Fig. 2 / Table II machinery).
+
+The paper validates ``RPS_obsv`` by fitting a standard linear regression
+against the benchmark-reported RPS, quoting the coefficient of
+determination R², and inspecting residual plots for bias.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["LinearFit", "fit_linear", "normalize", "residual_summary"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary-least-squares fit ``y ≈ slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def residuals(self, xs: Sequence[float], ys: Sequence[float]) -> List[float]:
+        return [y - self.predict(x) for x, y in zip(xs, ys)]
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """OLS fit; raises on degenerate inputs."""
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError(f"length mismatch: {n} xs vs {len(ys)} ys")
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise ValueError("all x values identical; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if syy == 0.0:
+        # A constant y perfectly fit by a flat line.
+        r_squared = 1.0
+    else:
+        ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+        r_squared = 1.0 - ss_res / syy
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared, n=n)
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Scale to [0, 1] by the maximum (the paper's axis normalization)."""
+    peak = max(values) if values else 0.0
+    if peak <= 0.0:
+        return [0.0 for _ in values]
+    return [v / peak for v in values]
+
+
+def residual_summary(residuals: Sequence[float]) -> Tuple[float, float, float]:
+    """(mean, std, sign_balance) of residuals.
+
+    ``sign_balance`` is the fraction of positive residuals; ~0.5 indicates
+    the random, unbiased errors the paper reports (neither consistent over-
+    nor under-estimation).
+    """
+    n = len(residuals)
+    if n == 0:
+        return 0.0, 0.0, 0.5
+    mean = sum(residuals) / n
+    variance = sum((r - mean) ** 2 for r in residuals) / n
+    positives = sum(1 for r in residuals if r > 0)
+    return mean, math.sqrt(variance), positives / n

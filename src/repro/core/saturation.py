@@ -1,0 +1,134 @@
+"""Saturation detection from delta-variance trajectories (Fig. 3).
+
+§IV-C-1: under saturation, contention produces "longer than usual delays"
+and the variance of ``send``/``recv`` inter-syscall times rises sharply.
+The detector here formalizes the figure's reading: establish a baseline
+from low-load windows, then flag the knee where variance exceeds a
+multiplicative threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["VarianceKneeDetector", "detect_knee", "OnlineSaturationDetector"]
+
+
+@dataclass(frozen=True)
+class KneePoint:
+    """Result of a knee search over an (x, variance) trajectory."""
+
+    index: int
+    x: float
+    variance: float
+    baseline: float
+
+
+def detect_knee(
+    xs: Sequence[float],
+    variances: Sequence[float],
+    baseline_fraction: float = 0.3,
+    threshold_factor: float = 5.0,
+) -> Optional[KneePoint]:
+    """Find the first point whose variance exceeds the low-load baseline.
+
+    ``baseline_fraction`` of the (x-sorted) leading points establish the
+    baseline as their median; the knee is the first point at or beyond
+    ``threshold_factor`` times that baseline.  Returns ``None`` when no
+    knee exists (the workload never saturated).
+    """
+    if len(xs) != len(variances):
+        raise ValueError("xs and variances must have equal length")
+    n = len(xs)
+    if n < 3:
+        return None
+    order = sorted(range(n), key=lambda i: xs[i])
+    baseline_count = max(1, int(n * baseline_fraction))
+    baseline_values = sorted(variances[i] for i in order[:baseline_count])
+    mid = len(baseline_values) // 2
+    if len(baseline_values) % 2:
+        baseline = baseline_values[mid]
+    else:
+        baseline = (baseline_values[mid - 1] + baseline_values[mid]) / 2
+    floor = max(baseline, 1e-30)
+    for rank in order[baseline_count:]:
+        if variances[rank] >= threshold_factor * floor:
+            return KneePoint(index=rank, x=xs[rank], variance=variances[rank],
+                             baseline=baseline)
+    return None
+
+
+class VarianceKneeDetector:
+    """Offline detector over a completed load sweep."""
+
+    def __init__(self, baseline_fraction: float = 0.3, threshold_factor: float = 5.0) -> None:
+        if not 0.0 < baseline_fraction < 1.0:
+            raise ValueError("baseline_fraction must be in (0, 1)")
+        if threshold_factor <= 1.0:
+            raise ValueError("threshold_factor must exceed 1")
+        self.baseline_fraction = baseline_fraction
+        self.threshold_factor = threshold_factor
+
+    def saturation_point(self, xs: Sequence[float], variances: Sequence[float]) -> Optional[float]:
+        knee = detect_knee(xs, variances, self.baseline_fraction, self.threshold_factor)
+        return None if knee is None else knee.x
+
+
+class OnlineSaturationDetector:
+    """Streaming detector a kernel-space runtime could run per window.
+
+    Maintains an exponentially-weighted baseline of variance while the
+    system is deemed healthy; raises the ``saturated`` flag when the
+    current window's variance exceeds ``threshold_factor`` times the
+    baseline, and lowers it after ``hysteresis`` consecutive healthy
+    windows (flap suppression).
+    """
+
+    def __init__(
+        self,
+        threshold_factor: float = 5.0,
+        ewma_alpha: float = 0.2,
+        warmup_windows: int = 5,
+        hysteresis: int = 3,
+    ) -> None:
+        self.threshold_factor = threshold_factor
+        self.ewma_alpha = ewma_alpha
+        self.warmup_windows = warmup_windows
+        self.hysteresis = hysteresis
+        self._baseline: Optional[float] = None
+        self._windows_seen = 0
+        self._healthy_streak = 0
+        self.saturated = False
+        self.history: List[bool] = []
+
+    def observe(self, variance: float) -> bool:
+        """Feed one window's variance; returns the current saturated flag."""
+        self._windows_seen += 1
+        if self._baseline is None:
+            self._baseline = float(variance)
+        floor = max(self._baseline, 1e-30)
+
+        if self._windows_seen <= self.warmup_windows:
+            over = False
+        else:
+            over = variance >= self.threshold_factor * floor
+
+        if over:
+            self.saturated = True
+            self._healthy_streak = 0
+        else:
+            self._healthy_streak += 1
+            if self.saturated and self._healthy_streak >= self.hysteresis:
+                self.saturated = False
+            # Only track the baseline while healthy, so saturation spikes
+            # don't poison it.
+            alpha = self.ewma_alpha
+            self._baseline = (1 - alpha) * floor + alpha * float(variance)
+
+        self.history.append(self.saturated)
+        return self.saturated
+
+    @property
+    def baseline(self) -> Optional[float]:
+        return self._baseline

@@ -1,0 +1,119 @@
+"""Saturation slack from poll-syscall durations (Fig. 4).
+
+§IV-C-2: no syscall pattern signals *approaching* saturation directly, so
+the paper inverts the problem — measure **idleness** via the duration of
+``epoll``-family syscalls.  Long polls mean the application waits for work
+(large slack); durations shrink as load rises and **stabilize** at
+saturation.  :func:`stabilization_point` finds where the decline flattens,
+and :class:`SlackEstimator` turns a calibrated duration→load relationship
+into a [0, 1] slack figure a management runtime can act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["stabilization_point", "SlackEstimator", "idleness_fraction"]
+
+
+def idleness_fraction(poll_total_ns: int, window_ns: int, workers: int = 1) -> float:
+    """Fraction of worker time spent blocked in poll syscalls.
+
+    A direct idleness metric: total poll-family duration in the window over
+    total worker-time available.  Clamped to [0, 1].
+    """
+    if window_ns <= 0 or workers < 1:
+        return 0.0
+    return min(1.0, poll_total_ns / (window_ns * workers))
+
+
+def stabilization_point(
+    xs: Sequence[float],
+    durations: Sequence[float],
+    flat_tolerance: float = 0.05,
+    consecutive: int = 2,
+) -> Optional[float]:
+    """Find where a declining duration curve flattens out.
+
+    Scans the x-sorted curve for the first point from which ``consecutive``
+    successive relative drops all stay within ``flat_tolerance`` of the
+    curve's total range — the paper's "duration typically stabilizes" at
+    saturation.  Returns the x of that point, or None if the curve never
+    flattens.
+    """
+    if len(xs) != len(durations):
+        raise ValueError("xs and durations must have equal length")
+    n = len(xs)
+    if n < consecutive + 1:
+        return None
+    order = sorted(range(n), key=lambda i: xs[i])
+    ys = [durations[i] for i in order]
+    span = max(ys) - min(ys)
+    if span <= 0:
+        return xs[order[0]]
+    for start in range(n - consecutive):
+        flat = all(
+            abs(ys[start + k] - ys[start + k + 1]) <= flat_tolerance * span
+            for k in range(consecutive)
+        )
+        if flat:
+            return xs[order[start]]
+    return None
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    load: float  # offered or observed RPS
+    poll_duration_ns: float
+
+
+class SlackEstimator:
+    """Maps a live poll duration onto calibrated saturation slack.
+
+    Calibrate with (load, poll-duration) pairs from a ramp (they need not be
+    uniformly spaced); ``slack(duration)`` then interpolates the implied
+    load and reports ``1 - load/saturation_load``, clamped to [0, 1].
+    """
+
+    def __init__(self, calibration: Sequence[Tuple[float, float]]) -> None:
+        points = sorted(
+            (CalibrationPoint(load, dur) for load, dur in calibration),
+            key=lambda p: p.load,
+        )
+        if len(points) < 2:
+            raise ValueError("need at least two calibration points")
+        self._points = points
+        self._saturation_load = points[-1].load
+
+    @property
+    def saturation_load(self) -> float:
+        return self._saturation_load
+
+    def implied_load(self, poll_duration_ns: float) -> float:
+        """Interpolate the load level implied by a poll duration.
+
+        Durations decrease with load; out-of-range durations clamp to the
+        calibration extremes.
+        """
+        points = self._points
+        if poll_duration_ns >= points[0].poll_duration_ns:
+            return points[0].load
+        if poll_duration_ns <= points[-1].poll_duration_ns:
+            return points[-1].load
+        for low, high in zip(points, points[1:]):
+            # durations decline from low.load to high.load
+            if high.poll_duration_ns <= poll_duration_ns <= low.poll_duration_ns:
+                span = low.poll_duration_ns - high.poll_duration_ns
+                if span <= 0:
+                    return high.load
+                fraction = (low.poll_duration_ns - poll_duration_ns) / span
+                return low.load + fraction * (high.load - low.load)
+        return points[-1].load
+
+    def slack(self, poll_duration_ns: float) -> float:
+        """Remaining headroom in [0, 1]: 1 = idle, 0 = at saturation."""
+        load = self.implied_load(poll_duration_ns)
+        if self._saturation_load <= 0:
+            return 0.0
+        return max(0.0, min(1.0, 1.0 - load / self._saturation_load))

@@ -1,0 +1,48 @@
+"""Trace windowing.
+
+§IV-B: Eq. 1 "is particularly effective over extended periods (at least
+2048 syscalls) where request distribution stabilizes".  These helpers slice
+timestamp traces into fixed-count windows and produce the per-window
+estimates the figures plot (ten estimations per load level in Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.timebase import SEC
+from .deltas import DeltaStats
+
+__all__ = ["RECOMMENDED_WINDOW_EVENTS", "chunk_by_count", "window_estimates"]
+
+#: The paper's stability guidance: at least this many syscalls per window.
+RECOMMENDED_WINDOW_EVENTS = 2048
+
+
+def chunk_by_count(timestamps: Sequence[int], events_per_window: int) -> List[Sequence[int]]:
+    """Split a sorted trace into consecutive windows of N events.
+
+    The trailing partial window is dropped (a short window is exactly the
+    unstable case §IV-B warns about).
+    """
+    if events_per_window < 2:
+        raise ValueError("a window needs at least 2 events to contain a delta")
+    full = len(timestamps) // events_per_window
+    return [
+        timestamps[i * events_per_window : (i + 1) * events_per_window] for i in range(full)
+    ]
+
+
+def window_estimates(timestamps: Sequence[int], windows: int) -> List[float]:
+    """Split a trace into ``windows`` equal-count windows and return the
+    per-window ``RPS_obsv`` estimates (Fig. 2's green dots)."""
+    if windows < 1:
+        raise ValueError("need at least one window")
+    events_per_window = len(timestamps) // windows
+    if events_per_window < 2:
+        return []
+    estimates = []
+    for window in chunk_by_count(timestamps, events_per_window):
+        stats = DeltaStats.from_timestamps(window)
+        estimates.append(stats.rps_obsv())
+    return estimates

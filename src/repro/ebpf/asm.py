@@ -1,0 +1,287 @@
+"""A small eBPF assembler with labels.
+
+This plays the role clang's BPF backend plays for bcc: collector programs
+(:mod:`repro.core.collectors`) are written against this API, assembled into
+genuine eBPF instructions, verified, and interpreted.
+
+Naming convention: ``*_imm`` take an immediate operand, ``*_reg`` a register
+operand; 32-bit ALU forms are prefixed ``w`` (``wmov_imm`` ...), matching
+the clang asm mnemonics' spirit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .errors import AssemblerError
+from .insn import LD_IMM64_OPCODE, Insn
+from .opcodes import (
+    BPF_PSEUDO_MAP_FD,
+    AluOp,
+    InsnClass,
+    JmpOp,
+    MemMode,
+    MemSize,
+    Reg,
+    Src,
+)
+
+__all__ = ["Asm"]
+
+_MASK32 = (1 << 32) - 1
+_MASK64 = (1 << 64) - 1
+
+
+class Asm:
+    """Builds an instruction list; jump targets are symbolic labels."""
+
+    def __init__(self) -> None:
+        self._slots: List[Insn] = []
+        self._labels: Dict[str, int] = {}
+        #: slot index -> label name, for patching.
+        self._pending: List[Tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> "Asm":
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._slots)
+        return self
+
+    # ------------------------------------------------------------------
+    # ALU
+    # ------------------------------------------------------------------
+    def _alu(self, op: AluOp, dst: int, *, imm: int = 0, src: int = 0,
+             use_reg: bool, is32: bool = False) -> "Asm":
+        klass = InsnClass.ALU if is32 else InsnClass.ALU64
+        opcode = klass | op | (Src.X if use_reg else Src.K)
+        self._slots.append(Insn(opcode=opcode, dst=dst, src=src, imm=imm))
+        return self
+
+    def mov_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.MOV, dst, imm=imm, use_reg=False)
+
+    def mov_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.MOV, dst, src=src, use_reg=True)
+
+    def add_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.ADD, dst, imm=imm, use_reg=False)
+
+    def add_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.ADD, dst, src=src, use_reg=True)
+
+    def sub_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.SUB, dst, imm=imm, use_reg=False)
+
+    def sub_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.SUB, dst, src=src, use_reg=True)
+
+    def mul_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.MUL, dst, imm=imm, use_reg=False)
+
+    def mul_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.MUL, dst, src=src, use_reg=True)
+
+    def div_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.DIV, dst, imm=imm, use_reg=False)
+
+    def div_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.DIV, dst, src=src, use_reg=True)
+
+    def mod_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.MOD, dst, imm=imm, use_reg=False)
+
+    def mod_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.MOD, dst, src=src, use_reg=True)
+
+    def and_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.AND, dst, imm=imm, use_reg=False)
+
+    def and_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.AND, dst, src=src, use_reg=True)
+
+    def or_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.OR, dst, imm=imm, use_reg=False)
+
+    def or_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.OR, dst, src=src, use_reg=True)
+
+    def xor_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.XOR, dst, src=src, use_reg=True)
+
+    def lsh_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.LSH, dst, imm=imm, use_reg=False)
+
+    def lsh_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.LSH, dst, src=src, use_reg=True)
+
+    def rsh_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.RSH, dst, imm=imm, use_reg=False)
+
+    def rsh_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.RSH, dst, src=src, use_reg=True)
+
+    def arsh_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.ARSH, dst, imm=imm, use_reg=False)
+
+    def arsh_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.ARSH, dst, src=src, use_reg=True)
+
+    def neg(self, dst: int) -> "Asm":
+        return self._alu(AluOp.NEG, dst, use_reg=False)
+
+    # 32-bit forms (w-prefixed)
+    def wmov_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.MOV, dst, imm=imm, use_reg=False, is32=True)
+
+    def wadd_imm(self, dst: int, imm: int) -> "Asm":
+        return self._alu(AluOp.ADD, dst, imm=imm, use_reg=False, is32=True)
+
+    def wsub_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.SUB, dst, src=src, use_reg=True, is32=True)
+
+    def wmul_reg(self, dst: int, src: int) -> "Asm":
+        return self._alu(AluOp.MUL, dst, src=src, use_reg=True, is32=True)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def ldx(self, size: MemSize, dst: int, src: int, off: int = 0) -> "Asm":
+        """``dst = *(size *)(src + off)``"""
+        opcode = InsnClass.LDX | MemMode.MEM | size
+        self._slots.append(Insn(opcode=opcode, dst=dst, src=src, off=off))
+        return self
+
+    def stx(self, size: MemSize, dst: int, off: int, src: int) -> "Asm":
+        """``*(size *)(dst + off) = src``"""
+        opcode = InsnClass.STX | MemMode.MEM | size
+        self._slots.append(Insn(opcode=opcode, dst=dst, src=src, off=off))
+        return self
+
+    def st_imm(self, size: MemSize, dst: int, off: int, imm: int) -> "Asm":
+        """``*(size *)(dst + off) = imm``"""
+        opcode = InsnClass.ST | MemMode.MEM | size
+        self._slots.append(Insn(opcode=opcode, dst=dst, off=off, imm=imm))
+        return self
+
+    def ld_imm64(self, dst: int, value: int) -> "Asm":
+        value &= _MASK64
+        low = value & _MASK32
+        high = value >> 32
+        # Encode as signed 32-bit immediates for wire fidelity.
+        low_s = low - (1 << 32) if low >= (1 << 31) else low
+        high_s = high - (1 << 32) if high >= (1 << 31) else high
+        self._slots.append(Insn(opcode=LD_IMM64_OPCODE, dst=dst, imm=low_s))
+        self._slots.append(Insn(opcode=0, imm=high_s))
+        return self
+
+    def ld_map_fd(self, dst: int, map_ref: Union[str, object]) -> "Asm":
+        """Load a map reference (by name, resolved at load, or object)."""
+        self._slots.append(
+            Insn(opcode=LD_IMM64_OPCODE, dst=dst, src=BPF_PSEUDO_MAP_FD, imm=0, map_ref=map_ref)
+        )
+        self._slots.append(Insn(opcode=0))
+        return self
+
+    # ------------------------------------------------------------------
+    # jumps
+    # ------------------------------------------------------------------
+    def _jmp(self, op: JmpOp, label: str, dst: int = 0, *, imm: int = 0,
+             src: int = 0, use_reg: bool = False, is32: bool = False) -> "Asm":
+        klass = InsnClass.JMP32 if is32 else InsnClass.JMP
+        opcode = klass | op | (Src.X if use_reg else Src.K)
+        self._pending.append((len(self._slots), label))
+        self._slots.append(Insn(opcode=opcode, dst=dst, src=src, imm=imm))
+        return self
+
+    def ja(self, label: str) -> "Asm":
+        return self._jmp(JmpOp.JA, label)
+
+    def jeq_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JEQ, label, dst, imm=imm)
+
+    def jeq_reg(self, dst: int, src: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JEQ, label, dst, src=src, use_reg=True)
+
+    def jne_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JNE, label, dst, imm=imm)
+
+    def jne_reg(self, dst: int, src: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JNE, label, dst, src=src, use_reg=True)
+
+    def jgt_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JGT, label, dst, imm=imm)
+
+    def jge_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JGE, label, dst, imm=imm)
+
+    def jlt_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JLT, label, dst, imm=imm)
+
+    def jle_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JLE, label, dst, imm=imm)
+
+    def jlt_reg(self, dst: int, src: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JLT, label, dst, src=src, use_reg=True)
+
+    def jge_reg(self, dst: int, src: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JGE, label, dst, src=src, use_reg=True)
+
+    def jsgt_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JSGT, label, dst, imm=imm)
+
+    def jslt_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JSLT, label, dst, imm=imm)
+
+    def jset_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JSET, label, dst, imm=imm)
+
+    # 32-bit jump forms (JMP32 class; compare low 32 bits only)
+    def wjeq_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JEQ, label, dst, imm=imm, is32=True)
+
+    def wjne_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JNE, label, dst, imm=imm, is32=True)
+
+    def wjgt_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JGT, label, dst, imm=imm, is32=True)
+
+    def wjslt_imm(self, dst: int, imm: int, label: str) -> "Asm":
+        return self._jmp(JmpOp.JSLT, label, dst, imm=imm, is32=True)
+
+    # ------------------------------------------------------------------
+    # calls / exit
+    # ------------------------------------------------------------------
+    def call(self, helper: int) -> "Asm":
+        self._slots.append(Insn(opcode=InsnClass.JMP | JmpOp.CALL, imm=int(helper)))
+        return self
+
+    def exit_(self) -> "Asm":
+        self._slots.append(Insn(opcode=InsnClass.JMP | JmpOp.EXIT))
+        return self
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> List[Insn]:
+        """Resolve labels and return the final instruction list."""
+        slots = list(self._slots)
+        for index, label in self._pending:
+            try:
+                target = self._labels[label]
+            except KeyError:
+                raise AssemblerError(f"undefined label {label!r}") from None
+            offset = target - index - 1
+            if not -(1 << 15) <= offset < (1 << 15):
+                raise AssemblerError(f"jump to {label!r} out of range ({offset})")
+            insn = slots[index]
+            slots[index] = Insn(
+                opcode=insn.opcode, dst=insn.dst, src=insn.src, off=offset, imm=insn.imm,
+                map_ref=insn.map_ref,
+            )
+        return slots
+
+    def __len__(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,152 @@
+"""A bcc-like frontend: load maps + programs, attach to tracepoints.
+
+Mirrors the pieces of BCC's Python API the paper's methodology needs::
+
+    b = BPF(kernel, maps={"start": HashMap(8, 8)}, programs=[enter, exit_])
+    b.attach_tracepoint("raw_syscalls:sys_enter", "on_enter")
+    ...
+    b["start"].items_int()
+    b.detach_all()
+
+Attachment converts the simulated tracepoint context into the real record
+byte layout, builds a per-invocation helper runtime (clock = the kernel's
+``ktime``, current task = the syscall-ing thread), and interprets the
+program in the VM.  With ``charge_cost=True`` the interpreter's cost model
+is charged to the traced syscall — the mechanism behind the overhead study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..kernel.kernel import Kernel
+from ..kernel.tracepoints import SysEnterCtx, SysExitCtx, Tracepoint
+from .context import ProgType, pack_sys_enter, pack_sys_exit
+from .errors import BpfError
+from .helpers import HelperRuntime
+from .maps import BpfMap, PerfEventArray, RingBuf
+from .program import Program
+from .vm import Vm
+
+__all__ = ["BPF"]
+
+MapLike = Union[BpfMap, RingBuf, PerfEventArray]
+
+
+class BPF:
+    """Loads programs against a kernel and manages attachments."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        maps: Optional[Mapping[str, MapLike]] = None,
+        programs: Sequence[Program] = (),
+        charge_cost: bool = False,
+        vm: Optional[Vm] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.maps: Dict[str, MapLike] = dict(maps or {})
+        for name, bpf_map in self.maps.items():
+            if getattr(bpf_map, "name", None) in (None, "", bpf_map.map_type):
+                bpf_map.name = name
+        self.charge_cost = charge_cost
+        self.vm = vm or Vm()
+        self._programs: Dict[str, Program] = {}
+        self._attached: List[tuple] = []
+        #: Diagnostics: per-program invocation and instruction counts.
+        self.invocations: Dict[str, int] = {}
+        self.insns_executed: Dict[str, int] = {}
+        for program in programs:
+            self.load(program)
+
+    # -- loading ---------------------------------------------------------
+    def load(self, program: Program) -> Program:
+        """Resolve map names, verify, and register a program."""
+        if program.name in self._programs:
+            raise BpfError(f"duplicate program name {program.name!r}")
+        resolved = program.resolve_maps(self.maps).verify()
+        self._programs[resolved.name] = resolved
+        self.invocations[resolved.name] = 0
+        self.insns_executed[resolved.name] = 0
+        return resolved
+
+    def __getitem__(self, map_name: str) -> MapLike:
+        return self.maps[map_name]
+
+    @property
+    def programs(self) -> Dict[str, Program]:
+        return dict(self._programs)
+
+    # -- attachment --------------------------------------------------------
+    def attach_tracepoint(self, tp_name: str, prog_name: str) -> None:
+        """Attach a loaded program to ``raw_syscalls:sys_enter``/``sys_exit``."""
+        try:
+            program = self._programs[prog_name]
+        except KeyError:
+            raise BpfError(f"no loaded program named {prog_name!r}") from None
+        tracepoint = self.kernel.tracepoints.get(tp_name)
+        expected = {
+            "raw_syscalls:sys_enter": ProgType.tracepoint_sys_enter().name,
+            "raw_syscalls:sys_exit": ProgType.tracepoint_sys_exit().name,
+        }[tp_name]
+        if program.prog_type.name != expected:
+            raise BpfError(
+                f"program {prog_name!r} has type {program.prog_type.name!r}, "
+                f"but {tp_name} requires {expected!r}"
+            )
+        probe = self._make_probe(program)
+        tracepoint.attach(probe)
+        self._attached.append((tracepoint, probe))
+
+    def detach_all(self) -> None:
+        for tracepoint, probe in self._attached:
+            tracepoint.detach(probe)
+        self._attached.clear()
+
+    def __enter__(self) -> "BPF":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach_all()
+
+    # -- execution -----------------------------------------------------------
+    def _make_probe(self, program: Program):
+        pack = (
+            pack_sys_enter
+            if program.prog_type.name == ProgType.tracepoint_sys_enter().name
+            else pack_sys_exit
+        )
+        prandom_stream = self.kernel.seeds.stream(f"bpf:{program.name}:prandom")
+
+        def probe(ctx) -> int:
+            runtime = HelperRuntime(
+                ktime_ns=ctx.ktime_ns,
+                pid_tgid=ctx.pid_tgid,
+                cpu_id=0,
+                prandom=lambda: prandom_stream.randint(0, (1 << 32) - 1),
+            )
+            result = self.vm.execute(program.insns, pack(ctx), runtime)
+            self.invocations[program.name] += 1
+            self.insns_executed[program.name] += result.steps
+            return result.cost_ns if self.charge_cost else 0
+
+        return probe
+
+    # -- userspace data access ----------------------------------------------
+    def ring_records(self, map_name: str) -> List[bytes]:
+        ring = self.maps[map_name]
+        if not isinstance(ring, RingBuf):
+            raise BpfError(f"{map_name!r} is not a ring buffer")
+        return ring.drain()
+
+    def perf_events(self, map_name: str) -> List[bytes]:
+        perf = self.maps[map_name]
+        if not isinstance(perf, PerfEventArray):
+            raise BpfError(f"{map_name!r} is not a perf event array")
+        return perf.poll()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BPF programs={sorted(self._programs)} maps={sorted(self.maps)} "
+            f"attached={len(self._attached)}>"
+        )

@@ -1,0 +1,106 @@
+"""Tokenizer for the restricted BPF-C dialect (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import BpfError
+
+__all__ = ["Token", "tokenize", "CompileError"]
+
+
+class CompileError(BpfError):
+    """Source rejected by the BPF-C front-end."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'punct' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}>"
+
+
+_KEYWORDS = frozenset({
+    "u32", "u64", "s32", "s64", "int", "long", "return", "if", "else", "void",
+})
+
+# Longest-first so '>>'/'<<'/'->'/'==' beat their prefixes.
+_PUNCTUATION = (
+    "->", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+    "+=", "-=", "*=", "/=", "&=", "|=", "^=", "++", "--",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+    "=", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "!", "~",
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize; raises :class:`CompileError` on illegal characters."""
+    tokens: List[Token] = []
+    line = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            tokens.append(Token("ident", source[start:index], line))
+            continue
+        if ch.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+            # Swallow C integer suffixes (232UL and friends).
+            while index < length and source[index] in "uUlL":
+                index += 1
+            tokens.append(Token("number", source[start:index], line))
+            continue
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, index):
+                tokens.append(Token("punct", punct, line))
+                index += len(punct)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def parse_int(text: str, line: int) -> int:
+    core = text.rstrip("uUlL")
+    try:
+        return int(core, 0)
+    except ValueError:
+        raise CompileError(f"bad integer literal {text!r}", line) from None

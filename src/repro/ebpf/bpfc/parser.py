@@ -1,0 +1,411 @@
+"""AST and recursive-descent parser for the BPF-C dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .lexer import CompileError, Token, parse_int, tokenize
+
+__all__ = [
+    "parse",
+    "TranslationUnit", "MapDecl", "ProbeDecl",
+    "Block", "VarDecl", "Assign", "If", "Return", "ExprStmt", "BlockStmt",
+    "Num", "Name", "Unary", "Binary", "Call", "MethodCall", "CtxField",
+]
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '!', '-', '~', '*', '&'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    map_name: str
+    method: str  # 'lookup' | 'update' | 'delete' | 'increment'
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class CtxField:
+    field: str  # 'id' | 'ret' | 'args0'..'args5'
+
+
+Expr = object  # union of the above
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    ctype: str  # 'u64' or 'u64*'
+    name: str
+    init: Optional[Expr]
+    line: int
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Expr  # Name or Unary('*', Name)
+    op: str  # '=', '+=', '-=', '*=', '/=', '&=', '|=', '^='
+    value: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: Tuple["Stmt", ...]
+    orelse: Tuple["Stmt", ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class BlockStmt:
+    """A bare ``{ ... }`` scope (frees its locals at the closing brace)."""
+
+    body: Tuple["Stmt", ...]
+    line: int
+
+
+Stmt = object
+Block = Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class MapDecl:
+    kind: str  # 'hash' | 'array'
+    name: str
+    key_type: str
+    value_type: str
+    size: int
+    line: int
+
+
+@dataclass(frozen=True)
+class ProbeDecl:
+    category: str
+    event: str
+    body: Block
+    line: int
+
+
+@dataclass(frozen=True)
+class TranslationUnit:
+    maps: Tuple[MapDecl, ...]
+    probes: Tuple[ProbeDecl, ...]
+
+
+_TYPES = {"u32", "u64", "int", "long", "s32", "s64"}
+_MAP_METHODS = {"lookup", "update", "delete", "increment", "perf_submit"}
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_OPS = {"=", "+=", "-=", "*=", "/=", "&=", "|=", "^="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        return self._cur.text == text and self._cur.kind in ("punct", "ident")
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise CompileError(
+                f"expected {text!r}, found {self._cur.text!r}", self._cur.line
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._cur.kind != "ident":
+            raise CompileError(
+                f"expected identifier, found {self._cur.text!r}", self._cur.line
+            )
+        return self._advance()
+
+    # -- top level ---------------------------------------------------------
+    def parse_unit(self) -> TranslationUnit:
+        maps: List[MapDecl] = []
+        probes: List[ProbeDecl] = []
+        while self._cur.kind != "eof":
+            token = self._cur
+            if token.text in ("BPF_HASH", "BPF_ARRAY", "BPF_PERF_OUTPUT"):
+                maps.append(self._parse_map_decl())
+            elif token.text == "TRACEPOINT_PROBE":
+                probes.append(self._parse_probe())
+            else:
+                raise CompileError(
+                    f"expected BPF_HASH/BPF_ARRAY/TRACEPOINT_PROBE, found "
+                    f"{token.text!r}", token.line,
+                )
+        if not probes:
+            raise CompileError("no TRACEPOINT_PROBE in source", self._cur.line)
+        return TranslationUnit(maps=tuple(maps), probes=tuple(probes))
+
+    def _parse_type_name(self) -> str:
+        token = self._expect_ident()
+        if token.text not in _TYPES:
+            raise CompileError(f"unsupported type {token.text!r}", token.line)
+        return token.text
+
+    def _parse_map_decl(self) -> MapDecl:
+        kind_token = self._advance()
+        kind = {"BPF_HASH": "hash", "BPF_ARRAY": "array",
+                "BPF_PERF_OUTPUT": "perf"}[kind_token.text]
+        self._expect("(")
+        name = self._expect_ident().text
+        if kind == "perf":
+            self._expect(")")
+            self._expect(";")
+            return MapDecl(kind=kind, name=name, key_type="u32",
+                           value_type="u64", size=65536, line=kind_token.line)
+        key_type, value_type, size = "u64", "u64", 10240
+        if self._accept(","):
+            if kind == "hash":
+                key_type = self._parse_type_name()
+                if self._accept(","):
+                    value_type = self._parse_type_name()
+                    if self._accept(","):
+                        size = parse_int(self._advance().text, kind_token.line)
+            else:
+                value_type = self._parse_type_name()
+                key_type = "u32"
+                if self._accept(","):
+                    size = parse_int(self._advance().text, kind_token.line)
+        elif kind == "array":
+            key_type = "u32"
+        self._expect(")")
+        self._expect(";")
+        return MapDecl(kind=kind, name=name, key_type=key_type,
+                       value_type=value_type, size=size, line=kind_token.line)
+
+    def _parse_probe(self) -> ProbeDecl:
+        start = self._advance()
+        self._expect("(")
+        category = self._expect_ident().text
+        self._expect(",")
+        event = self._expect_ident().text
+        self._expect(")")
+        body = self._parse_block()
+        return ProbeDecl(category=category, event=event, body=body, line=start.line)
+
+    # -- statements -----------------------------------------------------------
+    def _parse_block(self) -> Block:
+        self._expect("{")
+        statements: List[Stmt] = []
+        while not self._accept("}"):
+            if self._cur.kind == "eof":
+                raise CompileError("unterminated block", self._cur.line)
+            statements.append(self._parse_statement())
+        return tuple(statements)
+
+    def _parse_stmt_or_block(self) -> Block:
+        if self._check("{"):
+            return self._parse_block()
+        return (self._parse_statement(),)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._cur
+        if token.text == "{":
+            return BlockStmt(body=self._parse_block(), line=token.line)
+        if token.text in _TYPES:
+            return self._parse_var_decl()
+        if token.text == "return":
+            self._advance()
+            value = self._parse_expression()
+            self._expect(";")
+            return Return(value=value, line=token.line)
+        if token.text == "if":
+            self._advance()
+            self._expect("(")
+            cond = self._parse_expression()
+            self._expect(")")
+            then = self._parse_stmt_or_block()
+            orelse: Block = ()
+            if self._accept("else"):
+                orelse = self._parse_stmt_or_block()
+            return If(cond=cond, then=then, orelse=orelse, line=token.line)
+        # Expression-ish statements: assignment, ++/--, or a bare call.
+        expr = self._parse_expression()
+        if self._cur.text in _COMPOUND_OPS:
+            op = self._advance().text
+            value = self._parse_expression()
+            self._expect(";")
+            self._check_assign_target(expr, token.line)
+            return Assign(target=expr, op=op, value=value, line=token.line)
+        if self._cur.text in ("++", "--"):
+            op = self._advance().text
+            self._expect(";")
+            self._check_assign_target(expr, token.line)
+            delta = Num(1)
+            return Assign(target=expr, op="+=" if op == "++" else "-=",
+                          value=delta, line=token.line)
+        self._expect(";")
+        if not isinstance(expr, (Call, MethodCall)):
+            raise CompileError("expression statement has no effect", token.line)
+        return ExprStmt(expr=expr, line=token.line)
+
+    @staticmethod
+    def _check_assign_target(expr, line: int) -> None:
+        if isinstance(expr, Name):
+            return
+        if isinstance(expr, Unary) and expr.op == "*" and isinstance(expr.operand, Name):
+            return
+        raise CompileError("assignment target must be a variable or *pointer", line)
+
+    def _parse_var_decl(self) -> VarDecl:
+        type_token = self._advance()
+        ctype = type_token.text
+        if self._accept("*"):
+            ctype += "*"
+        name = self._expect_ident().text
+        init: Optional[Expr] = None
+        if self._accept("="):
+            init = self._parse_expression()
+        self._expect(";")
+        return VarDecl(ctype=ctype, name=name, init=init, line=type_token.line)
+
+    # -- expressions (precedence climbing) ------------------------------------
+    def _parse_expression(self, min_precedence: int = 1):
+        lhs = self._parse_unary()
+        while True:
+            op = self._cur.text
+            precedence = _PRECEDENCE.get(op)
+            if self._cur.kind != "punct" or precedence is None or precedence < min_precedence:
+                return lhs
+            self._advance()
+            rhs = self._parse_expression(precedence + 1)
+            lhs = Binary(op=op, lhs=lhs, rhs=rhs)
+
+    def _parse_unary(self):
+        token = self._cur
+        if token.kind == "punct" and token.text in ("!", "-", "~", "*", "&"):
+            self._advance()
+            return Unary(op=token.text, operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            if self._accept("."):
+                method = self._expect_ident().text
+                if not isinstance(expr, Name):
+                    raise CompileError("method call on non-map", self._cur.line)
+                if method not in _MAP_METHODS:
+                    raise CompileError(f"unknown map method {method!r}", self._cur.line)
+                args = self._parse_call_args()
+                expr = MethodCall(map_name=expr.ident, method=method, args=args)
+            elif self._accept("->"):
+                field_token = self._expect_ident()
+                if not isinstance(expr, Name) or expr.ident not in ("args", "ctx"):
+                    raise CompileError("'->' only valid on args/ctx", field_token.line)
+                field = field_token.text
+                if field == "args":
+                    self._expect("[")
+                    index_token = self._advance()
+                    index = parse_int(index_token.text, index_token.line)
+                    if not 0 <= index <= 5:
+                        raise CompileError("args index out of range", index_token.line)
+                    self._expect("]")
+                    field = f"args{index}"
+                elif field not in ("id", "ret"):
+                    raise CompileError(f"unknown ctx field {field!r}", field_token.line)
+                expr = CtxField(field=field)
+            else:
+                return expr
+
+    def _parse_call_args(self) -> Tuple[Expr, ...]:
+        self._expect("(")
+        args: List[Expr] = []
+        if not self._check(")"):
+            args.append(self._parse_expression())
+            while self._accept(","):
+                args.append(self._parse_expression())
+        self._expect(")")
+        return tuple(args)
+
+    def _parse_primary(self):
+        token = self._advance()
+        if token.kind == "number":
+            return Num(parse_int(token.text, token.line))
+        if token.kind == "ident":
+            if self._check("("):
+                args = self._parse_call_args()
+                return Call(func=token.text, args=args)
+            return Name(ident=token.text)
+        if token.text == "(":
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        raise CompileError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse BPF-C source into a translation unit."""
+    return _Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,35 @@
+"""eBPF substrate exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["BpfError", "VerifierError", "VmFault", "MapError", "AssemblerError"]
+
+
+class BpfError(Exception):
+    """Base class for all eBPF substrate errors."""
+
+
+class AssemblerError(BpfError):
+    """Malformed assembly (bad register, unresolved label, ...)."""
+
+
+class VerifierError(BpfError):
+    """Program rejected at load time (the kernel's ``EACCES`` + log)."""
+
+    def __init__(self, message: str, insn_index: int | None = None) -> None:
+        self.insn_index = insn_index
+        if insn_index is not None:
+            message = f"insn {insn_index}: {message}"
+        super().__init__(message)
+
+
+class VmFault(BpfError):
+    """Runtime fault in the interpreter.
+
+    A verified program should never fault; faults indicate either a verifier
+    gap or direct (unverified) VM use in tests.
+    """
+
+
+class MapError(BpfError):
+    """Bad map operation (key size, full map, ...)."""

@@ -1,0 +1,126 @@
+"""eBPF opcode constants (matching ``linux/bpf.h`` encodings).
+
+An eBPF instruction is 8 bytes::
+
+    opcode:8  dst_reg:4  src_reg:4  off:16(signed)  imm:32(signed)
+
+The opcode's low 3 bits select the instruction *class*; the remaining bits
+encode the operation and operand source.  ``BPF_LD | BPF_IMM | BPF_DW``
+(0x18) is the only 16-byte (two-slot) instruction, used to load 64-bit
+immediates and map references.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = [
+    "InsnClass",
+    "AluOp",
+    "JmpOp",
+    "MemSize",
+    "MemMode",
+    "Src",
+    "Reg",
+    "BPF_PSEUDO_MAP_FD",
+]
+
+
+class InsnClass(IntEnum):
+    """Instruction class (low 3 opcode bits)."""
+
+    LD = 0x00
+    LDX = 0x01
+    ST = 0x02
+    STX = 0x03
+    ALU = 0x04  # 32-bit ALU
+    JMP = 0x05
+    JMP32 = 0x06
+    ALU64 = 0x07
+
+
+class Src(IntEnum):
+    """Operand source bit (0x08): immediate (K) or register (X)."""
+
+    K = 0x00
+    X = 0x08
+
+
+class AluOp(IntEnum):
+    """ALU operation (opcode bits 4-7)."""
+
+    ADD = 0x00
+    SUB = 0x10
+    MUL = 0x20
+    DIV = 0x30
+    OR = 0x40
+    AND = 0x50
+    LSH = 0x60
+    RSH = 0x70
+    NEG = 0x80
+    MOD = 0x90
+    XOR = 0xA0
+    MOV = 0xB0
+    ARSH = 0xC0
+
+
+class JmpOp(IntEnum):
+    """Jump operation (opcode bits 4-7)."""
+
+    JA = 0x00
+    JEQ = 0x10
+    JGT = 0x20
+    JGE = 0x30
+    JSET = 0x40
+    JNE = 0x50
+    JSGT = 0x60
+    JSGE = 0x70
+    CALL = 0x80
+    EXIT = 0x90
+    JLT = 0xA0
+    JLE = 0xB0
+    JSLT = 0xC0
+    JSLE = 0xD0
+
+
+class MemSize(IntEnum):
+    """Load/store width (opcode bits 3-4 within LD/ST classes)."""
+
+    W = 0x00  # 4 bytes
+    H = 0x08  # 2 bytes
+    B = 0x10  # 1 byte
+    DW = 0x18  # 8 bytes
+
+    @property
+    def nbytes(self) -> int:
+        return {MemSize.W: 4, MemSize.H: 2, MemSize.B: 1, MemSize.DW: 8}[self]
+
+
+class MemMode(IntEnum):
+    """Addressing mode (opcode bits 5-7 within LD/ST classes)."""
+
+    IMM = 0x00
+    ABS = 0x20
+    IND = 0x40
+    MEM = 0x60
+
+
+class Reg(IntEnum):
+    """Register names.  R0 return value, R1-R5 args (caller-saved), R6-R9
+    callee-saved, R10 read-only frame pointer."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+
+
+#: ``src_reg`` value marking an LD_IMM64 as a map-fd load.
+BPF_PSEUDO_MAP_FD = 1

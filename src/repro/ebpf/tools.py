@@ -1,0 +1,217 @@
+"""A miniature bcc-tools collection built on the eBPF substrate.
+
+Small, reusable tracing tools in the spirit of the BCC suite the paper
+builds on (§III-A cites BCC/bpftrace as the practical front-ends):
+
+* :class:`Syscount` — per-syscall-number invocation counts for a process
+  (bcc's ``syscount``);
+* :class:`SyscallLatencyHist` — log2 histogram of one syscall's duration
+  (bcc's ``funclatency``), with the log2 computed *inside eBPF* by an
+  unrolled, loop-free binary search — loops are rejected by the verifier.
+
+Both are genuine eBPF programs: assembled, verified and interpreted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..kernel.kernel import Kernel
+from ..kernel.syscalls import SYSCALL_NAMES
+from .asm import Asm
+from .bcc import BPF
+from .context import ProgType
+from .helpers import Helper
+from .maps import ArrayMap, HashMap
+from .opcodes import MemSize, Reg
+from .program import Program
+
+__all__ = ["Syscount", "SyscallLatencyHist", "render_histogram"]
+
+
+class Syscount:
+    """Counts syscall invocations per syscall number for one process."""
+
+    def __init__(self, kernel: Kernel, tgid: int) -> None:
+        self.kernel = kernel
+        self.tgid = tgid
+        self.counts = HashMap(key_size=8, value_size=8, max_entries=512,
+                              name="syscount")
+        self._bpf = BPF(kernel, maps={"syscount": self.counts},
+                        programs=[self._program()])
+        self._attached = False
+
+    def _program(self) -> Program:
+        asm = Asm()
+        asm.mov_reg(Reg.R9, Reg.R1)
+        asm.call(Helper.GET_CURRENT_PID_TGID)
+        asm.rsh_imm(Reg.R0, 32)
+        asm.jne_imm(Reg.R0, self.tgid, "out")
+        # key = args->id on the stack
+        asm.ldx(MemSize.DW, Reg.R8, Reg.R9, 8)
+        asm.stx(MemSize.DW, Reg.R10, -8, Reg.R8)
+        asm.ld_map_fd(Reg.R1, "syscount")
+        asm.mov_reg(Reg.R2, Reg.R10)
+        asm.add_imm(Reg.R2, -8)
+        asm.call(Helper.MAP_LOOKUP_ELEM)
+        asm.jne_imm(Reg.R0, 0, "found")
+        # First sighting: seed the entry with 1 via update.
+        asm.st_imm(MemSize.DW, Reg.R10, -16, 1)
+        asm.ld_map_fd(Reg.R1, "syscount")
+        asm.mov_reg(Reg.R2, Reg.R10)
+        asm.add_imm(Reg.R2, -8)
+        asm.mov_reg(Reg.R3, Reg.R10)
+        asm.add_imm(Reg.R3, -16)
+        asm.mov_imm(Reg.R4, 0)
+        asm.call(Helper.MAP_UPDATE_ELEM)
+        asm.ja("out")
+        asm.label("found")
+        asm.ldx(MemSize.DW, Reg.R1, Reg.R0, 0)
+        asm.add_imm(Reg.R1, 1)
+        asm.stx(MemSize.DW, Reg.R0, 0, Reg.R1)
+        asm.label("out")
+        asm.mov_imm(Reg.R0, 0)
+        asm.exit_()
+        return Program("syscount", asm.build(), ProgType.tracepoint_sys_enter())
+
+    def attach(self) -> "Syscount":
+        self._bpf.attach_tracepoint("raw_syscalls:sys_enter", "syscount")
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        self._bpf.detach_all()
+        self._attached = False
+
+    def report(self) -> Dict[str, int]:
+        """Counts keyed by syscall name, descending."""
+        rows = sorted(self.counts.items_int(), key=lambda kv: -kv[1])
+        return {SYSCALL_NAMES.get(nr, f"sys_{nr}"): count for nr, count in rows}
+
+
+#: Number of log2 buckets (durations up to ~584 years; plenty).
+HIST_BUCKETS = 64
+
+
+class SyscallLatencyHist:
+    """log2 duration histogram of one syscall for one process.
+
+    The exit-side program computes ``ilog2(duration)`` with an unrolled
+    binary search (shift-and-test over 32/16/8/4/2/1), because the verifier
+    rejects loops — a faithful rendition of how real BPF histograms work
+    (cf. ``bpf_log2l`` in bcc, a macro expanding to exactly this).
+    """
+
+    def __init__(self, kernel: Kernel, tgid: int, syscall_nr: int) -> None:
+        self.kernel = kernel
+        self.tgid = tgid
+        self.syscall_nr = syscall_nr
+        self.start = HashMap(key_size=8, value_size=8, max_entries=4096,
+                             name="histstart")
+        self.hist = ArrayMap(value_size=8, max_entries=HIST_BUCKETS, name="hist")
+        enter, exit_ = self._programs()
+        self._bpf = BPF(
+            kernel,
+            maps={"histstart": self.start, "hist": self.hist},
+            programs=[enter, exit_],
+        )
+
+    def _prologue(self, asm: Asm) -> None:
+        asm.mov_reg(Reg.R9, Reg.R1)
+        asm.call(Helper.GET_CURRENT_PID_TGID)
+        asm.mov_reg(Reg.R6, Reg.R0)
+        asm.rsh_imm(Reg.R0, 32)
+        asm.jne_imm(Reg.R0, self.tgid, "out")
+        asm.ldx(MemSize.DW, Reg.R8, Reg.R9, 8)
+        asm.jne_imm(Reg.R8, self.syscall_nr, "out")
+
+    def _programs(self):
+        enter = Asm()
+        self._prologue(enter)
+        enter.stx(MemSize.DW, Reg.R10, -8, Reg.R6)  # key = pid_tgid
+        enter.call(Helper.KTIME_GET_NS)
+        enter.stx(MemSize.DW, Reg.R10, -16, Reg.R0)
+        enter.ld_map_fd(Reg.R1, "histstart")
+        enter.mov_reg(Reg.R2, Reg.R10)
+        enter.add_imm(Reg.R2, -8)
+        enter.mov_reg(Reg.R3, Reg.R10)
+        enter.add_imm(Reg.R3, -16)
+        enter.mov_imm(Reg.R4, 0)
+        enter.call(Helper.MAP_UPDATE_ELEM)
+        enter.label("out")
+        enter.mov_imm(Reg.R0, 0)
+        enter.exit_()
+
+        exit_ = Asm()
+        self._prologue(exit_)
+        exit_.stx(MemSize.DW, Reg.R10, -8, Reg.R6)
+        exit_.ld_map_fd(Reg.R1, "histstart")
+        exit_.mov_reg(Reg.R2, Reg.R10)
+        exit_.add_imm(Reg.R2, -8)
+        exit_.call(Helper.MAP_LOOKUP_ELEM)
+        exit_.jeq_imm(Reg.R0, 0, "out")
+        exit_.ldx(MemSize.DW, Reg.R6, Reg.R0, 0)  # start_ns
+        exit_.call(Helper.KTIME_GET_NS)
+        exit_.sub_reg(Reg.R0, Reg.R6)
+        exit_.mov_reg(Reg.R7, Reg.R0)  # duration
+        # -- bucket = ilog2(duration), unrolled -----------------------------
+        exit_.mov_imm(Reg.R6, 0)  # bucket
+        for shift in (32, 16, 8, 4, 2, 1):
+            label = f"lt_{shift}"
+            if shift >= 32:
+                exit_.ld_imm64(Reg.R2, 1 << shift)
+                exit_.jlt_reg(Reg.R7, Reg.R2, label)
+            else:
+                exit_.jlt_imm(Reg.R7, 1 << shift, label)
+            exit_.rsh_imm(Reg.R7, shift)
+            exit_.add_imm(Reg.R6, shift)
+            exit_.label(label)
+        # -- hist[bucket]++ ---------------------------------------------------
+        exit_.stx(MemSize.W, Reg.R10, -4, Reg.R6)
+        exit_.ld_map_fd(Reg.R1, "hist")
+        exit_.mov_reg(Reg.R2, Reg.R10)
+        exit_.add_imm(Reg.R2, -4)
+        exit_.call(Helper.MAP_LOOKUP_ELEM)
+        exit_.jeq_imm(Reg.R0, 0, "out")
+        exit_.ldx(MemSize.DW, Reg.R1, Reg.R0, 0)
+        exit_.add_imm(Reg.R1, 1)
+        exit_.stx(MemSize.DW, Reg.R0, 0, Reg.R1)
+        exit_.label("out")
+        exit_.mov_imm(Reg.R0, 0)
+        exit_.exit_()
+
+        return (
+            Program("hist_enter", enter.build(), ProgType.tracepoint_sys_enter()),
+            Program("hist_exit", exit_.build(), ProgType.tracepoint_sys_exit()),
+        )
+
+    def attach(self) -> "SyscallLatencyHist":
+        self._bpf.attach_tracepoint("raw_syscalls:sys_enter", "hist_enter")
+        self._bpf.attach_tracepoint("raw_syscalls:sys_exit", "hist_exit")
+        return self
+
+    def detach(self) -> None:
+        self._bpf.detach_all()
+
+    def buckets(self) -> List[int]:
+        """Counts per log2 bucket (index b covers [2^b, 2^(b+1)) ns)."""
+        return [self.hist.lookup_int(index) or 0 for index in range(HIST_BUCKETS)]
+
+    def total(self) -> int:
+        return sum(self.buckets())
+
+
+def render_histogram(buckets: Sequence[int], unit: str = "ns", width: int = 40) -> str:
+    """bcc-style asterisk histogram."""
+    peak = max(buckets) if buckets else 0
+    if peak == 0:
+        return "(empty histogram)"
+    lines = [f"{'range (' + unit + ')':>24} {'count':>8}  distribution"]
+    first = next(i for i, c in enumerate(buckets) if c)
+    last = max(i for i, c in enumerate(buckets) if c)
+    for index in range(first, last + 1):
+        count = buckets[index]
+        low, high = 1 << index, (1 << (index + 1)) - 1
+        bar = "*" * int(round(width * count / peak))
+        lines.append(f"{f'{low} -> {high}':>24} {count:>8}  |{bar:<{width}}|")
+    return "\n".join(lines)

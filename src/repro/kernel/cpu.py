@@ -1,0 +1,115 @@
+"""CPU scheduling: FIFO run queue over N cores with round-robin quanta.
+
+Application *compute* (request service time) flows through
+:meth:`CPU.execute`: the task claims a core, runs for at most one scheduler
+quantum, then goes to the back of the run queue if work remains.  This
+yields the two behaviours the observability study depends on:
+
+* below capacity, core claims are immediate and service times are faithful;
+* above capacity, the run queue grows without bound, wait time inflates
+  every request, and (via :mod:`repro.kernel.interference`) contention
+  stalls appear — the saturation regime of Figs. 3 and 4.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..sim.engine import Environment
+from ..sim.resources import Resource
+from .interference import InterferenceModel, NullInterference
+from .machine import MachineSpec
+
+__all__ = ["CPU"]
+
+
+class CPU:
+    """The machine's cores plus scheduling policy and accounting."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MachineSpec,
+        interference: Union[InterferenceModel, NullInterference, None] = None,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self._cores = Resource(env, capacity=spec.cores)
+        self.interference = interference if interference is not None else NullInterference()
+        #: Total core-ns spent executing task work (excludes switch cost).
+        self.busy_ns = 0
+        #: Total ns of injected contention stalls.
+        self.stall_ns = 0
+        #: DVFS speed factor: 1.0 = nominal frequency.  Work demands are
+        #: expressed in nominal-ns; wall time per slice is demand / speed.
+        self._speed = 1.0
+        self._boot_time = env.now
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    @property
+    def run_queue_len(self) -> int:
+        """Tasks runnable but waiting for a core."""
+        return self._cores.queue_len
+
+    @property
+    def running(self) -> int:
+        """Tasks currently holding a core."""
+        return self._cores.count
+
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    def set_speed(self, factor: float) -> None:
+        """Set the DVFS speed factor (applies from the next quantum)."""
+        if factor <= 0:
+            raise ValueError(f"speed factor must be positive, got {factor}")
+        self._speed = factor
+
+    def utilization(self) -> float:
+        """Fraction of total core time spent busy since boot."""
+        elapsed = self.env.now - self._boot_time
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / (elapsed * self.spec.cores))
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, duration_ns: int):
+        """Consume ``duration_ns`` of CPU, competing with other tasks.
+
+        Generator — drive with ``yield from`` inside a sim process.  The
+        elapsed wall time is at least ``duration_ns`` and grows with queueing
+        delay, context-switch costs and contention stalls.
+        """
+        if duration_ns < 0:
+            raise ValueError(f"negative duration {duration_ns}")
+        remaining = int(duration_ns)
+        quantum = self.spec.quantum_ns
+        while remaining > 0:
+            claim = self._cores.request()
+            yield claim
+            stall = self.interference.stall_ns(
+                self.run_queue_len, self.spec.cores, self.env.now
+            )
+            # Uncontended tasks run to completion in one hold (nobody to
+            # preempt for); under contention the round-robin quantum applies.
+            slice_ns = remaining if self._cores.queue_len == 0 else min(quantum, remaining)
+            wall_ns = max(1, int(round(slice_ns / self._speed)))
+            hold = self.spec.ctx_switch_ns + stall + wall_ns
+            try:
+                yield self.env.timeout(hold)
+            finally:
+                self._cores.release(claim)
+            self.busy_ns += wall_ns
+            self.stall_ns += stall
+            remaining -= slice_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"<CPU {self.spec.name} {self.running}/{self.cores} running, "
+            f"{self.run_queue_len} queued>"
+        )

@@ -1,0 +1,145 @@
+"""DVFS driver: P-states, frequency scaling and energy accounting.
+
+The paper's §VI argues that in-kernel observability finally lets kernel
+power-management drivers (DVFS governors, sleep-state managers à la Rubik /
+µDPM / DynSleep) act on *request-level* feedback without userspace
+reporting.  This module provides the substrate for that use case:
+
+* :class:`PState` — an operating point (frequency ratio, core power);
+* :class:`DvfsDriver` — sets the CPU's speed factor and integrates energy
+  over time with a simple static + dynamic (∝ f³ when busy) power model.
+
+The closed loop itself lives in :mod:`repro.core.governor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sim.engine import Environment
+from .cpu import CPU
+
+__all__ = ["PState", "DvfsDriver", "DEFAULT_PSTATES"]
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point."""
+
+    #: Frequency as a fraction of nominal (1.0 = max).
+    freq_ratio: float
+    #: Per-core dynamic power at this frequency when busy (watts).
+    busy_power_w: float
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.freq_ratio <= 1.5:
+            raise ValueError(f"freq_ratio out of range: {self.freq_ratio}")
+        if self.busy_power_w < 0:
+            raise ValueError("power must be non-negative")
+
+
+def _cubic_power(freq_ratio: float, max_power_w: float = 8.0) -> float:
+    """Dynamic power ≈ C·V²·f with V ∝ f → ∝ f³."""
+    return max_power_w * freq_ratio**3
+
+
+#: A ladder resembling the paper's 1.5-3.0 GHz EPYC range (Table I).
+DEFAULT_PSTATES: List[PState] = [
+    PState(freq_ratio=ratio, busy_power_w=_cubic_power(ratio))
+    for ratio in (0.5, 0.625, 0.75, 0.875, 1.0)
+]
+
+
+class DvfsDriver:
+    """Applies P-states to a CPU and integrates consumed energy.
+
+    Energy model per core: ``static_power_w`` always, plus the P-state's
+    ``busy_power_w`` weighted by the interval's busy fraction.  Energy is
+    integrated lazily on every state change / explicit sample.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cpu: CPU,
+        pstates: Sequence[PState] = tuple(DEFAULT_PSTATES),
+        static_power_w: float = 2.0,
+    ) -> None:
+        if not pstates:
+            raise ValueError("need at least one P-state")
+        self.env = env
+        self.cpu = cpu
+        self.pstates = sorted(pstates, key=lambda p: p.freq_ratio)
+        self.static_power_w = static_power_w
+        self._index = len(self.pstates) - 1  # boot at max frequency
+        cpu.set_speed(self.current.freq_ratio)
+        self._energy_j = 0.0
+        self._last_sample_ns = env.now
+        self._last_busy_ns = cpu.busy_ns
+        #: Diagnostics: transitions performed.
+        self.transitions = 0
+
+    # -- state ------------------------------------------------------------
+    @property
+    def current(self) -> PState:
+        return self.pstates[self._index]
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def at_max(self) -> bool:
+        return self._index == len(self.pstates) - 1
+
+    @property
+    def at_min(self) -> bool:
+        return self._index == 0
+
+    # -- control ---------------------------------------------------------
+    def set_index(self, index: int) -> None:
+        if not 0 <= index < len(self.pstates):
+            raise ValueError(f"P-state index out of range: {index}")
+        if index == self._index:
+            return
+        self._integrate()
+        self._index = index
+        self.cpu.set_speed(self.current.freq_ratio)
+        self.transitions += 1
+
+    def step_up(self) -> None:
+        """One P-state faster (no-op at max)."""
+        if not self.at_max:
+            self.set_index(self._index + 1)
+
+    def step_down(self) -> None:
+        """One P-state slower (no-op at min)."""
+        if not self.at_min:
+            self.set_index(self._index - 1)
+
+    # -- energy ------------------------------------------------------------
+    def _integrate(self) -> None:
+        now = self.env.now
+        interval = now - self._last_sample_ns
+        if interval <= 0:
+            return
+        busy_delta = self.cpu.busy_ns - self._last_busy_ns
+        busy_fraction = min(1.0, busy_delta / (interval * self.cpu.cores))
+        power = self.cpu.cores * (
+            self.static_power_w + self.current.busy_power_w * busy_fraction
+        )
+        self._energy_j += power * (interval / 1e9)
+        self._last_sample_ns = now
+        self._last_busy_ns = self.cpu.busy_ns
+
+    def energy_joules(self) -> float:
+        """Total energy consumed up to now."""
+        self._integrate()
+        return self._energy_j
+
+    def __repr__(self) -> str:
+        return (
+            f"<DvfsDriver f={self.current.freq_ratio:.3f} "
+            f"E={self._energy_j:.1f}J transitions={self.transitions}>"
+        )

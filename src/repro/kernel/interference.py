@@ -1,0 +1,82 @@
+"""Contention substrate: run-queue-keyed global convoy windows.
+
+Real saturated servers exhibit irregular multi-millisecond *global* pauses
+— lock convoys, stop-the-world GC (specjbb!), allocator storms, writeback
+stalls — and the paper leans on exactly these ("saturation leads to
+contention", §IV-C-1) for its variance-based saturation signal.  A
+discrete-event scheduler with independent per-request service demands does
+not develop such pauses by itself, so we introduce the minimal mechanism
+with the right signature:
+
+* when run-queue occupancy (waiting tasks per core) is high, a **convoy
+  window** may open; every core acquisition during the window waits for it
+  to close, pausing the whole service pipeline;
+* window durations are exponential; a duty-cycle cap bounds the fraction of
+  wall time spent in convoys, so mean throughput degrades gently while the
+  *variance* of merged inter-send deltas explodes — rare-large gaps, the
+  Fig. 3 signature;
+* below :attr:`~repro.kernel.machine.InterferenceSpec.min_occupancy`
+  nothing ever happens, so an unsaturated machine is convoy-free.
+"""
+
+from __future__ import annotations
+
+from ..sim.rng import Stream
+from .machine import InterferenceSpec
+
+__all__ = ["InterferenceModel", "NullInterference"]
+
+
+class NullInterference:
+    """No contention (unit tests and idealized experiments)."""
+
+    def stall_ns(self, waiting: int, cores: int, now_ns: int) -> int:
+        return 0
+
+
+class InterferenceModel:
+    """Stochastic convoy-window generator keyed on run-queue occupancy."""
+
+    def __init__(self, spec: InterferenceSpec, stream: Stream) -> None:
+        self.spec = spec
+        self._stream = stream
+        self._window_end = -1
+        self._cooldown_until = 0
+        #: Diagnostics: windows opened / acquisitions delayed / ns stalled.
+        self.window_count = 0
+        self.stall_count = 0
+        self.stall_total_ns = 0
+
+    def stall_ns(self, waiting: int, cores: int, now_ns: int) -> int:
+        """Stall (ns) imposed on a task acquiring a core at ``now_ns``."""
+        if now_ns < self._window_end:
+            # Join the convoy in progress: wait out the window.
+            stall = self._window_end - now_ns
+            self.stall_count += 1
+            self.stall_total_ns += stall
+            return stall
+
+        spec = self.spec
+        occupancy = waiting / cores
+        if occupancy <= spec.min_occupancy or now_ns < self._cooldown_until:
+            return 0
+        occupancy = min(occupancy, spec.max_occupancy)
+        probability = min(spec.max_prob, spec.prob_per_occupancy * occupancy)
+        if not self._stream.bernoulli(probability):
+            return 0
+
+        duration = self._stream.exponential_ns(max(1, int(spec.stall_mean_ns * occupancy)))
+        self._window_end = now_ns + duration
+        self._cooldown_until = self._window_end + int(
+            duration * (1.0 / spec.duty_cycle - 1.0)
+        )
+        self.window_count += 1
+        self.stall_count += 1
+        self.stall_total_ns += duration
+        return duration
+
+    def __repr__(self) -> str:
+        return (
+            f"<InterferenceModel windows={self.window_count} "
+            f"stalled={self.stall_total_ns}ns>"
+        )

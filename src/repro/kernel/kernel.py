@@ -1,0 +1,104 @@
+"""The kernel façade: boot a machine, create processes, wire connections."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from ..net.netem import NetemConfig
+from ..sim.engine import Environment
+from ..sim.rng import SeedSequence
+from .cpu import CPU
+from .interference import InterferenceModel, NullInterference
+from .machine import MachineSpec
+from .sockets import ListenSocket, SocketEndpoint, connect_pair
+from .threads import KernelTask, KProcess
+from .tracepoints import TracepointBus
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """A booted machine: cores + tracepoints + processes + sockets.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (integer-ns clock).
+    spec:
+        Machine profile (cores, quantum, overheads, interference spec).
+    seeds:
+        Seed sequence; the kernel derives per-purpose child streams.
+    interference:
+        ``True`` (default) builds the contention model from ``spec``;
+        ``False`` disables stalls; or pass a custom model.
+    """
+
+    _FIRST_PID = 100
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MachineSpec,
+        seeds: SeedSequence,
+        interference=True,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.seeds = seeds
+        self.tracepoints = TracepointBus()
+        if interference is True:
+            model = InterferenceModel(spec.interference, seeds.stream("kernel:interference"))
+        elif interference is False:
+            model = NullInterference()
+        else:
+            model = interference
+        self.cpu = CPU(env, spec, model)
+        self._pids = itertools.count(self._FIRST_PID)
+        self._tids = itertools.count(self._FIRST_PID)
+        self._conn_ids = itertools.count(1)
+        self.processes: list = []
+
+    # -- time ------------------------------------------------------------
+    def ktime_ns(self) -> int:
+        """``bpf_ktime_get_ns()`` as seen by probes."""
+        return self.env.now
+
+    # -- processes ---------------------------------------------------------
+    def create_process(self, name: str) -> KProcess:
+        """Create a process; its pid doubles as the tgid of its tasks."""
+        process = KProcess(self, next(self._pids), name)
+        self.processes.append(process)
+        return process
+
+    def _new_task(self, process: KProcess, name: str) -> KernelTask:
+        return KernelTask(self, process, next(self._tids), name)
+
+    # -- sockets ---------------------------------------------------------
+    def create_listener(self, name: str = "listener") -> ListenSocket:
+        return ListenSocket(self.env, name=name)
+
+    def open_connection(
+        self,
+        listener: Optional[ListenSocket] = None,
+        client_to_server: Optional[NetemConfig] = None,
+        server_to_client: Optional[NetemConfig] = None,
+        name: Optional[str] = None,
+    ) -> Tuple[SocketEndpoint, SocketEndpoint]:
+        """Establish a connection; returns ``(client_side, server_side)``.
+
+        When ``listener`` is given, the server side also lands in its accept
+        queue so a server thread can ``sys_accept`` it.
+        """
+        conn_name = name or f"conn{next(self._conn_ids)}"
+        return connect_pair(
+            self.env,
+            self.seeds,
+            conn_name,
+            client_to_server or NetemConfig.ideal(),
+            server_to_client or NetemConfig.ideal(),
+            listener=listener,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.spec.name} processes={len(self.processes)}>"

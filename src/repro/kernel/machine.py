@@ -1,0 +1,104 @@
+"""Machine profiles: the simulated analogues of the paper's Table I.
+
+The paper runs on two servers (AMD EPYC 7302, Intel Xeon E5-2620) purely to
+show the methodology generalizes across hardware.  A profile here carries
+the parameters that shape syscall timing: core count, scheduler quantum,
+context-switch and syscall overheads, and the contention (interference)
+model coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..sim.timebase import MSEC, USEC
+
+__all__ = ["MachineSpec", "MACHINES", "AMD_EPYC_7302", "INTEL_XEON_E5_2620"]
+
+
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """Coefficients of the contention-convoy substrate (see DESIGN.md §2).
+
+    Under run-queue pressure the model opens **global convoy windows** —
+    stop-the-world-style stalls (lock convoys, GC pauses, allocator storms)
+    during which every core acquisition waits for the window to close.
+    A convoy pauses the *whole* service pipeline, which is what creates the
+    large merged-stream inter-send gaps behind the paper's variance signal
+    (§IV-C-1); per-core stalls would be absorbed by the other cores.
+
+    Windows obey a duty-cycle cap, so the throughput cost of contention is
+    bounded regardless of how often cores are acquired.
+    """
+
+    #: Probability (per eligible core acquisition, at occupancy 1.0) that a
+    #: new convoy window opens once the cooldown has passed.
+    prob_per_occupancy: float = 0.05
+    #: Upper bound on that probability.
+    max_prob: float = 0.25
+    #: Mean convoy duration at occupancy 1.0 (exponentially distributed).
+    stall_mean_ns: int = 25 * MSEC
+    #: Occupancy below which convoys never form (idle machines don't stall).
+    min_occupancy: float = 0.15
+    #: Convoy severity saturates past this occupancy (bounded badness).
+    max_occupancy: float = 2.0
+    #: Max fraction of wall time inside convoy windows (cooldown enforces
+    #: window_duration * (1/duty - 1) quiet time after each window).
+    duty_cycle: float = 0.12
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob_per_occupancy <= 1.0:
+            raise ValueError("prob_per_occupancy must be in [0, 1]")
+        if not 0.0 <= self.max_prob <= 1.0:
+            raise ValueError("max_prob must be in [0, 1]")
+        if self.stall_mean_ns < 0:
+            raise ValueError("stall_mean_ns must be non-negative")
+        if not 0.0 < self.duty_cycle < 1.0:
+            raise ValueError("duty_cycle must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A server profile the kernel boots on."""
+
+    name: str
+    #: Schedulable CPUs (hardware threads).
+    cores: int
+    #: Round-robin scheduler quantum.
+    quantum_ns: int = 1 * MSEC
+    #: Cost charged on every core acquisition (context switch / migration).
+    ctx_switch_ns: int = 2 * USEC
+    #: Fixed kernel-entry cost charged to every syscall.
+    syscall_overhead_ns: int = 600
+    #: Contention substrate coefficients.
+    interference: InterferenceSpec = field(default_factory=InterferenceSpec)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("a machine needs at least one core")
+        if self.quantum_ns <= 0:
+            raise ValueError("quantum must be positive")
+        if self.ctx_switch_ns < 0 or self.syscall_overhead_ns < 0:
+            raise ValueError("overheads must be non-negative")
+
+    def with_cores(self, cores: int) -> "MachineSpec":
+        """Profile variant with a different core count (used by workloads
+        that pin their server to a subset of the machine)."""
+        return replace(self, cores=cores)
+
+
+#: Analogue of the paper's AMD EPYC 7302 host (2 sockets x 16 cores x 2 SMT).
+AMD_EPYC_7302 = MachineSpec(name="amd-epyc-7302", cores=64)
+
+#: Analogue of the paper's Intel Xeon E5-2620 host (2 sockets x 8 cores).
+INTEL_XEON_E5_2620 = MachineSpec(
+    name="intel-xeon-e5-2620",
+    cores=16,
+    ctx_switch_ns=3 * USEC,
+    syscall_overhead_ns=800,
+)
+
+MACHINES: Dict[str, MachineSpec] = {
+    spec.name: spec for spec in (AMD_EPYC_7302, INTEL_XEON_E5_2620)
+}

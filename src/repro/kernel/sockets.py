@@ -1,0 +1,133 @@
+"""Stream sockets over netem channels.
+
+A connection is a pair of :class:`SocketEndpoint` objects joined by two
+:class:`~repro.net.channel.Channel` instances (one per direction).  Each
+endpoint buffers delivered messages in an unbounded receive queue; delivery
+notifies readiness watchers so blocked ``epoll_wait``/``recv`` calls wake.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..net.channel import Channel
+from ..net.netem import NetemConfig
+from ..net.packet import Message
+from ..sim.engine import Environment
+from ..sim.rng import SeedSequence
+from .objects import FileDescriptor
+
+__all__ = ["SocketEndpoint", "ListenSocket", "connect_pair"]
+
+
+class SocketEndpoint(FileDescriptor):
+    """One end of an established stream connection."""
+
+    def __init__(self, env: Environment, name: str = "sock") -> None:
+        super().__init__(name=name)
+        self.env = env
+        self.rx: Deque[Message] = deque()
+        self._tx: Optional[Channel] = None
+        self.peer: Optional["SocketEndpoint"] = None
+        #: Diagnostics.
+        self.rx_messages = 0
+        self.tx_messages = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach_tx(self, channel: Channel) -> None:
+        self._tx = channel
+
+    # -- data path ---------------------------------------------------------
+    @property
+    def readable(self) -> bool:
+        return bool(self.rx)
+
+    def deliver(self, message: Message) -> None:
+        """Called by the inbound channel when a message arrives."""
+        if self.closed:
+            return
+        self.rx.append(message)
+        self.rx_messages += 1
+        self._notify()
+
+    def send(self, message: Message) -> int:
+        """Hand a message to the outbound channel; returns bytes sent."""
+        if self.closed:
+            raise OSError(f"send on closed socket {self.name}")
+        if self._tx is None:
+            raise RuntimeError(f"socket {self.name} is not connected")
+        self._tx.send(message)
+        self.tx_messages += 1
+        return message.size
+
+    def pop(self) -> Message:
+        """Dequeue the oldest received message (caller checked readable)."""
+        return self.rx.popleft()
+
+    def wait_readable(self):
+        """Event that fires when the socket has (or receives) data."""
+        event = self.env.event()
+        if self.rx:
+            event.succeed(self)
+            return event
+
+        def waker(fd, _event=event):
+            if not _event.triggered:
+                _event.succeed(fd)
+            self.remove_watcher(waker)
+
+        self.add_watcher(waker)
+        return event
+
+
+class ListenSocket(FileDescriptor):
+    """A listening socket: readiness means a pending connection to accept."""
+
+    def __init__(self, env: Environment, name: str = "listen") -> None:
+        super().__init__(name=name)
+        self.env = env
+        self.pending: Deque[SocketEndpoint] = deque()
+        self.accepted = 0
+
+    @property
+    def readable(self) -> bool:
+        return bool(self.pending)
+
+    def enqueue(self, server_side: SocketEndpoint) -> None:
+        self.pending.append(server_side)
+        self._notify()
+
+    def pop(self) -> SocketEndpoint:
+        self.accepted += 1
+        return self.pending.popleft()
+
+
+def connect_pair(
+    env: Environment,
+    seeds: SeedSequence,
+    name: str,
+    client_to_server: NetemConfig,
+    server_to_client: NetemConfig,
+    listener: Optional[ListenSocket] = None,
+) -> Tuple[SocketEndpoint, SocketEndpoint]:
+    """Create a connected (client, server) socket pair.
+
+    Each direction gets its own netem path and RNG stream.  If ``listener``
+    is given, the server side lands in its accept queue instead of being
+    returned ready-made (the accepting thread still sees the same object).
+    """
+    client = SocketEndpoint(env, name=f"{name}:client")
+    server = SocketEndpoint(env, name=f"{name}:server")
+    client.peer, server.peer = server, client
+
+    c2s = Channel(env, client_to_server, seeds.stream(f"{name}:c2s"), name=f"{name}:c2s")
+    s2c = Channel(env, server_to_client, seeds.stream(f"{name}:s2c"), name=f"{name}:s2c")
+    c2s.connect(server.deliver)
+    s2c.connect(client.deliver)
+    client.attach_tx(c2s)
+    server.attach_tx(s2c)
+
+    if listener is not None:
+        listener.enqueue(server)
+    return client, server

@@ -1,0 +1,178 @@
+"""The syscall table: real x86-64 numbers and the paper's syscall families.
+
+The observability methodology filters ``raw_syscalls`` tracepoints by
+syscall id (see Listing 1 in the paper, which filters ``epoll_wait`` by its
+x86-64 number 232).  We therefore carry genuine x86-64 syscall numbers so
+collector programs written against this substrate would be byte-compatible
+with a real kernel.
+
+The paper groups syscalls into three *request-oriented families* (§III):
+
+* **recv family** — ``read``, ``recvfrom``, ``recvmsg`` (+variants): request
+  reception;
+* **send family** — ``write``, ``sendto``, ``sendmsg`` (+variants): response
+  transmission;
+* **poll family** — ``epoll_wait``, ``select`` (+variants): waiting for new
+  network events; their *duration* measures idleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet
+
+__all__ = [
+    "Sys",
+    "SyscallFamily",
+    "SyscallSpec",
+    "SYSCALL_NAMES",
+    "nr_of",
+    "family_of",
+    "RECV_FAMILY",
+    "SEND_FAMILY",
+    "POLL_FAMILY",
+    "SETUP_SYSCALLS",
+]
+
+
+class Sys:
+    """x86-64 syscall numbers used by the simulated kernel."""
+
+    READ = 0
+    WRITE = 1
+    CLOSE = 3
+    POLL = 7
+    SELECT = 23
+    NANOSLEEP = 35
+    SOCKET = 41
+    CONNECT = 42
+    ACCEPT = 43
+    SENDTO = 44
+    RECVFROM = 45
+    SENDMSG = 46
+    RECVMSG = 47
+    SHUTDOWN = 48
+    BIND = 49
+    LISTEN = 50
+    EXIT = 60
+    FUTEX = 202
+    EPOLL_WAIT = 232
+    EPOLL_CTL = 233
+    OPENAT = 257
+    ACCEPT4 = 288
+    EPOLL_CREATE1 = 291
+
+
+#: Number → canonical name for every syscall the simulator can emit.
+SYSCALL_NAMES: Dict[int, str] = {
+    Sys.READ: "read",
+    Sys.WRITE: "write",
+    Sys.CLOSE: "close",
+    Sys.POLL: "poll",
+    Sys.SELECT: "select",
+    Sys.NANOSLEEP: "nanosleep",
+    Sys.SOCKET: "socket",
+    Sys.CONNECT: "connect",
+    Sys.ACCEPT: "accept",
+    Sys.SENDTO: "sendto",
+    Sys.RECVFROM: "recvfrom",
+    Sys.SENDMSG: "sendmsg",
+    Sys.RECVMSG: "recvmsg",
+    Sys.SHUTDOWN: "shutdown",
+    Sys.BIND: "bind",
+    Sys.LISTEN: "listen",
+    Sys.EXIT: "exit",
+    Sys.FUTEX: "futex",
+    Sys.EPOLL_WAIT: "epoll_wait",
+    Sys.EPOLL_CTL: "epoll_ctl",
+    Sys.OPENAT: "openat",
+    Sys.ACCEPT4: "accept4",
+    Sys.EPOLL_CREATE1: "epoll_create1",
+}
+
+_NAME_TO_NR = {name: nr for nr, name in SYSCALL_NAMES.items()}
+
+
+def nr_of(name: str) -> int:
+    """Syscall number for a canonical name."""
+    try:
+        return _NAME_TO_NR[name]
+    except KeyError:
+        raise KeyError(f"unknown syscall name {name!r}") from None
+
+
+class SyscallFamily(str, Enum):
+    """The paper's request-oriented syscall groups."""
+
+    RECV = "recv"
+    SEND = "send"
+    POLL = "poll"
+    OTHER = "other"
+
+
+RECV_FAMILY: FrozenSet[int] = frozenset({Sys.READ, Sys.RECVFROM, Sys.RECVMSG})
+SEND_FAMILY: FrozenSet[int] = frozenset({Sys.WRITE, Sys.SENDTO, Sys.SENDMSG})
+POLL_FAMILY: FrozenSet[int] = frozenset({Sys.EPOLL_WAIT, Sys.SELECT, Sys.POLL})
+
+#: Syscalls typical of an application's setup/shutdown phases (Fig. 1(b));
+#: the paper explicitly excludes these from the request-oriented subset.
+SETUP_SYSCALLS: FrozenSet[int] = frozenset(
+    {Sys.SOCKET, Sys.BIND, Sys.LISTEN, Sys.ACCEPT, Sys.ACCEPT4, Sys.CONNECT,
+     Sys.EPOLL_CREATE1, Sys.EPOLL_CTL, Sys.OPENAT, Sys.CLOSE, Sys.SHUTDOWN,
+     Sys.EXIT}
+)
+
+
+def family_of(nr: int) -> SyscallFamily:
+    """Classify a syscall number into the paper's families."""
+    if nr in RECV_FAMILY:
+        return SyscallFamily.RECV
+    if nr in SEND_FAMILY:
+        return SyscallFamily.SEND
+    if nr in POLL_FAMILY:
+        return SyscallFamily.POLL
+    return SyscallFamily.OTHER
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """How a workload maps abstract operations onto concrete syscalls.
+
+    The paper's Table of workload syscall usage (§IV-A): TailBench uses
+    ``recvfrom``/``sendto`` with legacy ``select``; Data Caching uses
+    ``read``/``sendmsg`` with ``epoll_wait``; Web Search ``read``/``write``;
+    Triton-gRPC ``recvmsg``/``sendmsg``; Triton-HTTP ``recvfrom``/``sendto``.
+    """
+
+    recv_nr: int
+    send_nr: int
+    poll_nr: int
+
+    def __post_init__(self) -> None:
+        if self.recv_nr not in RECV_FAMILY:
+            raise ValueError(f"{SYSCALL_NAMES.get(self.recv_nr)} is not a recv syscall")
+        if self.send_nr not in SEND_FAMILY:
+            raise ValueError(f"{SYSCALL_NAMES.get(self.send_nr)} is not a send syscall")
+        if self.poll_nr not in POLL_FAMILY:
+            raise ValueError(f"{SYSCALL_NAMES.get(self.poll_nr)} is not a poll syscall")
+
+    @classmethod
+    def tailbench(cls) -> "SyscallSpec":
+        return cls(Sys.RECVFROM, Sys.SENDTO, Sys.SELECT)
+
+    @classmethod
+    def data_caching(cls) -> "SyscallSpec":
+        return cls(Sys.READ, Sys.SENDMSG, Sys.EPOLL_WAIT)
+
+    @classmethod
+    def web_search(cls) -> "SyscallSpec":
+        return cls(Sys.READ, Sys.WRITE, Sys.EPOLL_WAIT)
+
+    @classmethod
+    def triton_grpc(cls) -> "SyscallSpec":
+        return cls(Sys.RECVMSG, Sys.SENDMSG, Sys.EPOLL_WAIT)
+
+    @classmethod
+    def triton_http(cls) -> "SyscallSpec":
+        return cls(Sys.RECVFROM, Sys.SENDTO, Sys.EPOLL_WAIT)

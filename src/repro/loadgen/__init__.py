@@ -1,0 +1,14 @@
+"""Open-loop load generation and client-side latency ground truth."""
+
+from .arrivals import poisson_interarrivals, uniform_interarrivals
+from .client import ClientReport, OpenLoopClient
+from .latency import LatencyTracker, percentile
+
+__all__ = [
+    "OpenLoopClient",
+    "ClientReport",
+    "LatencyTracker",
+    "percentile",
+    "poisson_interarrivals",
+    "uniform_interarrivals",
+]

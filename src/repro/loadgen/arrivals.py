@@ -1,0 +1,40 @@
+"""Arrival processes for open-loop load generation.
+
+TailBench, CloudSuite and Triton's ``perf_analyzer`` all drive servers
+open-loop: requests arrive on a schedule independent of completions (the
+configuration that actually exposes saturation).  Poisson arrivals are the
+default, as in TailBench's integrated load generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.rng import Stream
+from ..sim.timebase import SEC
+
+__all__ = ["poisson_interarrivals", "uniform_interarrivals"]
+
+
+def poisson_interarrivals(stream: Stream, rate_rps: float) -> Iterator[int]:
+    """Exponential inter-arrival gaps (ns) for a Poisson process."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_rps}")
+    mean_gap = SEC / rate_rps
+    while True:
+        yield max(1, int(round(stream.exponential(mean_gap))))
+
+
+def uniform_interarrivals(stream: Stream, rate_rps: float, spread: float = 0.0) -> Iterator[int]:
+    """Fixed-rate gaps with optional +/- fractional jitter."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_rps}")
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"spread must be in [0, 1), got {spread}")
+    mean_gap = SEC / rate_rps
+    while True:
+        if spread:
+            gap = stream.uniform(mean_gap * (1 - spread), mean_gap * (1 + spread))
+        else:
+            gap = mean_gap
+        yield max(1, int(round(gap)))

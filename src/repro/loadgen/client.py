@@ -1,0 +1,193 @@
+"""The open-loop client: tagged requests over a persistent connection pool.
+
+The client is intentionally *not* a kernel task: the paper filters tracing
+to the server's tgid, so client syscalls never enter the analysis, and
+keeping the client out of the simulated scheduler halves the event count.
+Its observable behaviour — request arrival times on the server's sockets
+and response latencies — is identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..kernel.sockets import SocketEndpoint
+from ..net.packet import Message
+from ..sim.engine import Environment
+from ..sim.rng import Stream
+from ..sim.timebase import SEC
+from .arrivals import poisson_interarrivals, uniform_interarrivals
+from .latency import LatencyTracker
+
+__all__ = ["OpenLoopClient", "ClientReport"]
+
+
+@dataclass
+class ClientReport:
+    """What the benchmark harness reports for one run (the ground truth)."""
+
+    offered: int
+    completed: int
+    duration_ns: int
+    latency: LatencyTracker
+    qos_latency_ns: Optional[int] = None
+    #: Steady-state measurement (trimmed at the last offered arrival, so the
+    #: post-arrival drain of retransmission stragglers is excluded).
+    steady_completions: int = 0
+    steady_span_ns: int = 0
+
+    @property
+    def achieved_rps(self) -> float:
+        """RPS_real: steady-state completions per second.
+
+        Falls back to the full span when the steady window is degenerate.
+        """
+        if self.steady_span_ns > 0 and self.steady_completions >= 50:
+            return self.steady_completions * SEC / self.steady_span_ns
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.completed * SEC / self.duration_ns
+
+    @property
+    def p99_ns(self) -> float:
+        return self.latency.p99_ns()
+
+    @property
+    def qos_violated(self) -> bool:
+        if self.qos_latency_ns is None:
+            return False
+        return self.latency.p99_ns() > self.qos_latency_ns
+
+
+class OpenLoopClient:
+    """Drives tagged requests at a fixed offered rate over a socket pool."""
+
+    def __init__(
+        self,
+        env: Environment,
+        sockets: Sequence[SocketEndpoint],
+        stream: Stream,
+        rate_rps: float,
+        total_requests: int,
+        request_size: int = 64,
+        qos_latency_ns: Optional[int] = None,
+        arrival: str = "poisson",
+        arrival_spread: float = 0.1,
+        phases: Optional[Sequence] = None,
+    ) -> None:
+        """``phases`` (optional): a sequence of ``(rate_rps, n_requests)``
+        tuples for ramp experiments; overrides ``rate_rps``/``total_requests``."""
+        if phases is not None:
+            phases = [(float(rate), int(count)) for rate, count in phases]
+            if not phases or any(r <= 0 or c < 1 for r, c in phases):
+                raise ValueError("phases must be non-empty (rate>0, count>=1) pairs")
+            total_requests = sum(count for _rate, count in phases)
+            rate_rps = phases[0][0]
+        self.phases = phases
+        if not sockets:
+            raise ValueError("client needs at least one connection")
+        if total_requests < 1:
+            raise ValueError("need at least one request")
+        if arrival not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival process {arrival!r}")
+        self.env = env
+        self.sockets = list(sockets)
+        self.stream = stream
+        self.rate_rps = rate_rps
+        self.total_requests = total_requests
+        self.request_size = request_size
+        self.qos_latency_ns = qos_latency_ns
+        self.arrival = arrival
+        self.arrival_spread = arrival_spread
+
+        self.latency = LatencyTracker()
+        self.offered = 0
+        self.completed = 0
+        #: Time the final request was offered (steady-state trim boundary).
+        self.last_offered_ns: Optional[int] = None
+        #: Completion timestamps (for steady-state trimming at report time).
+        self._completion_times: List[int] = []
+        self._send_times: Dict[int, int] = {}
+        self._tags = itertools.count(1)
+        self._first_completion: Optional[int] = None
+        self._last_completion: Optional[int] = None
+        #: Fires when every offered request has been answered.
+        self.done = env.event()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the generator and one reader per connection."""
+        if self._started:
+            raise RuntimeError("client already started")
+        self._started = True
+        self.env.process(self._generator(), name="client:gen")
+        for index, sock in enumerate(self.sockets):
+            self.env.process(self._reader(sock), name=f"client:rd{index}")
+
+    # -- processes ---------------------------------------------------------
+    def _gaps_for(self, rate_rps: float):
+        if self.arrival == "poisson":
+            return poisson_interarrivals(self.stream, rate_rps)
+        # Fixed-rate issue with mild jitter: how TailBench's harness and
+        # Triton's perf_analyzer actually pace requests.
+        return uniform_interarrivals(self.stream, rate_rps, self.arrival_spread)
+
+    def _generator(self):
+        phases = self.phases or [(self.rate_rps, self.total_requests)]
+        index = 0
+        for rate, count in phases:
+            gaps = self._gaps_for(rate)
+            for _ in range(count):
+                yield self.env.timeout(next(gaps))
+                tag = next(self._tags)
+                self._send_times[tag] = self.env.now
+                self.offered += 1
+                self.last_offered_ns = self.env.now
+                sock = self.sockets[index % len(self.sockets)]
+                index += 1
+                sock.send(Message(payload="request", size=self.request_size, tag=tag))
+
+    def _reader(self, sock: SocketEndpoint):
+        while True:
+            if not sock.readable:
+                yield sock.wait_readable()
+            response = sock.pop()
+            sent_at = self._send_times.pop(response.tag, None)
+            if sent_at is None:
+                continue  # duplicate or unknown tag; ignore
+            now = self.env.now
+            self.latency.record(now - sent_at)
+            self.completed += 1
+            self._completion_times.append(now)
+            if self._first_completion is None:
+                self._first_completion = now
+            self._last_completion = now
+            if self.completed >= self.total_requests and not self.done.triggered:
+                self.done.succeed(self.report())
+
+    # -- results ---------------------------------------------------------
+    def report(self) -> ClientReport:
+        if self._first_completion is None or self._last_completion is None:
+            duration = 0
+        else:
+            duration = self._last_completion - self._first_completion
+        if self._first_completion is not None and self.last_offered_ns is not None:
+            steady_span = max(0, self.last_offered_ns - self._first_completion)
+            steady_completions = sum(
+                1 for t in self._completion_times if t <= self.last_offered_ns
+            )
+        else:
+            steady_span = 0
+            steady_completions = 0
+        return ClientReport(
+            offered=self.offered,
+            completed=self.completed,
+            duration_ns=duration,
+            latency=self.latency,
+            qos_latency_ns=self.qos_latency_ns,
+            steady_completions=steady_completions,
+            steady_span_ns=steady_span,
+        )

@@ -1,0 +1,87 @@
+"""End-to-end latency accounting (the client-side ground truth).
+
+The paper's benchmarks report RPS and tail-latency percentiles from the
+client; this tracker is our equivalent.  Percentiles are exact (all samples
+kept) — experiment scales here are small enough that reservoir sampling
+would only add noise to figures whose whole point is tail behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+__all__ = ["LatencyTracker", "percentile"]
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Exact percentile with linear interpolation (numpy 'linear' method)."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        # The equality case dodges float rounding (a*(1-f)+a*f can land a
+        # few ULPs below a, breaking percentile monotonicity).
+        return float(ordered[low])
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class LatencyTracker:
+    """Collects per-request latencies (ns) and summarizes them."""
+
+    def __init__(self) -> None:
+        self._samples: List[int] = []
+        self._sorted: Optional[List[int]] = None
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self._samples.append(latency_ns)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean_ns(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def percentile_ns(self, p: float) -> float:
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return percentile(self._sorted, p)
+
+    def p50_ns(self) -> float:
+        return self.percentile_ns(50.0)
+
+    def p99_ns(self) -> float:
+        return self.percentile_ns(99.0)
+
+    def max_ns(self) -> int:
+        return max(self._samples) if self._samples else 0
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sorted = None
+
+    def samples(self) -> List[int]:
+        """A copy of the raw samples (for external analysis)."""
+        return list(self._samples)
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return "<LatencyTracker empty>"
+        return (
+            f"<LatencyTracker n={self.count} mean={self.mean_ns() / 1e6:.2f}ms "
+            f"p99={self.p99_ns() / 1e6:.2f}ms>"
+        )

@@ -1,0 +1,7 @@
+"""Network substrate: messages, netem impairments, ordered channels."""
+
+from .channel import Channel
+from .netem import TCP_MIN_RTO_NS, NetemConfig, NetemPath
+from .packet import Message
+
+__all__ = ["Message", "NetemConfig", "NetemPath", "Channel", "TCP_MIN_RTO_NS"]

@@ -1,0 +1,134 @@
+"""tc-netem model: deterministic delay, uniform jitter, iid packet loss.
+
+The paper injects network impairments with Linux ``tc-netem`` on the
+loopback interface (client and server share a machine).  This module models
+the two knobs the paper turns — fixed delay (with optional jitter) and iid
+loss probability — plus the TCP behaviour that makes loss matter:
+retransmission after a retransmission timeout (RTO) with exponential
+backoff.  Linux clamps the minimum TCP RTO at 200 ms, which is exactly why
+1 % loss devastates millisecond-scale tail latency (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.rng import Stream
+from ..sim.timebase import MSEC
+
+__all__ = ["NetemConfig", "NetemPath", "TCP_MIN_RTO_NS"]
+
+#: Linux's minimum TCP retransmission timeout (net.ipv4 default).
+TCP_MIN_RTO_NS = 200 * MSEC
+
+#: Give up after this many retransmissions (far above anything the paper's
+#: 1 % loss scenario can hit; prevents unbounded loops in pathological
+#: configurations).
+MAX_RETRANSMISSIONS = 15
+
+
+@dataclass(frozen=True)
+class NetemConfig:
+    """One direction's impairment configuration (mirrors ``tc-netem``)."""
+
+    #: Fixed one-way delay in nanoseconds.
+    delay_ns: int = 0
+    #: Uniform jitter half-width: actual delay is U[delay-jitter, delay+jitter].
+    jitter_ns: int = 0
+    #: iid probability that a transmission attempt is lost.
+    loss: float = 0.0
+    #: Base retransmission timeout (doubles per consecutive loss).
+    rto_ns: int = TCP_MIN_RTO_NS
+    #: Link rate in bits/second (tc-netem's ``rate`` option); 0 = unlimited.
+    #: Adds per-message serialization delay and queueing behind earlier
+    #: messages on the same direction.
+    rate_bps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_ns < 0 or self.jitter_ns < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if self.jitter_ns > self.delay_ns:
+            raise ValueError("jitter larger than delay would allow negative delays")
+        if self.rto_ns <= 0:
+            raise ValueError("rto must be positive")
+        if self.rate_bps < 0:
+            raise ValueError("rate must be non-negative (0 = unlimited)")
+
+    def serialization_ns(self, size_bytes: int) -> int:
+        """Time to clock ``size_bytes`` onto the link (0 when unlimited)."""
+        if self.rate_bps <= 0:
+            return 0
+        return int(round(size_bytes * 8 * 1e9 / self.rate_bps))
+
+    @classmethod
+    def ideal(cls) -> "NetemConfig":
+        """Unimpaired loopback (the paper's ``0ms delay / 0% loss`` column)."""
+        return cls()
+
+    @classmethod
+    def paper_impaired(cls) -> "NetemConfig":
+        """The paper's ``10ms delay / 1% loss`` column (Table II)."""
+        return cls(delay_ns=10 * MSEC, loss=0.01)
+
+    def label(self) -> str:
+        return f"{self.delay_ns / MSEC:g}ms delay / {self.loss * 100:g}% loss"
+
+
+class NetemPath:
+    """Computes per-message latency through one impaired direction.
+
+    The path is stateless apart from its RNG stream; FIFO (head-of-line)
+    ordering across messages of one connection is enforced by the channel,
+    not here.
+    """
+
+    def __init__(self, config: NetemConfig, stream: Stream) -> None:
+        self.config = config
+        self._stream = stream
+        #: Diagnostics: transmission attempts lost so far.
+        self.losses = 0
+        #: Diagnostics: messages carried.
+        self.carried = 0
+
+    MSS_BYTES = 1460
+
+    def transit_ns(self, recovery_ns: Optional[int] = None, size_bytes: int = 0) -> int:
+        """Latency of one message: retransmission backoffs + one-way delay.
+
+        ``recovery_ns`` is the first-retransmission latency; callers that
+        know the flow is busy pass a fast-retransmit estimate (TCP recovers
+        via dup-ACKs in ~1 RTT on dense flows), while sparse flows eat the
+        full RTO.  Defaults to the RTO.  Backoff doubling applies on
+        consecutive losses either way.
+
+        ``size_bytes``: netem drops *segments*; a message spanning several
+        MSS-sized segments is exposed to loss once per segment.
+        """
+        cfg = self.config
+        total = 0
+        recovery = cfg.rto_ns if recovery_ns is None else min(cfg.rto_ns, recovery_ns)
+        recovery = max(1, recovery)
+        segments = max(1, -(-size_bytes // self.MSS_BYTES)) if size_bytes else 1
+        loss = 1.0 - (1.0 - cfg.loss) ** segments if cfg.loss > 0.0 else 0.0
+        retries = 0
+        while loss > 0.0 and self._stream.bernoulli(loss):
+            self.losses += 1
+            retries += 1
+            total += recovery
+            recovery *= 2
+            if retries >= MAX_RETRANSMISSIONS:
+                break
+        delay = cfg.delay_ns
+        if cfg.jitter_ns:
+            delay += int(self._stream.uniform(-cfg.jitter_ns, cfg.jitter_ns))
+        self.carried += 1
+        return total + max(0, delay)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Observed fraction of transmission attempts lost (diagnostics)."""
+        attempts = self.carried + self.losses
+        return self.losses / attempts if attempts else 0.0

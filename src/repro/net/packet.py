@@ -1,0 +1,37 @@
+"""Application-level messages carried by the simulated network.
+
+The simulation transfers whole request/response messages rather than MTU
+segments: the paper's workloads exchange one logical message per direction
+per request, and the observability signals (syscall counts, inter-syscall
+deltas) depend on message events, not on segmentation.  Byte sizes are kept
+so ``read``/``send`` syscalls can return realistic counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message"]
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A logical message (request or response) in flight or queued."""
+
+    payload: Any = None
+    size: int = 64
+    #: Correlation tag used by clients to match responses to requests.
+    tag: Optional[int] = None
+    #: Monotonically increasing id (diagnostics only).
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    #: Timestamp the message entered the channel (set by the channel).
+    sent_at: Optional[int] = None
+    #: Timestamp the message was delivered to the peer socket.
+    delivered_at: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"<Message #{self.msg_id} tag={self.tag} size={self.size}>"

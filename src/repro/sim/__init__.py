@@ -1,0 +1,38 @@
+"""Discrete-event simulation core (integer-nanosecond clock).
+
+This package is self-contained and application-agnostic: the kernel, network
+and workload layers are all built on these primitives.
+"""
+
+from .engine import EmptySchedule, Environment
+from .events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
+from .process import Process
+from .resources import Request, Resource, Store
+from .rng import SeedSequence, Stream, splitmix64
+from .timebase import MSEC, NSEC, SEC, USEC, fmt_ns, ns, per_second, seconds
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Request",
+    "Store",
+    "SeedSequence",
+    "Stream",
+    "splitmix64",
+    "NSEC",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "ns",
+    "seconds",
+    "per_second",
+    "fmt_ns",
+]

@@ -1,0 +1,133 @@
+"""The discrete-event environment: clock + event queue + stepper."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Generator, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A simulation environment with an integer-nanosecond clock.
+
+    Events are processed in (time, priority, insertion-order) order, making
+    runs fully deterministic: two events scheduled for the same instant fire
+    in the order they were scheduled unless priorities differ.
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now = int(initial_time)
+        self._queue: list = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: Event, delay: int = 0, priority: int = 1) -> None:
+        """Queue ``event`` to have its callbacks run after ``delay`` ns."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._eid += 1
+        heappush(self._queue, (self._now + int(delay), priority, self._eid, event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or ``None`` if queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, un-triggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Spawn a process from a generator coroutine."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            when, _prio, _eid, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of silently dropping.
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * an ``int`` — run until the clock reaches that time (ns);
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        f"simulation ran out of events before {stop!r} triggered"
+                    ) from None
+            if stop._ok:
+                return stop._value
+            stop.defuse()
+            raise stop._value
+
+        horizon = int(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

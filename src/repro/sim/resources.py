@@ -1,0 +1,172 @@
+"""Shared resources: FIFO capacity resources and item stores.
+
+These mirror the small subset of simpy's resource zoo the kernel needs:
+
+* :class:`Resource` — ``capacity`` slots handed out first-come first-served
+  (used for CPU cores and locks);
+* :class:`Store` — an unbounded or bounded FIFO of items (used for run
+  queues, socket buffers and application dispatch queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .events import Event
+
+__all__ = ["Resource", "Request", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    The request event triggers once a slot is granted.  Call
+    :meth:`Resource.release` with the request to return the slot.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` identical slots, granted in strict FIFO order."""
+
+    def __init__(self, env, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._granted: set = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently granted."""
+        return len(self._granted)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self)
+        if len(self._granted) < self.capacity:
+            self._granted.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot, waking the oldest waiter if any."""
+        if request in self._granted:
+            self._granted.remove(request)
+        elif request in self._waiting:
+            # Cancelling a queued request is allowed (e.g. on interrupt).
+            self._waiting.remove(request)
+            return
+        else:
+            raise ValueError("request does not hold this resource")
+        while self._waiting and len(self._granted) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._granted.add(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:
+        return f"<Resource {self.count}/{self.capacity} used, {self.queue_len} waiting>"
+
+
+class Store:
+    """FIFO item store with optional capacity bound.
+
+    ``put`` on a full bounded store and ``get`` on an empty store both block
+    (return pending events).  Putters and getters are each served FIFO.
+    """
+
+    def __init__(self, env, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; event fires when the item has been accepted."""
+        event = Event(self.env)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif not self.is_full:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self.items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; blocks while empty."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putters()
+        elif self._putters:
+            putter, item = self._putters.popleft()
+            putter.succeed()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putters()
+            return True, item
+        if self._putters:
+            putter, item = self._putters.popleft()
+            putter.succeed()
+            return True, item
+        return False, None
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending getter (e.g. poll timed out)."""
+        if event in self._getters:
+            self._getters.remove(event)
+
+    def _admit_putters(self) -> None:
+        while self._putters and not self.is_full:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            putter.succeed()
+
+    def __repr__(self) -> str:
+        cap = self.capacity if self.capacity is not None else "inf"
+        return f"<Store {len(self.items)}/{cap} items>"

@@ -1,0 +1,50 @@
+"""Time units for the simulator.
+
+The whole stack keeps time in **integer nanoseconds**, matching the unit of
+``bpf_ktime_get_ns`` so that timestamps observed by simulated eBPF programs
+are bit-identical to the kernel's notion of time.  Helpers here convert
+between ns and human units and format durations for reports.
+"""
+
+from __future__ import annotations
+
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+_UNITS = ((SEC, "s"), (MSEC, "ms"), (USEC, "us"), (NSEC, "ns"))
+
+
+def ns(value: float, unit: int = NSEC) -> int:
+    """Convert ``value`` expressed in ``unit`` into integer nanoseconds.
+
+    >>> ns(1.5, MSEC)
+    1500000
+    """
+    return int(round(value * unit))
+
+
+def seconds(duration_ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return duration_ns / SEC
+
+
+def per_second(count: int, duration_ns: int) -> float:
+    """Rate of ``count`` events over ``duration_ns`` nanoseconds, in Hz."""
+    if duration_ns <= 0:
+        return 0.0
+    return count * SEC / duration_ns
+
+
+def fmt_ns(duration_ns: int) -> str:
+    """Human-readable rendering of a duration in ns.
+
+    >>> fmt_ns(1500000)
+    '1.500ms'
+    """
+    magnitude = abs(duration_ns)
+    for unit, suffix in _UNITS:
+        if magnitude >= unit:
+            return f"{duration_ns / unit:.3f}{suffix}"
+    return f"{duration_ns}ns"

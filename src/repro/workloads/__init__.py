@@ -1,0 +1,26 @@
+"""The paper's latency-sensitive workload models."""
+
+from .base import (
+    DispatchPoolApp,
+    ServerApp,
+    ThreadedPollApp,
+    TwoTierApp,
+    WorkloadConfig,
+)
+from .noise import spawn_noise_process
+from .registry import WORKLOADS, WorkloadDefinition, get_workload, workload_keys
+from .service import ServiceModel
+
+__all__ = [
+    "ServerApp",
+    "ThreadedPollApp",
+    "DispatchPoolApp",
+    "TwoTierApp",
+    "WorkloadConfig",
+    "ServiceModel",
+    "WorkloadDefinition",
+    "WORKLOADS",
+    "get_workload",
+    "workload_keys",
+    "spawn_noise_process",
+]

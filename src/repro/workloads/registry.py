@@ -1,0 +1,186 @@
+"""The paper's nine workload configurations, calibrated.
+
+§IV-A reports the RPS at which QoS failure occurred on the AMD server:
+Img-dnn=1950, Xapian=970, Silo=2100, Specjbb=3700, Moses=900,
+Data Caching=62000, Web Search=420, Triton=21 (HTTP and gRPC alike).
+
+Service means are calibrated so capacity ≈ workers / mean_service lands the
+failure point near those values; CVs and noise knobs shape the secondary
+observations (moses' and Web Search's lower R² from chunked/log writes).
+EXPERIMENTS.md records measured-vs-paper failure RPS for every workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+from ..kernel.kernel import Kernel
+from ..kernel.syscalls import SyscallSpec
+from ..net.netem import NetemConfig
+from ..sim.timebase import MSEC, USEC
+from .base import DispatchPoolApp, ServerApp, ThreadedPollApp, TwoTierApp, WorkloadConfig
+from .service import ServiceModel
+
+__all__ = ["WorkloadDefinition", "WORKLOADS", "get_workload", "workload_keys"]
+
+
+@dataclass(frozen=True)
+class WorkloadDefinition:
+    """One named workload: config + app class + paper ground truth."""
+
+    key: str
+    label: str
+    suite: str
+    app_class: Type[ServerApp]
+    config: WorkloadConfig
+
+    @property
+    def paper_fail_rps(self) -> float:
+        return self.config.paper_fail_rps
+
+    def build(
+        self,
+        kernel: Kernel,
+        client_to_server: Optional[NetemConfig] = None,
+        server_to_client: Optional[NetemConfig] = None,
+    ) -> ServerApp:
+        """Instantiate and start the app on a kernel."""
+        return self.app_class(
+            kernel, self.config, client_to_server, server_to_client
+        ).start()
+
+
+def _tailbench(key, label, fail_rps, workers, cores, mean_ns, cv,
+               qos_ms, sends=(1, 1)) -> WorkloadDefinition:
+    return WorkloadDefinition(
+        key=key,
+        label=label,
+        suite="tailbench",
+        app_class=ThreadedPollApp,
+        config=WorkloadConfig(
+            name=key,
+            syscalls=SyscallSpec.tailbench(),
+            service=ServiceModel(mean_ns=mean_ns, cv=cv),
+            workers=workers,
+            cores=cores,
+            connections=workers * 2,
+            qos_latency_ns=qos_ms * MSEC,
+            paper_fail_rps=fail_rps,
+            sends_per_request=sends,
+        ),
+    )
+
+
+_DEFINITIONS: List[WorkloadDefinition] = [
+    # -- TailBench (recvfrom/sendto + legacy select) ----------------------
+    _tailbench("img-dnn", "Img-dnn", fail_rps=1950, workers=32, cores=16,
+               mean_ns=8_000_000, cv=0.4, qos_ms=60),
+    _tailbench("xapian", "Xapian", fail_rps=970, workers=16, cores=8,
+               mean_ns=8_000_000, cv=0.9, qos_ms=110),
+    _tailbench("silo", "Silo", fail_rps=2100, workers=16, cores=8,
+               mean_ns=3_700_000, cv=0.6, qos_ms=30),
+    _tailbench("specjbb", "Specjbb", fail_rps=3700, workers=32, cores=16,
+               mean_ns=4_200_000, cv=0.7, qos_ms=35),
+    # Moses streams its translation output in variable chunks, so one
+    # request can emit several sendto calls -> noisier RPS_obsv (R^2 0.94).
+    _tailbench("moses", "Moses", fail_rps=900, workers=16, cores=8,
+               mean_ns=8_600_000, cv=1.1, qos_ms=170, sends=(1, 3)),
+    # -- CloudSuite ---------------------------------------------------------
+    WorkloadDefinition(
+        key="data-caching",
+        label="Data Caching",
+        suite="cloudsuite",
+        app_class=ThreadedPollApp,
+        config=WorkloadConfig(
+            name="data-caching",
+            syscalls=SyscallSpec.data_caching(),
+            service=ServiceModel(mean_ns=250_000, cv=0.4),
+            workers=32,
+            cores=16,
+            # Memcached loadgens (mutilate/memtier) fan out over hundreds of
+            # connections; high per-connection rates would otherwise turn
+            # every TCP loss into a huge head-of-line burst.
+            connections=256,
+            request_size=64,
+            response_size=1024,
+            qos_latency_ns=5 * MSEC,
+            paper_fail_rps=62_000,
+            interference_scale=0.1,
+        ),
+    ),
+    WorkloadDefinition(
+        key="web-search",
+        label="Web Search",
+        suite="cloudsuite",
+        app_class=TwoTierApp,
+        config=WorkloadConfig(
+            name="web-search",
+            syscalls=SyscallSpec.web_search(),
+            service=ServiceModel(mean_ns=18_000_000, cv=1.0),
+            workers=16,
+            cores=8,
+            connections=16,
+            qos_latency_ns=280 * MSEC,
+            paper_fail_rps=420,
+            log_write_prob=0.35,
+            log_burst_rate=1.5,
+            log_burst_size=(30, 110),
+            frontend_threads=2,
+            inflight_limit=24,
+            frontend_service=ServiceModel(mean_ns=200_000, cv=0.3),
+        ),
+    ),
+    # -- Triton Inference Server ---------------------------------------------
+    WorkloadDefinition(
+        key="triton-http",
+        label="Triton (HTTP)",
+        suite="triton",
+        app_class=DispatchPoolApp,
+        config=WorkloadConfig(
+            name="triton-http",
+            syscalls=SyscallSpec.triton_http(),
+            service=ServiceModel(mean_ns=180_000_000, cv=0.25),
+            workers=8,
+            cores=4,
+            connections=8,
+            request_size=4096,
+            response_size=2048,
+            qos_latency_ns=800 * MSEC,
+            paper_fail_rps=21,
+        ),
+    ),
+    WorkloadDefinition(
+        key="triton-grpc",
+        label="Triton (gRPC)",
+        suite="triton",
+        app_class=DispatchPoolApp,
+        config=WorkloadConfig(
+            name="triton-grpc",
+            syscalls=SyscallSpec.triton_grpc(),
+            service=ServiceModel(mean_ns=180_000_000, cv=0.25),
+            workers=8,
+            cores=4,
+            connections=8,
+            request_size=4096,
+            response_size=2048,
+            qos_latency_ns=800 * MSEC,
+            paper_fail_rps=21,
+        ),
+    ),
+]
+
+WORKLOADS: Dict[str, WorkloadDefinition] = {d.key: d for d in _DEFINITIONS}
+
+
+def get_workload(key: str) -> WorkloadDefinition:
+    try:
+        return WORKLOADS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {key!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def workload_keys() -> List[str]:
+    return [d.key for d in _DEFINITIONS]

@@ -1,0 +1,46 @@
+"""Per-request service-time models.
+
+Each workload's request cost is a draw from a distribution; the mean sets
+the saturation point (capacity ≈ workers / mean_service) and the CV shapes
+latency dispersion below saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.rng import Stream
+
+__all__ = ["ServiceModel"]
+
+_DISTRIBUTIONS = ("deterministic", "exponential", "lognormal")
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """A service-time distribution in integer nanoseconds."""
+
+    mean_ns: int
+    cv: float = 0.0
+    distribution: str = "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.mean_ns <= 0:
+            raise ValueError(f"mean_ns must be positive, got {self.mean_ns}")
+        if self.cv < 0:
+            raise ValueError(f"cv must be non-negative, got {self.cv}")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; pick from {_DISTRIBUTIONS}"
+            )
+
+    def draw(self, stream: Stream) -> int:
+        """One service-time sample (>= 1 ns)."""
+        if self.distribution == "deterministic" or self.cv == 0.0:
+            return max(1, self.mean_ns)
+        if self.distribution == "exponential":
+            return stream.exponential_ns(self.mean_ns)
+        return max(1, int(round(stream.lognormal_mean_cv(self.mean_ns, self.cv))))
+
+    def __repr__(self) -> str:
+        return f"<ServiceModel {self.distribution} mean={self.mean_ns}ns cv={self.cv}>"

@@ -1,0 +1,165 @@
+"""Tests for the experiment harness and renderers."""
+
+import pytest
+
+from repro.analysis import (
+    LevelResult,
+    SweepResult,
+    default_levels,
+    load_sweep,
+    render_table1,
+    render_table2,
+    run_level,
+    save_sweep,
+    series_table,
+    sparkline,
+    sweep,
+)
+from repro.kernel import AMD_EPYC_7302, INTEL_XEON_E5_2620
+from repro.net import NetemConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_level():
+    """One cheap real run shared across tests."""
+    d = get_workload("silo")
+    return run_level(d, d.paper_fail_rps * 0.5, requests=400)
+
+
+class TestRunLevel:
+    def test_ground_truth_fields(self, small_level):
+        assert small_level.completed == 400
+        assert small_level.achieved_rps == pytest.approx(
+            small_level.offered_rps, rel=0.1
+        )
+        assert small_level.p99_ns > small_level.p50_ns
+
+    def test_observability_fields(self, small_level):
+        assert small_level.rps_obsv == pytest.approx(small_level.achieved_rps, rel=0.05)
+        assert small_level.poll_count > 0
+        assert small_level.poll_mean_duration_ns > 0
+        assert small_level.send_delta_variance >= 0
+
+    def test_window_estimates_present(self, small_level):
+        assert len(small_level.window_rps) == 10
+        for estimate in small_level.window_rps:
+            assert estimate == pytest.approx(small_level.achieved_rps, rel=0.5)
+
+    def test_metadata(self, small_level):
+        assert small_level.machine == "amd-epyc-7302"
+        assert small_level.netem_label == "0ms delay / 0% loss"
+        assert 0.0 < small_level.utilization <= 1.0
+
+    def test_netem_label_propagates(self):
+        d = get_workload("silo")
+        result = run_level(
+            d, d.paper_fail_rps * 0.4, requests=100,
+            client_to_server=NetemConfig.paper_impaired(),
+            server_to_client=NetemConfig.paper_impaired(),
+        )
+        assert result.netem_label == "10ms delay / 1% loss"
+        assert result.completed == 100
+
+    def test_machine_profile_switch(self):
+        d = get_workload("silo")
+        result = run_level(d, d.paper_fail_rps * 0.4, requests=100,
+                           machine=INTEL_XEON_E5_2620)
+        assert result.machine == "intel-xeon-e5-2620"
+
+    def test_deterministic(self):
+        d = get_workload("silo")
+        a = run_level(d, 500, requests=200, seed=99)
+        b = run_level(d, 500, requests=200, seed=99)
+        assert a.to_dict() == b.to_dict()
+
+    def test_seed_changes_results(self):
+        d = get_workload("silo")
+        a = run_level(d, 500, requests=200, seed=1)
+        b = run_level(d, 500, requests=200, seed=2)
+        assert a.p99_ns != b.p99_ns
+
+
+class TestDefaultLevels:
+    def test_span(self):
+        d = get_workload("xapian")
+        levels = default_levels(d, count=10)
+        assert len(levels) == 10
+        assert levels[0] == pytest.approx(0.3 * 970)
+        assert levels[-1] == pytest.approx(1.1 * 970)
+
+    def test_validation(self):
+        d = get_workload("xapian")
+        with pytest.raises(ValueError):
+            default_levels(d, count=1)
+
+
+class TestSweep:
+    def test_sweep_properties(self):
+        d = get_workload("silo")
+        result = sweep(d, levels=[400, 800], requests=150)
+        assert result.workload == "silo"
+        assert len(result.levels) == 2
+        assert result.offered == [400, 800]
+        assert len(result.observed) == 2
+        assert len(result.dispersion) == 2
+
+    def test_qos_failure_rps(self):
+        levels = [
+            LevelResult(
+                workload="w", offered_rps=rate, achieved_rps=rate, p99_ns=0,
+                p50_ns=0, mean_latency_ns=0, completed=1, qos_violated=violated,
+                rps_obsv=rate, rps_obsv_recv=rate, send_delta_variance=0,
+                send_delta_cov2=0, recv_delta_variance=0,
+                poll_mean_duration_ns=0, poll_count=0,
+            )
+            for rate, violated in [(100, False), (200, False), (300, True)]
+        ]
+        assert SweepResult("w", levels).qos_failure_rps() == 300
+        assert SweepResult("w", levels[:2]).qos_failure_rps() is None
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        d = get_workload("silo")
+        result = sweep(d, levels=[500], requests=100)
+        save_sweep(result, "test-sweep", base=tmp_path)
+        loaded = load_sweep("test-sweep", base=tmp_path)
+        assert loaded.workload == result.workload
+        assert loaded.levels[0].to_dict() == result.levels[0].to_dict()
+        assert (tmp_path / "results" / "test-sweep.json").exists()
+
+
+class TestRenderers:
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert sparkline([]) == ""
+
+    def test_series_table(self):
+        text = series_table(
+            {"rps": [100.0, 200.0], "var": [1.5, 2.5]},
+            qos_marker=[False, True],
+        )
+        assert "rps" in text and "var" in text
+        assert "<-- FAIL" in text
+
+    def test_series_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table({"a": [1], "b": [1, 2]})
+
+    def test_table1(self):
+        text = render_table1([AMD_EPYC_7302, INTEL_XEON_E5_2620])
+        assert "AMD-EPYC-7302" in text
+        assert "Schedulable CPUs" in text
+
+    def test_table2(self):
+        text = render_table2(
+            {"Xapian": (0.99, 0.98)},
+            paper_values={"Xapian": (0.9976, 0.9964)},
+        )
+        assert "Xapian" in text
+        assert "0.9900" in text
+        assert "0.9976" in text

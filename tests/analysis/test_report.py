@@ -1,0 +1,76 @@
+"""Tests for the markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import load_results, main, render_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "fig2_rps_correlation.json").write_text(json.dumps({
+        "figure": "fig2",
+        "rows": [{"workload": "xapian", "r2": 0.9941, "paper_r2": 0.9976,
+                  "residual_sign_balance": 0.4, "slope": 1.0,
+                  "residual_mean": 0.0, "residual_std": 1.0,
+                  "levels": [], "achieved": []}],
+    }))
+    (directory / "table2_netem_r2.json").write_text(json.dumps({
+        "table": "table2",
+        "rows": {"xapian": {"ideal": 0.9934, "impaired": 0.9927}},
+        "paper": {"xapian": {"ideal": 0.9976, "impaired": 0.9964}},
+    }))
+    (directory / "custom_thing.json").write_text(json.dumps({"x": 1}))
+    (directory / "not_json.json").write_text("{broken")
+    return directory
+
+
+def test_load_results(results_dir):
+    records = load_results(results_dir)
+    assert "fig2_rps_correlation" in records
+    assert "custom_thing" in records
+    assert "not_json" not in records  # malformed files are skipped
+
+
+def test_render_known_sections(results_dir):
+    report = render_report(load_results(results_dir))
+    assert "# ebpf-observer" in report
+    assert "## Figure 2" in report
+    assert "xapian" in report
+    assert "0.9941" in report
+    assert "## Table II" in report
+
+
+def test_render_lists_unknown_records(results_dir):
+    report = render_report(load_results(results_dir))
+    assert "`custom_thing.json`" in report
+
+
+def test_render_empty():
+    report = render_report({})
+    assert "No renderable results" in report
+
+
+def test_main_cli(results_dir, capsys):
+    assert main([str(results_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "## Figure 2" in out
+
+
+def test_main_missing_dir(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 1
+    assert "no results directory" in capsys.readouterr().err
+
+
+def test_render_real_results_if_present():
+    """Smoke-render whatever the repo's real results/ currently holds."""
+    from pathlib import Path
+
+    directory = Path(__file__).resolve().parents[2] / "results"
+    if not directory.is_dir():
+        pytest.skip("no results/ yet")
+    report = render_report(load_results(directory))
+    assert report.startswith("# ebpf-observer")

@@ -1,0 +1,62 @@
+"""Tests for the Fig. 1 timeline renderers."""
+
+from repro.analysis import phase_summary, render_stream, render_timeline
+from repro.kernel import Sys
+from repro.kernel.tracelog import SyscallRecord
+
+
+def _rec(nr, enter, exit_=None, tid=1):
+    return SyscallRecord(pid_tgid=(9 << 32) | tid, syscall_nr=nr,
+                         enter_ns=enter, exit_ns=exit_ if exit_ else enter + 10,
+                         ret=0)
+
+
+TRACE = [
+    _rec(Sys.SOCKET, 0),
+    _rec(Sys.BIND, 20),
+    _rec(Sys.LISTEN, 40),
+    _rec(Sys.ACCEPT, 60),
+    _rec(Sys.EPOLL_WAIT, 100, 1000),
+    _rec(Sys.READ, 1010, 1020),
+    _rec(Sys.SENDMSG, 2020, 2030),
+    _rec(Sys.EPOLL_WAIT, 2040, 3000),
+    _rec(Sys.READ, 3010, 3020),
+    _rec(Sys.SENDMSG, 4020, 4030),
+]
+
+
+def test_phase_summary():
+    summary = phase_summary(TRACE)
+    assert summary == {
+        "total": 10, "setup": 4, "request_oriented": 6, "other": 0,
+    }
+
+
+def test_render_stream_full():
+    strip = render_stream(TRACE)
+    assert strip == "++++.rs.rs"
+
+
+def test_render_stream_request_only():
+    assert render_stream(TRACE, request_only=True) == ".rs.rs"
+
+
+def test_render_stream_wraps():
+    strip = render_stream(TRACE, width=4)
+    assert strip.splitlines() == ["++++", ".rs.", "rs"]
+
+
+def test_render_stream_empty():
+    assert render_stream([]) == "(no syscalls)"
+
+
+def test_render_timeline():
+    text = render_timeline(TRACE)
+    assert "reconstructed 2 requests" in text
+    assert "pairing rate 100%" in text
+    assert "--service" in text
+
+
+def test_render_timeline_limit():
+    text = render_timeline(TRACE, limit=1)
+    assert "... 1 more" in text

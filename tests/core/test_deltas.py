@@ -1,0 +1,135 @@
+"""Tests for delta statistics (Eq. 1 / Eq. 2 arithmetic)."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeltaStats, deltas_of, variance_int
+from repro.sim import MSEC, SEC
+
+
+def test_deltas_of():
+    assert deltas_of([10, 30, 60]) == [20, 30]
+    assert deltas_of([5]) == []
+    assert deltas_of([]) == []
+
+
+def test_variance_int_constant_deltas():
+    assert variance_int([100, 100, 100]) == 0
+
+
+def test_variance_int_matches_population_variance():
+    deltas = [100, 200, 300, 400]
+    expected = statistics.pvariance(deltas)
+    assert variance_int(deltas) == pytest.approx(expected, abs=2)
+
+
+def test_variance_int_empty():
+    assert variance_int([]) == 0
+
+
+class TestDeltaStats:
+    def test_streaming_matches_batch(self):
+        timestamps = [0, 100, 250, 700, 1000]
+        stats = DeltaStats.from_timestamps(timestamps)
+        assert stats.count == 4
+        assert stats.sum == 1000
+        assert stats.sumsq == sum(d * d for d in deltas_of(timestamps))
+        assert stats.first_ns == 0
+        assert stats.last_ns == 1000
+
+    def test_rps_obsv_eq1(self):
+        # 1 send per ms -> 1000 RPS.
+        stats = DeltaStats.from_timestamps([i * MSEC for i in range(100)])
+        assert stats.rps_obsv() == pytest.approx(1000.0)
+
+    def test_rps_obsv_no_events(self):
+        assert DeltaStats().rps_obsv() == 0.0
+
+    def test_mean_delta_integer_division(self):
+        stats = DeltaStats()
+        stats.add_delta(3)
+        stats.add_delta(4)
+        assert stats.mean_delta_ns() == 3  # 7 // 2
+
+    def test_variance_eq2_integer_form(self):
+        stats = DeltaStats()
+        for delta in (100, 200, 300):
+            stats.add_delta(delta)
+        mean = 600 // 3
+        assert stats.variance_ns2() == (100**2 + 200**2 + 300**2) // 3 - mean * mean
+
+    def test_variance_float_close_to_int(self):
+        stats = DeltaStats()
+        for delta in (1000, 2000, 3000, 4000):
+            stats.add_delta(delta)
+        assert stats.variance_float() == pytest.approx(stats.variance_ns2(), rel=0.01)
+
+    def test_backwards_timestamp_rejected(self):
+        stats = DeltaStats()
+        stats.add_timestamp(100)
+        with pytest.raises(ValueError, match="backwards"):
+            stats.add_timestamp(50)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaStats().add_delta(-1)
+
+    def test_reset_window_preserves_continuity(self):
+        stats = DeltaStats.from_timestamps([0, 100, 200])
+        stats.reset_window()
+        assert stats.count == 0
+        assert stats.first_ns == 200
+        stats.add_timestamp(350)
+        assert stats.count == 1
+        assert stats.sum == 150  # delta spans the window boundary
+
+    def test_events_property(self):
+        stats = DeltaStats()
+        assert stats.events == 0
+        stats.add_timestamp(1)
+        assert stats.events == 1
+        stats.add_timestamp(2)
+        assert stats.events == 2
+
+    def test_merge(self):
+        a = DeltaStats.from_timestamps([0, 100, 200])
+        b = DeltaStats.from_timestamps([1000, 1300])
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert merged.sum == 100 + 100 + 300
+        assert merged.first_ns == 0
+        assert merged.last_ns == 1300
+
+    def test_merge_with_empty(self):
+        a = DeltaStats.from_timestamps([0, 100])
+        merged = a.merge(DeltaStats())
+        assert merged.count == 1
+        assert merged.first_ns == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=10 * SEC), min_size=2, max_size=60))
+    @settings(max_examples=80)
+    def test_streaming_equals_closed_form_property(self, gaps):
+        timestamps = [0]
+        for gap in gaps:
+            timestamps.append(timestamps[-1] + gap)
+        stats = DeltaStats.from_timestamps(timestamps)
+        deltas = deltas_of(timestamps)
+        assert stats.count == len(deltas)
+        assert stats.sum == sum(deltas)
+        assert stats.sumsq == sum(d * d for d in deltas)
+        assert stats.variance_ns2() == variance_int(deltas)
+
+    @given(st.lists(st.integers(min_value=1, max_value=SEC), min_size=1, max_size=50))
+    @settings(max_examples=80)
+    def test_variance_nonnegative_within_truncation(self, deltas):
+        stats = DeltaStats()
+        for delta in deltas:
+            stats.add_delta(delta)
+        # Integer truncation can push the Eq. 2 form at most 1 below the
+        # true (non-negative) variance: sumsq//n >= sumsq/n - 1 and
+        # (sum//n)^2 <= (sum/n)^2.
+        assert stats.variance_ns2() >= -1
+        assert stats.variance_float() >= -1.0

@@ -1,0 +1,96 @@
+"""Tests for multi-stage observability (§V-B)."""
+
+import pytest
+
+from repro.core import MultiServiceMonitor, ServiceSpec
+from repro.kernel import Kernel, MachineSpec
+from repro.loadgen import OpenLoopClient
+from repro.sim import Environment, SeedSequence
+from repro.workloads import get_workload
+
+
+def _web_search_stack(rate_frac, requests=300, seed=3):
+    definition = get_workload("web-search")
+    config = definition.config
+    env = Environment()
+    seeds = SeedSequence(seed)
+    kernel = Kernel(env, MachineSpec(name="t", cores=config.cores), seeds)
+    app = definition.build(kernel)
+    monitor = MultiServiceMonitor.for_two_tier_app(kernel, app).attach()
+    client = OpenLoopClient(
+        env, app.client_sockets, seeds.stream("client"),
+        rate_rps=definition.paper_fail_rps * rate_frac,
+        total_requests=requests, arrival="uniform",
+    )
+    client.start()
+    report = env.run(until=client.done)
+    return report, monitor.snapshot()
+
+
+def test_validation():
+    kernel = Kernel(Environment(), MachineSpec(name="t", cores=2), SeedSequence(1))
+    with pytest.raises(ValueError):
+        MultiServiceMonitor(kernel, [])
+    spec = ServiceSpec(name="a", tgid=1, workers=1)
+    with pytest.raises(ValueError, match="duplicate"):
+        MultiServiceMonitor(kernel, [spec, spec])
+
+
+def test_monitors_both_tiers():
+    _report, combined = _web_search_stack(0.5)
+    assert {t.name for t in combined.tiers} == {"front-end", "index-search"}
+    front = combined.tier("front-end")
+    back = combined.tier("index-search")
+    # Both tiers show request activity.
+    assert front.snapshot.send.events > 0
+    assert back.snapshot.send.events > 0
+    # The backend does the heavy lifting: one response write per request.
+    assert back.snapshot.send.events == 300
+
+
+def test_unknown_tier_lookup():
+    _report, combined = _web_search_stack(0.4, requests=100)
+    with pytest.raises(KeyError):
+        combined.tier("cache")
+
+
+def test_backend_is_the_bottleneck_tier():
+    """The index tier carries the 18ms service; it must show less idleness
+    than the front-end and be attributed as the bottleneck under load."""
+    _report, combined = _web_search_stack(0.8)
+    front = combined.tier("front-end")
+    back = combined.tier("index-search")
+    assert back.idleness < front.idleness
+    assert combined.bottleneck.name == "index-search"
+
+
+def test_entry_rps_tracks_throughput():
+    report, combined = _web_search_stack(0.5)
+    # Entry tier counts forwarding+response+log writes (~2.x per request),
+    # so it over-counts in absolute terms but scales with real throughput.
+    assert combined.entry_rps >= report.achieved_rps
+
+
+def test_idleness_by_tier_shape():
+    _report, combined = _web_search_stack(0.5, requests=150)
+    by_tier = combined.idleness_by_tier()
+    assert set(by_tier) == {"front-end", "index-search"}
+    for value in by_tier.values():
+        assert 0.0 <= value <= 1.0
+
+
+def test_snapshot_requires_attach():
+    kernel = Kernel(Environment(), MachineSpec(name="t", cores=2), SeedSequence(1))
+    monitor = MultiServiceMonitor(kernel, [ServiceSpec("a", 1, 1)])
+    with pytest.raises(RuntimeError):
+        monitor.snapshot()
+
+
+def test_context_manager_detaches():
+    definition = get_workload("web-search")
+    env = Environment()
+    kernel = Kernel(env, MachineSpec(name="t", cores=4), SeedSequence(2))
+    app = definition.build(kernel)
+    with MultiServiceMonitor.for_two_tier_app(kernel, app):
+        pass
+    assert not kernel.tracepoints.any_probes

@@ -1,0 +1,108 @@
+"""Tests for per-request timeline reconstruction (Fig. 1(c))."""
+
+import pytest
+
+from repro.core import reconstruct_timelines
+from repro.kernel import Sys
+from repro.kernel.tracelog import SyscallRecord
+
+
+def _rec(nr, enter, exit_, tid=1, tgid=10, ret=64):
+    return SyscallRecord(
+        pid_tgid=(tgid << 32) | tid, syscall_nr=nr, enter_ns=enter, exit_ns=exit_, ret=ret
+    )
+
+
+def test_single_thread_pairs_in_order():
+    records = [
+        _rec(Sys.RECVFROM, 0, 10),
+        _rec(Sys.SENDTO, 110, 120),
+        _rec(Sys.RECVFROM, 200, 210),
+        _rec(Sys.SENDTO, 260, 270),
+    ]
+    result = reconstruct_timelines(records)
+    assert result.paired == 2
+    assert result.unmatched_recvs == 0
+    assert result.unmatched_sends == 0
+    assert result.pairing_rate == 1.0
+    assert [t.service_ns for t in result.timelines] == [100, 50]
+    assert result.timelines[0].total_ns == 120
+    assert result.mean_service_ns() == 75.0
+
+
+def test_send_without_recv_is_unmatched():
+    result = reconstruct_timelines([_rec(Sys.SENDTO, 0, 10)])
+    assert result.paired == 0
+    assert result.unmatched_sends == 1
+    assert result.pairing_rate == 0.0
+
+
+def test_recv_without_send_is_unmatched():
+    result = reconstruct_timelines([_rec(Sys.RECVFROM, 0, 10)])
+    assert result.unmatched_recvs == 1
+
+
+def test_cross_thread_handoff_fails_to_pair():
+    """The paper's multi-thread case: recv on one thread, send on another."""
+    records = [
+        _rec(Sys.RECVFROM, 0, 10, tid=1),
+        _rec(Sys.SENDTO, 50, 60, tid=2),
+    ]
+    result = reconstruct_timelines(records)
+    assert result.paired == 0
+    assert result.unmatched_recvs == 1
+    assert result.unmatched_sends == 1
+
+
+def test_threads_pair_independently():
+    records = [
+        _rec(Sys.RECVFROM, 0, 10, tid=1),
+        _rec(Sys.RECVFROM, 5, 15, tid=2),
+        _rec(Sys.SENDTO, 100, 110, tid=2),
+        _rec(Sys.SENDTO, 120, 130, tid=1),
+    ]
+    result = reconstruct_timelines(records)
+    assert result.paired == 2
+    assert {t.tid for t in result.timelines} == {1, 2}
+
+
+def test_fifo_matching_for_pipelined_requests():
+    """Two outstanding recvs on one thread: oldest pairs first."""
+    records = [
+        _rec(Sys.RECVFROM, 0, 10),
+        _rec(Sys.RECVFROM, 20, 30),
+        _rec(Sys.SENDTO, 100, 110),
+        _rec(Sys.SENDTO, 200, 210),
+    ]
+    result = reconstruct_timelines(records)
+    assert result.paired == 2
+    assert result.timelines[0].recv.enter_ns == 0
+    assert result.timelines[1].recv.enter_ns == 20
+
+
+def test_non_request_syscalls_ignored():
+    records = [
+        _rec(Sys.RECVFROM, 0, 10),
+        _rec(Sys.EPOLL_WAIT, 10, 40),
+        _rec(Sys.FUTEX, 42, 44),
+        _rec(Sys.SENDTO, 50, 60),
+    ]
+    result = reconstruct_timelines(records)
+    assert result.paired == 1
+
+
+def test_unsorted_input_handled():
+    records = [
+        _rec(Sys.SENDTO, 110, 120),
+        _rec(Sys.RECVFROM, 0, 10),
+    ]
+    result = reconstruct_timelines(records)
+    assert result.paired == 1
+    assert result.timelines[0].service_ns == 100
+
+
+def test_empty_trace():
+    result = reconstruct_timelines([])
+    assert result.paired == 0
+    assert result.pairing_rate == 0.0
+    assert result.mean_service_ns() == 0.0

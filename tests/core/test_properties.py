@@ -1,0 +1,114 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import sparkline
+from repro.core import DeltaStats, SlackEstimator
+from repro.loadgen import LatencyTracker
+
+_gaps = st.lists(st.integers(min_value=1, max_value=10**9), min_size=2, max_size=80)
+
+
+def _timestamps(gaps):
+    out = [0]
+    for gap in gaps:
+        out.append(out[-1] + gap)
+    return out
+
+
+@given(gaps=_gaps, split=st.integers(min_value=1, max_value=79))
+@settings(max_examples=100)
+def test_merge_of_split_equals_whole(gaps, split):
+    """Splitting a trace anywhere and merging the halves loses nothing
+    except the single boundary delta (which belongs to neither half)."""
+    timestamps = _timestamps(gaps)
+    assume(split < len(timestamps) - 1)
+    whole = DeltaStats.from_timestamps(timestamps)
+    left = DeltaStats.from_timestamps(timestamps[: split + 1])
+    right = DeltaStats.from_timestamps(timestamps[split + 1 :])
+    merged = left.merge(right)
+    boundary = timestamps[split + 1] - timestamps[split]
+    assert merged.count == whole.count - 1
+    assert merged.sum == whole.sum - boundary
+    assert merged.sumsq == whole.sumsq - boundary * boundary
+    assert merged.first_ns == whole.first_ns
+    assert merged.last_ns == whole.last_ns
+
+
+@given(gaps=_gaps, resets=st.sets(st.integers(min_value=1, max_value=78), max_size=5))
+@settings(max_examples=100)
+def test_windowed_accumulation_sums_to_whole(gaps, resets):
+    """reset_window() at arbitrary points: the per-window stats sum exactly
+    to the unwindowed stats (the boundary delta lands in the next window)."""
+    timestamps = _timestamps(gaps)
+    resets = {r for r in resets if r < len(timestamps) - 1}
+    whole = DeltaStats.from_timestamps(timestamps)
+
+    stats = DeltaStats()
+    windows = []
+    for index, ts in enumerate(timestamps):
+        stats.add_timestamp(ts)
+        if index in resets:
+            windows.append((stats.count, stats.sum, stats.sumsq))
+            stats.reset_window()
+    windows.append((stats.count, stats.sum, stats.sumsq))
+
+    assert sum(w[0] for w in windows) == whole.count
+    assert sum(w[1] for w in windows) == whole.sum
+    assert sum(w[2] for w in windows) == whole.sumsq
+
+
+@given(gaps=_gaps)
+@settings(max_examples=60)
+def test_rps_obsv_bounded_by_extreme_gaps(gaps):
+    stats = DeltaStats.from_timestamps(_timestamps(gaps))
+    rps = stats.rps_obsv()
+    assert 1e9 / max(gaps) <= rps + 1e-6
+    assert rps <= 1e9 / min(gaps) + 1e-6
+
+
+@given(
+    loads=st.lists(st.floats(min_value=1, max_value=1e4), min_size=2, max_size=8,
+                   unique=True),
+    query=st.floats(min_value=0, max_value=1e9),
+)
+@settings(max_examples=100)
+def test_slack_estimator_bounds(loads, query):
+    loads = sorted(loads)
+    # Durations strictly decreasing with load.
+    calibration = [(load, 1e9 / load) for load in loads]
+    estimator = SlackEstimator(calibration)
+    implied = estimator.implied_load(query)
+    assert loads[0] <= implied <= loads[-1]
+    slack = estimator.slack(query)
+    assert 0.0 <= slack <= 1.0
+
+
+@given(
+    durations=st.lists(st.floats(min_value=1, max_value=1e9), min_size=2, max_size=20),
+)
+@settings(max_examples=60)
+def test_slack_estimator_monotone(durations):
+    estimator = SlackEstimator([(100, 1e6), (500, 1e4), (1000, 1e2)])
+    ordered = sorted(durations)
+    implied = [estimator.implied_load(d) for d in ordered]
+    # Longer poll durations imply lower (or equal) load.
+    assert all(a >= b for a, b in zip(implied, implied[1:]))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=100),
+       st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=100))
+@settings(max_examples=100)
+def test_percentiles_monotone_in_p(samples, p_low, p_high):
+    tracker = LatencyTracker()
+    for sample in samples:
+        tracker.record(sample)
+    low, high = sorted((p_low, p_high))
+    assert tracker.percentile_ns(low) <= tracker.percentile_ns(high)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+@settings(max_examples=100)
+def test_sparkline_length_matches(values):
+    assert len(sparkline(values)) == len(values)

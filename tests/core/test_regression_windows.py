@@ -1,0 +1,140 @@
+"""Tests for regression/normalization and trace windowing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RECOMMENDED_WINDOW_EVENTS,
+    chunk_by_count,
+    fit_linear,
+    normalize,
+    residual_summary,
+    window_estimates,
+)
+from repro.sim import MSEC
+
+
+class TestFitLinear:
+    def test_perfect_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [3.0, 5.0, 7.0, 9.0]
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_r2_below_one(self):
+        xs = list(range(10))
+        ys = [2 * x + (1 if x % 2 else -1) for x in xs]
+        fit = fit_linear(xs, ys)
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_uncorrelated_r2_near_zero(self):
+        xs = [0, 1, 2, 3] * 5
+        ys = [5, -5, 5, -5, -5, 5, -5, 5] * 2 + [5, -5, 5, -5]
+        fit = fit_linear(xs, ys)
+        assert fit.r_squared < 0.3
+
+    def test_constant_y_r2_one(self):
+        fit = fit_linear([1, 2, 3], [4, 4, 4])
+        assert fit.r_squared == 1.0
+        assert fit.slope == 0.0
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+        with pytest.raises(ValueError):
+            fit_linear([1, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1, 2, 3])
+
+    def test_predict_and_residuals(self):
+        fit = fit_linear([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+        assert fit.residuals([0.0, 1.0], [1.0, 3.0]) == pytest.approx([0.0, 0.0])
+
+    @given(
+        slope=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        intercept=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_recovers_exact_line_property(self, slope, intercept):
+        xs = [0.0, 1.0, 2.0, 5.0]
+        ys = [slope * x + intercept for x in xs]
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-6)
+
+
+class TestNormalize:
+    def test_scales_by_max(self):
+        assert normalize([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+
+    def test_empty(self):
+        assert normalize([]) == []
+
+    def test_all_zero(self):
+        assert normalize([0.0, 0.0]) == [0.0, 0.0]
+
+
+class TestResidualSummary:
+    def test_balanced_residuals(self):
+        mean, std, balance = residual_summary([-1.0, 1.0, -2.0, 2.0])
+        assert mean == 0.0
+        assert std > 0
+        assert balance == 0.5
+
+    def test_biased_residuals(self):
+        _mean, _std, balance = residual_summary([1.0, 2.0, 3.0])
+        assert balance == 1.0
+
+    def test_empty(self):
+        assert residual_summary([]) == (0.0, 0.0, 0.5)
+
+
+class TestWindows:
+    def test_recommended_window_is_paper_value(self):
+        assert RECOMMENDED_WINDOW_EVENTS == 2048
+
+    def test_chunk_by_count(self):
+        chunks = chunk_by_count(list(range(10)), 3)
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]  # trailing dropped
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            chunk_by_count([1, 2, 3], 1)
+
+    def test_window_estimates_uniform_trace(self):
+        timestamps = [i * MSEC for i in range(100)]
+        estimates = window_estimates(timestamps, windows=10)
+        assert len(estimates) == 10
+        for est in estimates:
+            assert est == pytest.approx(1000.0)
+
+    def test_window_estimates_too_few_events(self):
+        assert window_estimates([1], windows=10) == []
+
+    def test_window_estimates_validation(self):
+        with pytest.raises(ValueError):
+            window_estimates([1, 2, 3], windows=0)
+
+    def test_larger_windows_are_more_stable(self):
+        """The §IV-B claim: estimates stabilize with window size."""
+        import random
+
+        rng = random.Random(7)
+        timestamps = []
+        now = 0
+        for _ in range(4096):
+            now += max(1, int(rng.expovariate(1.0 / MSEC)))
+            timestamps.append(now)
+
+        small = window_estimates(timestamps, windows=64)  # 64 events each
+        large = window_estimates(timestamps, windows=4)  # 1024 events each
+
+        def spread(values):
+            mean = sum(values) / len(values)
+            return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5 / mean
+
+        assert spread(large) < spread(small)

@@ -1,0 +1,162 @@
+"""Tests for the saturation detector and slack estimator."""
+
+import pytest
+
+from repro.core import (
+    OnlineSaturationDetector,
+    SlackEstimator,
+    VarianceKneeDetector,
+    detect_knee,
+    idleness_fraction,
+    stabilization_point,
+)
+from repro.sim import MSEC, SEC
+
+
+class TestDetectKnee:
+    def test_finds_knee_in_fig3_shape(self):
+        # Flat baseline then sharp rise past saturation (Fig. 3).
+        xs = [100, 200, 300, 400, 500, 600, 700, 800]
+        variances = [1.0, 1.2, 0.9, 1.1, 1.3, 2.0, 9.0, 30.0]
+        knee = detect_knee(xs, variances, baseline_fraction=0.4, threshold_factor=5.0)
+        assert knee is not None
+        assert knee.x == 700
+        assert knee.baseline == pytest.approx(1.1, abs=0.2)
+
+    def test_no_knee_when_flat(self):
+        xs = list(range(10))
+        assert detect_knee(xs, [1.0] * 10) is None
+
+    def test_unsorted_x_handled(self):
+        xs = [800, 100, 400, 200, 600, 300, 700, 500]
+        variances = [30.0, 1.0, 1.1, 1.2, 2.0, 0.9, 9.0, 1.3]
+        knee = detect_knee(xs, variances, baseline_fraction=0.4)
+        assert knee is not None
+        assert knee.x == 700
+
+    def test_too_few_points(self):
+        assert detect_knee([1, 2], [1.0, 100.0]) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            detect_knee([1, 2, 3], [1.0])
+
+    def test_zero_baseline_does_not_divide_by_zero(self):
+        xs = [1, 2, 3, 4, 5]
+        variances = [0.0, 0.0, 0.0, 0.0, 5.0]
+        knee = detect_knee(xs, variances, baseline_fraction=0.4)
+        assert knee is not None and knee.x == 5
+
+
+class TestVarianceKneeDetector:
+    def test_saturation_point(self):
+        det = VarianceKneeDetector(baseline_fraction=0.4, threshold_factor=5.0)
+        xs = [1, 2, 3, 4, 5]
+        assert det.saturation_point(xs, [1, 1, 1, 1, 10]) == 5
+        assert det.saturation_point(xs, [1, 1, 1, 1, 1]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VarianceKneeDetector(baseline_fraction=0.0)
+        with pytest.raises(ValueError):
+            VarianceKneeDetector(threshold_factor=1.0)
+
+
+class TestOnlineSaturationDetector:
+    def test_flags_spike_after_warmup(self):
+        det = OnlineSaturationDetector(threshold_factor=5.0, warmup_windows=3)
+        for _ in range(5):
+            assert not det.observe(1.0)
+        assert det.observe(50.0)
+
+    def test_warmup_suppresses_early_flags(self):
+        det = OnlineSaturationDetector(warmup_windows=5)
+        det.observe(1.0)
+        assert not det.observe(100.0)  # still warming up
+
+    def test_hysteresis_clears_flag(self):
+        det = OnlineSaturationDetector(threshold_factor=5.0, warmup_windows=1, hysteresis=3)
+        det.observe(1.0)
+        det.observe(1.0)
+        assert det.observe(100.0)
+        assert det.observe(1.0)  # healthy but streak < 3
+        assert det.observe(1.0)
+        assert not det.observe(1.0)  # streak reaches 3 -> clears
+
+    def test_baseline_not_poisoned_by_spikes(self):
+        det = OnlineSaturationDetector(threshold_factor=5.0, warmup_windows=1, ewma_alpha=0.5)
+        det.observe(1.0)
+        det.observe(1.0)
+        det.observe(1000.0)  # spike; baseline must not absorb it
+        assert det.baseline < 10.0
+
+    def test_history_recorded(self):
+        det = OnlineSaturationDetector(warmup_windows=1)
+        det.observe(1.0)
+        det.observe(1.0)
+        det.observe(100.0)
+        assert det.history == [False, False, True]
+
+
+class TestStabilizationPoint:
+    def test_declining_then_flat(self):
+        # Fig. 4's shape: steep decline, flat at saturation.
+        xs = [100, 200, 300, 400, 500, 600]
+        durations = [100.0, 60.0, 30.0, 10.0, 9.5, 9.3]
+        point = stabilization_point(xs, durations, flat_tolerance=0.05)
+        assert point == 400
+
+    def test_never_flattens(self):
+        xs = [1, 2, 3, 4, 5]
+        durations = [100.0, 80.0, 60.0, 40.0, 20.0]
+        assert stabilization_point(xs, durations, flat_tolerance=0.01) is None
+
+    def test_completely_flat_curve(self):
+        assert stabilization_point([1, 2, 3], [5.0, 5.0, 5.0]) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stabilization_point([1, 2], [1.0])
+
+
+class TestIdlenessFraction:
+    def test_basic(self):
+        assert idleness_fraction(500 * MSEC, SEC, workers=1) == 0.5
+
+    def test_multiple_workers(self):
+        assert idleness_fraction(SEC, SEC, workers=4) == 0.25
+
+    def test_clamped(self):
+        assert idleness_fraction(10 * SEC, SEC, workers=1) == 1.0
+
+    def test_degenerate(self):
+        assert idleness_fraction(1, 0) == 0.0
+        assert idleness_fraction(1, SEC, workers=0) == 0.0
+
+
+class TestSlackEstimator:
+    CAL = [(100, 90 * MSEC), (500, 30 * MSEC), (1000, 2 * MSEC)]
+
+    def test_implied_load_interpolates(self):
+        est = SlackEstimator(self.CAL)
+        assert est.implied_load(90 * MSEC) == pytest.approx(100)
+        assert est.implied_load(2 * MSEC) == pytest.approx(1000)
+        assert est.implied_load(60 * MSEC) == pytest.approx(300, rel=0.01)
+
+    def test_out_of_range_clamps(self):
+        est = SlackEstimator(self.CAL)
+        assert est.implied_load(500 * MSEC) == 100
+        assert est.implied_load(0) == 1000
+
+    def test_slack_bounds(self):
+        est = SlackEstimator(self.CAL)
+        assert est.slack(90 * MSEC) == pytest.approx(0.9)
+        assert est.slack(2 * MSEC) == pytest.approx(0.0)
+
+    def test_unsorted_calibration_accepted(self):
+        est = SlackEstimator(list(reversed(self.CAL)))
+        assert est.saturation_load == 1000
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            SlackEstimator([(1, 1.0)])

@@ -1,0 +1,132 @@
+"""Tests for the stream-to-userspace collector (§III's first methodology)."""
+
+import pytest
+
+from repro.core import DeltaCollector, StreamingDeltaCollector
+from repro.core.streaming import RECORD_SIZE
+from repro.kernel import Kernel, MachineSpec, Sys
+from repro.net import Message
+from repro.sim import MSEC, Environment, SeedSequence
+
+
+def _kernel():
+    spec = MachineSpec(name="t", cores=4, ctx_switch_ns=0, syscall_overhead_ns=0)
+    return Kernel(Environment(), spec, SeedSequence(1), interference=False)
+
+
+def _echo_server(kernel, sends=8, period_ms=2):
+    env = kernel.env
+    proc = kernel.create_process("srv")
+    client, server = kernel.open_connection()
+
+    def worker(task):
+        ep = yield from task.sys_epoll_create1()
+        yield from task.sys_epoll_ctl(ep, server)
+        for _ in range(sends):
+            yield from task.sys_epoll_wait(ep)
+            msg = yield from task.sys_read(server)
+            yield from task.sys_sendmsg(server, Message(size=msg.size))
+
+    proc.spawn_thread(worker)
+
+    def driver():
+        for _ in range(sends):
+            yield env.timeout(period_ms * MSEC)
+            client.send(Message(size=64))
+
+    env.process(driver())
+    return proc
+
+
+def test_streams_records_with_timestamps():
+    kernel = _kernel()
+    proc = _echo_server(kernel, sends=5, period_ms=2)
+    collector = StreamingDeltaCollector(kernel, proc.pid, [Sys.SENDMSG]).attach()
+    kernel.env.run()
+    records = collector.drain()
+    assert len(records) == 5
+    timestamps = [t for t, _nr in records]
+    assert timestamps == sorted(timestamps)
+    assert all(nr == Sys.SENDMSG for _t, nr in records)
+    assert collector.bytes_streamed == 5 * RECORD_SIZE
+
+
+def test_statistics_match_in_kernel_collector():
+    """Streaming + userspace math == in-kernel math, when nothing drops."""
+    def run(collector_cls):
+        kernel = _kernel()
+        proc = _echo_server(kernel, sends=10, period_ms=3)
+        if collector_cls is StreamingDeltaCollector:
+            collector = collector_cls(kernel, proc.pid, [Sys.SENDMSG]).attach()
+        else:
+            collector = collector_cls(kernel, proc.pid, [Sys.SENDMSG], mode="vm").attach()
+        kernel.env.run()
+        return collector.snapshot()
+
+    streamed = run(StreamingDeltaCollector)
+    in_kernel = run(DeltaCollector)
+    assert streamed == in_kernel
+
+
+def test_filters_tgid_and_syscall():
+    kernel = _kernel()
+    proc = _echo_server(kernel, sends=4)
+    collector = StreamingDeltaCollector(kernel, proc.pid, [Sys.SENDTO]).attach()
+    kernel.env.run()
+    assert collector.snapshot().events == 0
+
+
+def test_full_buffer_drops_records():
+    """The operational hazard of streaming: slow consumers lose data."""
+    kernel = _kernel()
+    proc = _echo_server(kernel, sends=10, period_ms=1)
+    collector = StreamingDeltaCollector(
+        kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+    ).attach()
+    kernel.env.run()  # no draining while the workload runs
+    assert collector.lost_records == 6
+    assert collector.snapshot().events == 4
+
+
+def test_periodic_draining_prevents_drops():
+    kernel = _kernel()
+    proc = _echo_server(kernel, sends=10, period_ms=1)
+    collector = StreamingDeltaCollector(
+        kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+    ).attach()
+
+    def drainer():
+        while True:
+            yield kernel.env.timeout(2 * MSEC)
+            collector.drain()
+
+    kernel.env.process(drainer())
+    kernel.env.run(until=30 * MSEC)
+    assert collector.lost_records == 0
+    assert collector.snapshot().events == 10
+
+
+def test_reset_window_continuity():
+    kernel = _kernel()
+    proc = _echo_server(kernel, sends=6, period_ms=2)
+    collector = StreamingDeltaCollector(kernel, proc.pid, [Sys.SENDMSG]).attach()
+    kernel.env.run(until=7 * MSEC)
+    first = collector.snapshot()
+    collector.reset_window()
+    kernel.env.run()
+    second = collector.snapshot()
+    assert first.events == 3
+    assert second.count == 3  # boundary-spanning delta preserved
+
+
+def test_double_attach_rejected():
+    kernel = _kernel()
+    collector = StreamingDeltaCollector(kernel, 1, [Sys.SENDMSG]).attach()
+    with pytest.raises(RuntimeError):
+        collector.attach()
+
+
+def test_requires_syscalls():
+    kernel = _kernel()
+    with pytest.raises(ValueError):
+        StreamingDeltaCollector(kernel, 1, [])

@@ -1,0 +1,253 @@
+"""End-to-end BPF frontend tests: Listing 1 running against the simulated
+kernel's tracepoints."""
+
+import pytest
+
+from repro.ebpf import (
+    BPF,
+    Asm,
+    BpfError,
+    HashMap,
+    Helper,
+    MemSize,
+    ProgType,
+    Program,
+    Reg,
+)
+from repro.kernel import Kernel, MachineSpec, Sys
+from repro.net import Message, NetemConfig
+from repro.sim import MSEC, Environment, SeedSequence
+
+
+def _kernel(syscall_overhead=0):
+    spec = MachineSpec(
+        name="test", cores=4, ctx_switch_ns=0, syscall_overhead_ns=syscall_overhead
+    )
+    return Kernel(Environment(), spec, SeedSequence(1), interference=False)
+
+
+def listing1_programs(pid_tgid, syscall_nr=Sys.EPOLL_WAIT):
+    """The paper's Listing 1: duration of one syscall for one pid_tgid.
+
+    ``sum_durations`` accumulates total duration and count so the test can
+    recover the mean without floating point — all in eBPF space.
+    """
+    enter = Asm()
+    enter.mov_reg(Reg.R9, Reg.R1)  # save ctx (helper calls clobber r1-r5)
+    # if (bpf_get_current_pid_tgid() != PID_TGID) return 0;
+    enter.call(Helper.GET_CURRENT_PID_TGID)
+    enter.mov_reg(Reg.R6, Reg.R0)
+    enter.ld_imm64(Reg.R7, pid_tgid)
+    enter.jne_reg(Reg.R6, Reg.R7, "out")
+    # if (args->id != SYSCALL_NR) return 0;
+    enter.ldx(MemSize.DW, Reg.R8, Reg.R9, 8)
+    enter.jne_imm(Reg.R8, syscall_nr, "out")
+    # start[pid_tgid] = bpf_ktime_get_ns()
+    enter.stx(MemSize.DW, Reg.R10, -8, Reg.R6)
+    enter.call(Helper.KTIME_GET_NS)
+    enter.stx(MemSize.DW, Reg.R10, -16, Reg.R0)
+    enter.ld_map_fd(Reg.R1, "start")
+    enter.mov_reg(Reg.R2, Reg.R10)
+    enter.add_imm(Reg.R2, -8)
+    enter.mov_reg(Reg.R3, Reg.R10)
+    enter.add_imm(Reg.R3, -16)
+    enter.mov_imm(Reg.R4, 0)
+    enter.call(Helper.MAP_UPDATE_ELEM)
+    enter.label("out")
+    enter.mov_imm(Reg.R0, 0)
+    enter.exit_()
+
+    exit_ = Asm()
+    exit_.mov_reg(Reg.R9, Reg.R1)  # save ctx
+    exit_.call(Helper.GET_CURRENT_PID_TGID)
+    exit_.mov_reg(Reg.R6, Reg.R0)
+    exit_.ld_imm64(Reg.R7, pid_tgid)
+    exit_.jne_reg(Reg.R6, Reg.R7, "out")
+    exit_.ldx(MemSize.DW, Reg.R8, Reg.R9, 8)
+    exit_.jne_imm(Reg.R8, syscall_nr, "out")
+    # start_ns = start[pid_tgid]; if (!start_ns) return 0;
+    exit_.stx(MemSize.DW, Reg.R10, -8, Reg.R6)
+    exit_.ld_map_fd(Reg.R1, "start")
+    exit_.mov_reg(Reg.R2, Reg.R10)
+    exit_.add_imm(Reg.R2, -8)
+    exit_.call(Helper.MAP_LOOKUP_ELEM)
+    exit_.jeq_imm(Reg.R0, 0, "out")
+    exit_.ldx(MemSize.DW, Reg.R9, Reg.R0, 0)
+    # duration = now - start_ns
+    exit_.call(Helper.KTIME_GET_NS)
+    exit_.sub_reg(Reg.R0, Reg.R9)
+    exit_.mov_reg(Reg.R9, Reg.R0)
+    # stats[0] += duration; stats[1] += 1   (via lookup pointer writes)
+    exit_.st_imm(MemSize.DW, Reg.R10, -16, 0)
+    exit_.ld_map_fd(Reg.R1, "stats")
+    exit_.mov_reg(Reg.R2, Reg.R10)
+    exit_.add_imm(Reg.R2, -16)
+    exit_.call(Helper.MAP_LOOKUP_ELEM)
+    exit_.jeq_imm(Reg.R0, 0, "out")
+    exit_.ldx(MemSize.DW, Reg.R1, Reg.R0, 0)
+    exit_.add_reg(Reg.R1, Reg.R9)
+    exit_.stx(MemSize.DW, Reg.R0, 0, Reg.R1)
+    exit_.ldx(MemSize.DW, Reg.R1, Reg.R0, 8)
+    exit_.add_imm(Reg.R1, 1)
+    exit_.stx(MemSize.DW, Reg.R0, 8, Reg.R1)
+    exit_.label("out")
+    exit_.mov_imm(Reg.R0, 0)
+    exit_.exit_()
+
+    return (
+        Program("on_enter", enter.build(), ProgType.tracepoint_sys_enter()),
+        Program("on_exit", exit_.build(), ProgType.tracepoint_sys_exit()),
+    )
+
+
+def _run_epoll_workload(kernel, delays=(3, 5, 9)):
+    """A thread that waits on epoll for messages arriving at given ms."""
+    env = kernel.env
+    proc = kernel.create_process("srv")
+    client, server = kernel.open_connection()
+
+    def worker(task):
+        ep = yield from task.sys_epoll_create1()
+        yield from task.sys_epoll_ctl(ep, server)
+        for _ in delays:
+            yield from task.sys_epoll_wait(ep)
+            yield from task.sys_read(server)
+
+    thread = proc.spawn_thread(worker)
+
+    def driver():
+        last = 0
+        for at in delays:
+            yield env.timeout(at * MSEC - last)
+            last = at * MSEC
+            client.send(Message())
+
+    env.process(driver())
+    return thread
+
+
+def test_listing1_measures_epoll_durations():
+    kernel = _kernel()
+    # Spawn workload first so the thread's pid_tgid is known.
+    thread = _run_epoll_workload(kernel)
+    enter, exit_ = listing1_programs(thread.pid_tgid)
+    b = BPF(
+        kernel,
+        maps={
+            "start": HashMap(8, 8),
+            "stats": HashMap(8, 16, name="stats"),
+        },
+        programs=[enter, exit_],
+    )
+    b["stats"].update(b"\x00" * 8, b"\x00" * 16)
+    b.attach_tracepoint("raw_syscalls:sys_enter", "on_enter")
+    b.attach_tracepoint("raw_syscalls:sys_exit", "on_exit")
+    kernel.env.run()
+
+    raw = b["stats"].lookup(b"\x00" * 8)
+    total = int.from_bytes(raw[:8], "little")
+    count = int.from_bytes(raw[8:], "little")
+    # Waits: 3ms (0->3), 2ms (3->5), 4ms (5->9) = 9ms over 3 calls.
+    assert count == 3
+    assert total == 9 * MSEC
+    assert b.invocations["on_enter"] > 0
+
+
+def test_pid_filter_ignores_other_processes():
+    kernel = _kernel()
+    thread = _run_epoll_workload(kernel)
+    other = kernel.create_process("noise")
+
+    def noise(task):
+        for _ in range(5):
+            yield from task.sys_socket()
+
+    other.spawn_thread(noise)
+
+    enter, exit_ = listing1_programs(thread.pid_tgid)
+    b = BPF(kernel, maps={"start": HashMap(8, 8), "stats": HashMap(8, 16)},
+            programs=[enter, exit_])
+    b["stats"].update(b"\x00" * 8, b"\x00" * 16)
+    b.attach_tracepoint("raw_syscalls:sys_enter", "on_enter")
+    b.attach_tracepoint("raw_syscalls:sys_exit", "on_exit")
+    kernel.env.run()
+    raw = b["stats"].lookup(b"\x00" * 8)
+    assert int.from_bytes(raw[8:], "little") == 3  # only epoll_waits counted
+
+
+def test_wrong_prog_type_rejected():
+    kernel = _kernel()
+    enter, _ = listing1_programs(0)
+    b = BPF(kernel, maps={"start": HashMap(8, 8), "stats": HashMap(8, 16)},
+            programs=[enter])
+    with pytest.raises(BpfError, match="requires"):
+        b.attach_tracepoint("raw_syscalls:sys_exit", "on_enter")
+
+
+def test_unknown_program_name():
+    kernel = _kernel()
+    b = BPF(kernel)
+    with pytest.raises(BpfError, match="no loaded program"):
+        b.attach_tracepoint("raw_syscalls:sys_enter", "ghost")
+
+
+def test_duplicate_program_name_rejected():
+    kernel = _kernel()
+    enter, _ = listing1_programs(0)
+    b = BPF(kernel, maps={"start": HashMap(8, 8), "stats": HashMap(8, 16)},
+            programs=[enter])
+    with pytest.raises(BpfError, match="duplicate"):
+        b.load(enter)
+
+
+def test_unknown_map_reference_rejected():
+    kernel = _kernel()
+    asm = Asm()
+    asm.ld_map_fd(Reg.R1, "ghost_map")
+    asm.mov_imm(Reg.R0, 0)
+    asm.exit_()
+    program = Program("p", asm.build(), ProgType.tracepoint_sys_enter())
+    with pytest.raises(BpfError, match="unknown map"):
+        BPF(kernel, programs=[program])
+
+
+def test_detach_all_stops_tracing():
+    kernel = _kernel()
+    thread = _run_epoll_workload(kernel)
+    enter, exit_ = listing1_programs(thread.pid_tgid)
+    b = BPF(kernel, maps={"start": HashMap(8, 8), "stats": HashMap(8, 16)},
+            programs=[enter, exit_])
+    b.attach_tracepoint("raw_syscalls:sys_enter", "on_enter")
+    b.detach_all()
+    kernel.env.run()
+    assert b.invocations["on_enter"] == 0
+    assert not kernel.tracepoints.any_probes
+
+
+def test_charge_cost_slows_traced_syscalls():
+    def run(charge):
+        kernel = _kernel()
+        thread = _run_epoll_workload(kernel)
+        enter, exit_ = listing1_programs(thread.pid_tgid)
+        b = BPF(kernel, maps={"start": HashMap(8, 8), "stats": HashMap(8, 16)},
+                programs=[enter, exit_], charge_cost=charge)
+        b["stats"].update(b"\x00" * 8, b"\x00" * 16)
+        b.attach_tracepoint("raw_syscalls:sys_enter", "on_enter")
+        b.attach_tracepoint("raw_syscalls:sys_exit", "on_exit")
+        kernel.env.run()
+        return kernel.env.now
+
+    assert run(True) > run(False)
+
+
+def test_disasm_smoke():
+    enter, _ = listing1_programs(0x2A0000002B)
+    text = enter.disasm()
+    assert "call #14" in text  # GET_CURRENT_PID_TGID
+    assert "exit" in text
+    assert "map['start']" in text
+
+
+def test_bytecode_length():
+    enter, _ = listing1_programs(0)
+    assert len(enter.bytecode()) == 8 * len(enter.insns)

@@ -1,0 +1,193 @@
+"""Unit tests for the bpfc lexer and parser (front-end only)."""
+
+import pytest
+
+from repro.ebpf.bpfc.lexer import CompileError, Token, parse_int, tokenize
+from repro.ebpf.bpfc.parser import (
+    Assign, Binary, Call, CtxField, If, MapDecl, MethodCall, Name, Num,
+    Return, Unary, VarDecl, parse,
+)
+
+
+class TestLexer:
+    def test_identifiers_and_numbers(self):
+        tokens = tokenize("u64 x = 0x2A;")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [
+            ("ident", "u64"), ("ident", "x"), ("punct", "="),
+            ("number", "0x2A"), ("punct", ";"),
+        ]
+        assert tokens[-1].kind == "eof"
+
+    def test_integer_suffixes(self):
+        assert parse_int("232UL", 1) == 232
+        assert parse_int("0xFFul", 1) == 255
+
+    def test_longest_match_punctuation(self):
+        tokens = tokenize("a->b >> 2 >= 1")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["a", "->", "b", ">>", "2", ">=", "1"]
+
+    def test_compound_ops(self):
+        texts = [t.text for t in tokenize("x += 1; y++;")[:-1]]
+        assert "+=" in texts and "++" in texts
+
+    def test_line_numbers_through_comments(self):
+        tokens = tokenize("// one\n/* two\nthree */\nfoo")
+        assert tokens[0].text == "foo"
+        assert tokens[0].line == 4
+
+    def test_illegal_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("u64 x = $;")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize("/* nope")
+
+    def test_bad_number(self):
+        with pytest.raises(CompileError, match="bad integer"):
+            parse_int("0x", 3)
+
+
+def _probe_body(statements: str):
+    unit = parse(f"TRACEPOINT_PROBE(raw_syscalls, sys_enter) {{ {statements} }}")
+    return unit.probes[0].body
+
+
+class TestParser:
+    def test_map_decl_defaults(self):
+        unit = parse("""
+        BPF_HASH(counts);
+        TRACEPOINT_PROBE(raw_syscalls, sys_enter) { return 0; }
+        """)
+        decl = unit.maps[0]
+        assert decl == MapDecl(kind="hash", name="counts", key_type="u64",
+                               value_type="u64", size=10240, line=2)
+
+    def test_map_decl_full(self):
+        unit = parse("""
+        BPF_HASH(m, u32, u64, 128);
+        BPF_ARRAY(a, u64, 16);
+        TRACEPOINT_PROBE(raw_syscalls, sys_enter) { return 0; }
+        """)
+        hash_decl, array_decl = unit.maps
+        assert (hash_decl.key_type, hash_decl.value_type, hash_decl.size) == \
+            ("u32", "u64", 128)
+        assert (array_decl.kind, array_decl.key_type, array_decl.size) == \
+            ("array", "u32", 16)
+
+    def test_precedence(self):
+        (ret,) = _probe_body("return 1 + 2 * 3;")
+        assert isinstance(ret, Return)
+        assert ret.value == Binary("+", Num(1), Binary("*", Num(2), Num(3)))
+
+    def test_comparison_binds_looser_than_shift(self):
+        (ret,) = _probe_body("return 1 << 2 == 4;")
+        assert ret.value == Binary("==", Binary("<<", Num(1), Num(2)), Num(4))
+
+    def test_parentheses(self):
+        (ret,) = _probe_body("return (1 + 2) * 3;")
+        assert ret.value == Binary("*", Binary("+", Num(1), Num(2)), Num(3))
+
+    def test_unary_chain(self):
+        (ret,) = _probe_body("return !!x;")
+        assert ret.value == Unary("!", Unary("!", Name("x")))
+
+    def test_ctx_fields(self):
+        (ret,) = _probe_body("return args->id;")
+        assert ret.value == CtxField("id")
+        (ret,) = _probe_body("return args->args[3];")
+        assert ret.value == CtxField("args3")
+
+    def test_args_index_range(self):
+        with pytest.raises(CompileError, match="out of range"):
+            _probe_body("return args->args[6];")
+
+    def test_method_call(self):
+        (stmt,) = _probe_body("m.update(&k, &v);")
+        assert stmt.expr == MethodCall(
+            "m", "update", (Unary("&", Name("k")), Unary("&", Name("v"))),
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(CompileError, match="unknown map method"):
+            _probe_body("m.upsert(&k);")
+
+    def test_if_else_chain(self):
+        (stmt,) = _probe_body("if (x) return 1; else if (y) return 2; else return 3;")
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.orelse[0], If)
+
+    def test_var_decl_pointer(self):
+        (stmt,) = _probe_body("u64 *p = m.lookup(&k);")
+        assert isinstance(stmt, VarDecl)
+        assert stmt.ctype == "u64*"
+
+    def test_increment_desugars(self):
+        (stmt,) = _probe_body("x++;")
+        assert isinstance(stmt, Assign)
+        assert stmt.op == "+="
+        assert stmt.value == Num(1)
+
+    def test_bare_expression_rejected(self):
+        with pytest.raises(CompileError, match="no effect"):
+            _probe_body("x + 1;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError, match="expected"):
+            _probe_body("return 0")
+
+    def test_eof_inside_block(self):
+        with pytest.raises(CompileError, match="unterminated|expected"):
+            parse("TRACEPOINT_PROBE(raw_syscalls, sys_enter) { return 0;")
+
+
+class TestBlockScoping:
+    def test_bare_block_parses(self):
+        from repro.ebpf.bpfc.parser import BlockStmt
+
+        (stmt,) = _probe_body("{ u64 x = 1; }")
+        assert isinstance(stmt, BlockStmt)
+        assert len(stmt.body) == 1
+
+    def test_block_scope_allows_redeclaration_after(self):
+        from repro.ebpf.bpfc import compile_source
+
+        unit = compile_source("""
+        TRACEPOINT_PROBE(raw_syscalls, sys_enter) {
+            { u64 x = 1; }
+            u64 x = 2;
+            return x;
+        }
+        """)
+        assert unit.programs
+
+    def test_sibling_blocks_reuse_pointer_registers(self):
+        from repro.ebpf.bpfc import compile_source
+
+        unit = compile_source("""
+        BPF_HASH(m, u64, u64);
+        TRACEPOINT_PROBE(raw_syscalls, sys_enter) {
+            u64 k = 0;
+            { u64 *a = m.lookup(&k); if (a) *a += 1; }
+            { u64 *b = m.lookup(&k); if (b) *b += 1; }
+            { u64 *c = m.lookup(&k); if (c) *c += 1; }
+            return 0;
+        }
+        """)
+        for program in unit.programs:
+            program.resolve_maps(unit.maps).verify()
+
+    def test_inner_name_invisible_outside(self):
+        from repro.ebpf.bpfc import compile_source
+        from repro.ebpf.bpfc.lexer import CompileError
+        import pytest as _pytest
+
+        with _pytest.raises(CompileError, match="undeclared"):
+            compile_source("""
+            TRACEPOINT_PROBE(raw_syscalls, sys_enter) {
+                { u64 hidden = 1; }
+                return hidden;
+            }
+            """)

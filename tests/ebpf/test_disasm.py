@@ -1,0 +1,81 @@
+"""Disassembler coverage: every instruction shape renders sensibly."""
+
+from repro.ebpf import Asm, HashMap, Helper, MemSize, ProgType, Program, Reg
+
+
+def _disasm(build) -> str:
+    asm = Asm()
+    build(asm)
+    return Program("p", asm.build(), ProgType.tracepoint_sys_enter()).disasm()
+
+
+def test_alu_imm_and_reg():
+    text = _disasm(lambda a: a.mov_imm(Reg.R1, 5).add_reg(Reg.R1, Reg.R2)
+                   .mov_imm(Reg.R0, 0).exit_())
+    assert "r1 = 5" in text
+    assert "r1 += r2" in text
+
+
+def test_alu32_marked():
+    text = _disasm(lambda a: a.wmov_imm(Reg.R0, 1).exit_())
+    assert "(w)" in text
+
+
+def test_neg():
+    text = _disasm(lambda a: a.mov_imm(Reg.R0, 1).neg(Reg.R0).exit_())
+    assert "r0 = -r0" in text
+
+
+def test_memory_ops():
+    def build(a):
+        a.mov_imm(Reg.R1, 1)
+        a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+        a.st_imm(MemSize.W, Reg.R10, -16, 7)
+        a.ldx(MemSize.B, Reg.R0, Reg.R10, -8)
+        a.exit_()
+
+    text = _disasm(build)
+    assert "*(u64 *)(r10 -8) = r1" in text
+    assert "*(u32 *)(r10 -16) = 7" in text
+    assert "r0 = *(u8 *)(r10 -8)" in text
+
+
+def test_jumps_show_targets():
+    def build(a):
+        a.mov_imm(Reg.R0, 0)
+        a.jeq_imm(Reg.R0, 3, "end")
+        a.ja("end")
+        a.label("end")
+        a.exit_()
+
+    text = _disasm(build)
+    assert "if r0 == 3 goto 3" in text
+    assert "goto 3" in text
+
+
+def test_signed_compare_symbols():
+    def build(a):
+        a.mov_imm(Reg.R0, 0)
+        a.jsgt_imm(Reg.R0, -1, "end")
+        a.label("end")
+        a.exit_()
+
+    assert "s>" in _disasm(build)
+
+
+def test_call_and_map_and_imm64():
+    m = HashMap(8, 8, name="counters")
+
+    def build(a):
+        a.ld_map_fd(Reg.R1, m)
+        a.ld_imm64(Reg.R2, 0xABCDEF0012345678)
+        a.call(Helper.KTIME_GET_NS)
+        a.exit_()
+
+    text = _disasm(build)
+    assert "map['counters']" in text
+    assert "0xabcdef0012345678 ll" in text
+    assert "call #5" in text
+    # Second LD_IMM64 slots are folded into one line ("call" contains "ll",
+    # hence the leading space in the needle).
+    assert text.count(" ll") == 1

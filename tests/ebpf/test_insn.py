@@ -1,0 +1,139 @@
+"""Instruction model and wire-encoding tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf import Asm, Insn, Reg, decode, encode
+from repro.ebpf.errors import AssemblerError
+from repro.ebpf.insn import LD_IMM64_OPCODE
+from repro.ebpf.opcodes import AluOp, InsnClass, JmpOp, MemSize, Src
+
+
+def test_insn_size_is_8_bytes():
+    blob = encode([Insn(opcode=0xB7, dst=0, imm=1)])
+    assert len(blob) == 8
+
+
+def test_known_encoding_mov64_imm():
+    # mov r0, 1  ->  b7 00 00 00 01 00 00 00
+    blob = encode([Insn(opcode=InsnClass.ALU64 | AluOp.MOV | Src.K, dst=0, imm=1)])
+    assert blob == bytes.fromhex("b700000001000000")
+
+
+def test_known_encoding_exit():
+    blob = encode([Insn(opcode=InsnClass.JMP | JmpOp.EXIT)])
+    assert blob == bytes.fromhex("9500000000000000")
+
+
+def test_register_nibble_packing():
+    # mov r3, r7: dst=3 in low nibble, src=7 in high nibble of byte 1.
+    insn = Insn(opcode=InsnClass.ALU64 | AluOp.MOV | Src.X, dst=3, src=7)
+    blob = encode([insn])
+    assert blob[1] == (7 << 4) | 3
+
+
+def test_decode_round_trip():
+    asm = Asm()
+    asm.mov_imm(Reg.R6, 42)
+    asm.ldx(MemSize.DW, Reg.R0, Reg.R1, 8)
+    asm.jne_imm(Reg.R0, 232, "out")
+    asm.add_reg(Reg.R6, Reg.R0)
+    asm.label("out")
+    asm.mov_imm(Reg.R0, 0)
+    asm.exit_()
+    insns = asm.build()
+    assert decode(encode(insns)) == insns
+
+
+def test_decode_truncated_rejected():
+    with pytest.raises(AssemblerError, match="truncated"):
+        decode(b"\x00" * 7)
+
+
+def test_insn_validation():
+    with pytest.raises(AssemblerError):
+        Insn(opcode=0x100)
+    with pytest.raises(AssemblerError):
+        Insn(opcode=0xB7, dst=11)
+    with pytest.raises(AssemblerError):
+        Insn(opcode=0xB7, off=1 << 15)
+    with pytest.raises(AssemblerError):
+        Insn(opcode=0xB7, imm=1 << 31)
+
+
+def test_negative_fields_encode():
+    insn = Insn(opcode=0xB7, dst=0, off=-4, imm=-1)
+    decoded = decode(encode([insn]))[0]
+    assert decoded.off == -4
+    assert decoded.imm == -1
+
+
+def test_ld_imm64_classification():
+    asm = Asm()
+    asm.ld_imm64(Reg.R1, 0xDEADBEEFCAFEF00D)
+    insns = asm.build()
+    assert insns[0].is_ld_imm64
+    assert insns[0].opcode == LD_IMM64_OPCODE
+    assert not insns[0].is_map_load
+    assert len(insns) == 2
+
+
+@given(
+    opcode=st.integers(min_value=0, max_value=0xFF),
+    dst=st.integers(min_value=0, max_value=10),
+    src=st.integers(min_value=0, max_value=10),
+    off=st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+    imm=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+)
+@settings(max_examples=200)
+def test_encode_decode_round_trip_property(opcode, dst, src, off, imm):
+    insn = Insn(opcode=opcode, dst=dst, src=src, off=off, imm=imm)
+    assert decode(encode([insn])) == [insn]
+
+
+class TestAsm:
+    def test_labels_resolve_forward(self):
+        asm = Asm()
+        asm.jeq_imm(Reg.R1, 0, "end")  # slot 0 -> needs off = 1
+        asm.mov_imm(Reg.R0, 1)  # slot 1
+        asm.label("end")
+        asm.exit_()  # slot 2
+        insns = asm.build()
+        assert insns[0].off == 1
+
+    def test_ld_imm64_slot_counting(self):
+        """Jumps across an LD_IMM64 must count both slots."""
+        asm = Asm()
+        asm.jeq_imm(Reg.R1, 0, "end")  # slot 0
+        asm.ld_imm64(Reg.R2, 1)  # slots 1,2
+        asm.label("end")
+        asm.exit_()  # slot 3
+        insns = asm.build()
+        assert insns[0].off == 2
+
+    def test_undefined_label(self):
+        asm = Asm()
+        asm.ja("nowhere")
+        with pytest.raises(AssemblerError, match="undefined label"):
+            asm.build()
+
+    def test_duplicate_label(self):
+        asm = Asm()
+        asm.label("x")
+        with pytest.raises(AssemblerError, match="duplicate"):
+            asm.label("x")
+
+    def test_ld_imm64_splits_words(self):
+        asm = Asm()
+        asm.ld_imm64(Reg.R0, 0x1122334455667788)
+        low, high = asm.build()
+        assert low.imm & 0xFFFFFFFF == 0x55667788
+        assert high.imm & 0xFFFFFFFF == 0x11223344
+
+    def test_map_load_keeps_name(self):
+        asm = Asm()
+        asm.ld_map_fd(Reg.R1, "my_map")
+        insns = asm.build()
+        assert insns[0].is_map_load
+        assert insns[0].map_ref == "my_map"

@@ -1,0 +1,80 @@
+"""JMP32-class semantics: comparisons over the low 32 bits only."""
+
+import pytest
+
+from repro.ebpf import Asm, ProgType, Reg, Vm, verify
+
+U32 = (1 << 32) - 1
+
+
+def run(build):
+    asm = Asm()
+    build(asm)
+    insns = asm.build()
+    verify(insns, ProgType.tracepoint_sys_enter())
+    return Vm().execute(insns, b"\x00" * 64).r0
+
+
+def _select(build_cond):
+    """Template: r0 = 1 if cond(taken) else 0."""
+    def build(asm):
+        build_cond(asm)
+        asm.mov_imm(Reg.R0, 0)
+        asm.ja("end")
+        asm.label("hit")
+        asm.mov_imm(Reg.R0, 1)
+        asm.label("end")
+        asm.exit_()
+
+    return build
+
+
+def test_wjeq_ignores_high_bits():
+    def cond(asm):
+        # r1 = (1 << 32) | 5: 64-bit != 5, but low 32 bits == 5.
+        asm.ld_imm64(Reg.R1, (1 << 32) | 5)
+        asm.wjeq_imm(Reg.R1, 5, "hit")
+
+    assert run(_select(cond)) == 1
+
+
+def test_jeq64_sees_high_bits():
+    def cond(asm):
+        asm.ld_imm64(Reg.R1, (1 << 32) | 5)
+        asm.jeq_imm(Reg.R1, 5, "hit")
+
+    assert run(_select(cond)) == 0
+
+
+def test_wjne():
+    def cond(asm):
+        asm.ld_imm64(Reg.R1, (7 << 32))  # low 32 bits are 0
+        asm.wjne_imm(Reg.R1, 0, "hit")
+
+    assert run(_select(cond)) == 0
+
+
+def test_wjgt_unsigned_32():
+    def cond(asm):
+        asm.mov_imm(Reg.R1, -1)  # low 32 bits = 0xFFFFFFFF, huge unsigned
+        asm.wjgt_imm(Reg.R1, 100, "hit")
+
+    assert run(_select(cond)) == 1
+
+
+def test_wjslt_signed_32():
+    def cond(asm):
+        # 64-bit value 0x00000000FFFFFFFF: as s32 it is -1, so -1 < 3.
+        asm.ld_imm64(Reg.R1, U32)
+        asm.wjslt_imm(Reg.R1, 3, "hit")
+
+    assert run(_select(cond)) == 1
+
+
+def test_jslt64_disagrees():
+    def cond(asm):
+        # Same value as s64 is 4294967295 (positive): not < 3.
+        asm.ld_imm64(Reg.R1, U32)
+        asm.jslt_imm(Reg.R1, 3, "hit")
+
+    assert run(_select(cond)) == 0

@@ -1,0 +1,139 @@
+"""Tests for the bcc-tools-style utilities (all-eBPF code paths)."""
+
+import pytest
+
+from repro.ebpf import Syscount, SyscallLatencyHist, render_histogram
+from repro.ebpf.tools import HIST_BUCKETS
+from repro.kernel import Kernel, MachineSpec, Sys
+from repro.net import Message, NetemConfig
+from repro.sim import MSEC, Environment, SeedSequence
+
+
+def _kernel():
+    spec = MachineSpec(name="t", cores=4, ctx_switch_ns=0, syscall_overhead_ns=0)
+    return Kernel(Environment(), spec, SeedSequence(3), interference=False)
+
+
+def _echo(kernel, n=6, delays_ms=None):
+    """Worker answering n requests; arrival delays configurable per request."""
+    env = kernel.env
+    proc = kernel.create_process("srv")
+    client, server = kernel.open_connection()
+    delays_ms = delays_ms or [2] * n
+
+    def worker(task):
+        ep = yield from task.sys_epoll_create1()
+        yield from task.sys_epoll_ctl(ep, server)
+        for _ in range(n):
+            yield from task.sys_epoll_wait(ep)
+            msg = yield from task.sys_read(server)
+            yield from task.sys_sendmsg(server, Message(size=msg.size))
+
+    proc.spawn_thread(worker)
+
+    def driver():
+        for delay in delays_ms:
+            yield env.timeout(delay * MSEC)
+            client.send(Message(size=64))
+
+    env.process(driver())
+    return proc
+
+
+class TestSyscount:
+    def test_counts_by_name(self):
+        kernel = _kernel()
+        proc = _echo(kernel, n=6)
+        tool = Syscount(kernel, proc.pid).attach()
+        kernel.env.run()
+        report = tool.report()
+        assert report["read"] == 6
+        assert report["sendmsg"] == 6
+        assert report["epoll_wait"] == 6
+        assert report["epoll_create1"] == 1
+
+    def test_filters_other_processes(self):
+        kernel = _kernel()
+        proc = _echo(kernel, n=3)
+        other = kernel.create_process("noise")
+
+        def noise(task):
+            yield from task.sys_socket()
+
+        other.spawn_thread(noise)
+        tool = Syscount(kernel, proc.pid).attach()
+        kernel.env.run()
+        assert "socket" not in tool.report()
+
+    def test_detach(self):
+        kernel = _kernel()
+        proc = _echo(kernel, n=3)
+        tool = Syscount(kernel, proc.pid).attach()
+        tool.detach()
+        kernel.env.run()
+        assert tool.report() == {}
+
+
+class TestSyscallLatencyHist:
+    def test_epoll_wait_histogram_buckets(self):
+        kernel = _kernel()
+        # Waits of ~2ms land in bucket ilog2(2e6) = 20.
+        proc = _echo(kernel, n=8, delays_ms=[2] * 8)
+        tool = SyscallLatencyHist(kernel, proc.pid, Sys.EPOLL_WAIT).attach()
+        kernel.env.run()
+        buckets = tool.buckets()
+        assert tool.total() == 8
+        assert buckets[20] == 8  # 2ms = 2_000_000ns, ilog2 = 20
+
+    def test_bimodal_waits_split_buckets(self):
+        kernel = _kernel()
+        proc = _echo(kernel, n=6, delays_ms=[1, 1, 1, 30, 30, 30])
+        tool = SyscallLatencyHist(kernel, proc.pid, Sys.EPOLL_WAIT).attach()
+        kernel.env.run()
+        buckets = tool.buckets()
+        assert buckets[19] == 3  # ~1ms
+        assert buckets[24] == 3  # ~30ms (2^24 ~ 16.7ms .. 2^25)
+        assert tool.total() == 6
+
+    def test_ilog2_program_matches_python(self):
+        """The unrolled in-eBPF ilog2 must agree with int.bit_length."""
+        kernel = _kernel()
+        env = kernel.env
+        proc = kernel.create_process("srv")
+        recorder_durations = [1, 3, 17, 999, 65_536, 123_456_789]
+        tool = SyscallLatencyHist(kernel, proc.pid, Sys.NANOSLEEP).attach()
+
+        def sleeper(task):
+            for duration in recorder_durations:
+                yield from task.sys_nanosleep(duration)
+
+        proc.spawn_thread(sleeper)
+        env.run()
+        buckets = tool.buckets()
+        expected = [0] * HIST_BUCKETS
+        for duration in recorder_durations:
+            expected[duration.bit_length() - 1] += 1
+        assert buckets == expected
+
+    def test_other_syscalls_ignored(self):
+        kernel = _kernel()
+        proc = _echo(kernel, n=4)
+        tool = SyscallLatencyHist(kernel, proc.pid, Sys.SELECT).attach()
+        kernel.env.run()
+        assert tool.total() == 0
+
+
+class TestRenderHistogram:
+    def test_empty(self):
+        assert render_histogram([0, 0, 0]) == "(empty histogram)"
+
+    def test_rendering(self):
+        buckets = [0] * 8
+        buckets[2] = 4
+        buckets[4] = 8
+        text = render_histogram(buckets, width=8)
+        assert "4 -> 7" in text
+        assert "16 -> 31" in text
+        assert "|********" in text  # peak bucket gets a full bar
+        # Rows outside [first, last] are not rendered.
+        assert "1 -> 1" not in text

@@ -1,0 +1,483 @@
+"""Interpreter semantics tests (unverified direct VM use)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf import (
+    Asm,
+    HashMap,
+    Helper,
+    HelperRuntime,
+    MemSize,
+    Reg,
+    RingBuf,
+    Vm,
+    VmFault,
+)
+
+U64 = (1 << 64) - 1
+U32 = (1 << 32) - 1
+
+
+def run(build, ctx=b"\x00" * 64, runtime=None, **vm_kwargs):
+    asm = Asm()
+    build(asm)
+    return Vm(**vm_kwargs).execute(asm.build(), ctx, runtime)
+
+
+def ret_value(build, **kwargs):
+    return run(build, **kwargs).r0
+
+
+class TestAlu64:
+    def test_mov_and_exit(self):
+        assert ret_value(lambda a: a.mov_imm(Reg.R0, 42).exit_()) == 42
+
+    def test_mov_negative_sign_extends(self):
+        assert ret_value(lambda a: a.mov_imm(Reg.R0, -1).exit_()) == U64
+
+    def test_add_wraps(self):
+        def build(a):
+            a.ld_imm64(Reg.R0, U64)
+            a.add_imm(Reg.R0, 1)
+            a.exit_()
+
+        assert ret_value(build) == 0
+
+    def test_sub_underflow_wraps(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 0)
+            a.sub_imm(Reg.R0, 1)
+            a.exit_()
+
+        assert ret_value(build) == U64
+
+    def test_mul(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 7)
+            a.mul_imm(Reg.R0, 6)
+            a.exit_()
+
+        assert ret_value(build) == 42
+
+    def test_div_unsigned(self):
+        def build(a):
+            a.mov_imm(Reg.R0, -8)  # 2^64 - 8
+            a.div_imm(Reg.R0, 2)
+            a.exit_()
+
+        assert ret_value(build) == (U64 - 7) // 2
+
+    def test_div_by_zero_yields_zero(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 99)
+            a.mov_imm(Reg.R1, 0)
+            a.div_reg(Reg.R0, Reg.R1)
+            a.exit_()
+
+        assert ret_value(build) == 0
+
+    def test_mod_by_zero_keeps_dst(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 99)
+            a.mov_imm(Reg.R1, 0)
+            a.mod_reg(Reg.R0, Reg.R1)
+            a.exit_()
+
+        assert ret_value(build) == 99
+
+    def test_shifts(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 1)
+            a.lsh_imm(Reg.R0, 40)
+            a.rsh_imm(Reg.R0, 8)
+            a.exit_()
+
+        assert ret_value(build) == 1 << 32
+
+    def test_arsh_sign_extends(self):
+        def build(a):
+            a.mov_imm(Reg.R0, -16)
+            a.arsh_imm(Reg.R0, 2)
+            a.exit_()
+
+        assert ret_value(build) == (-4) & U64
+
+    def test_neg(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 5)
+            a.neg(Reg.R0)
+            a.exit_()
+
+        assert ret_value(build) == (-5) & U64
+
+    def test_bitwise(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 0b1100)
+            a.and_imm(Reg.R0, 0b1010)
+            a.or_imm(Reg.R0, 0b0001)
+            a.exit_()
+
+        assert ret_value(build) == 0b1001
+
+
+class TestAlu32:
+    def test_wmov_zero_extends(self):
+        def build(a):
+            a.mov_imm(Reg.R0, -1)  # all ones
+            a.wmov_imm(Reg.R0, -1)  # 32-bit mov: r0 = 0x00000000FFFFFFFF
+            a.exit_()
+
+        assert ret_value(build) == U32
+
+    def test_wadd_wraps_at_32(self):
+        def build(a):
+            a.wmov_imm(Reg.R0, -1)
+            a.wadd_imm(Reg.R0, 1)
+            a.exit_()
+
+        assert ret_value(build) == 0
+
+    def test_wsub_reg(self):
+        def build(a):
+            a.wmov_imm(Reg.R0, 5)
+            a.wmov_imm(Reg.R1, 7)
+            a.wsub_reg(Reg.R0, Reg.R1)
+            a.exit_()
+
+        assert ret_value(build) == (5 - 7) & U32
+
+
+class TestBranches:
+    def test_jeq_taken(self):
+        def build(a):
+            a.mov_imm(Reg.R1, 10)
+            a.mov_imm(Reg.R0, 0)
+            a.jeq_imm(Reg.R1, 10, "hit")
+            a.exit_()
+            a.label("hit")
+            a.mov_imm(Reg.R0, 1)
+            a.exit_()
+
+        assert ret_value(build) == 1
+
+    def test_unsigned_vs_signed_compare(self):
+        # -1 unsigned-> U64 > 5, but signed-> -1 < 5.
+        def build_unsigned(a):
+            a.mov_imm(Reg.R1, -1)
+            a.mov_imm(Reg.R0, 0)
+            a.jgt_imm(Reg.R1, 5, "hit")
+            a.exit_()
+            a.label("hit")
+            a.mov_imm(Reg.R0, 1)
+            a.exit_()
+
+        def build_signed(a):
+            a.mov_imm(Reg.R1, -1)
+            a.mov_imm(Reg.R0, 0)
+            a.jsgt_imm(Reg.R1, 5, "hit")
+            a.exit_()
+            a.label("hit")
+            a.mov_imm(Reg.R0, 1)
+            a.exit_()
+
+        assert ret_value(build_unsigned) == 1
+        assert ret_value(build_signed) == 0
+
+    def test_jset(self):
+        def build(a):
+            a.mov_imm(Reg.R1, 0b0110)
+            a.mov_imm(Reg.R0, 0)
+            a.jset_imm(Reg.R1, 0b0010, "hit")
+            a.exit_()
+            a.label("hit")
+            a.mov_imm(Reg.R0, 1)
+            a.exit_()
+
+        assert ret_value(build) == 1
+
+
+class TestMemory:
+    def test_stack_store_load_round_trip(self):
+        def build(a):
+            a.mov_imm(Reg.R1, 0x1234)
+            a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+            a.ldx(MemSize.DW, Reg.R0, Reg.R10, -8)
+            a.exit_()
+
+        assert ret_value(build) == 0x1234
+
+    def test_byte_granularity_little_endian(self):
+        def build(a):
+            a.ld_imm64(Reg.R1, 0x0807060504030201)
+            a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+            a.ldx(MemSize.B, Reg.R0, Reg.R10, -7)  # second byte
+            a.exit_()
+
+        assert ret_value(build) == 0x02
+
+    def test_ctx_load(self):
+        ctx = (7).to_bytes(8, "little") + (232).to_bytes(8, "little")
+
+        def build(a):
+            a.ldx(MemSize.DW, Reg.R0, Reg.R1, 8)
+            a.exit_()
+
+        assert ret_value(build, ctx=ctx) == 232
+
+    def test_ctx_write_faults(self):
+        def build(a):
+            a.mov_imm(Reg.R2, 1)
+            a.stx(MemSize.DW, Reg.R1, 0, Reg.R2)
+            a.mov_imm(Reg.R0, 0)
+            a.exit_()
+
+        with pytest.raises(VmFault, match="read-only"):
+            run(build)
+
+    def test_stack_overflow_faults(self):
+        def build(a):
+            a.ldx(MemSize.DW, Reg.R0, Reg.R10, -520)
+            a.exit_()
+
+        with pytest.raises(VmFault, match="out-of-bounds"):
+            run(build)
+
+    def test_stack_positive_offset_faults(self):
+        def build(a):
+            a.mov_imm(Reg.R1, 1)
+            a.stx(MemSize.DW, Reg.R10, 0, Reg.R1)
+            a.mov_imm(Reg.R0, 0)
+            a.exit_()
+
+        with pytest.raises(VmFault, match="out-of-bounds"):
+            run(build)
+
+    def test_st_imm(self):
+        def build(a):
+            a.st_imm(MemSize.W, Reg.R10, -4, 77)
+            a.ldx(MemSize.W, Reg.R0, Reg.R10, -4)
+            a.exit_()
+
+        assert ret_value(build) == 77
+
+
+class TestFaults:
+    def test_uninit_register_alu_faults(self):
+        def build(a):
+            a.mov_imm(Reg.R0, 0)
+            a.add_reg(Reg.R0, Reg.R5)
+            a.exit_()
+
+        with pytest.raises(VmFault):
+            run(build)
+
+    def test_exit_without_r0_faults(self):
+        def build(a):
+            a.exit_()
+
+        with pytest.raises(VmFault, match="r0"):
+            run(build)
+
+    def test_runaway_loop_hits_budget(self):
+        # Build a backward jump manually (the asm allows it; verifier won't).
+        from repro.ebpf import Insn
+        from repro.ebpf.opcodes import InsnClass, JmpOp
+
+        insns = [
+            Insn(opcode=InsnClass.ALU64 | 0xB0, dst=0, imm=0),  # mov r0,0
+            Insn(opcode=InsnClass.JMP | JmpOp.JA, off=-2),  # goto self-1
+        ]
+        with pytest.raises(VmFault, match="budget"):
+            Vm().execute(insns, b"\x00" * 8)
+
+    def test_unknown_helper_faults(self):
+        def build(a):
+            a.call(9999)
+            a.exit_()
+
+        with pytest.raises(VmFault, match="unknown helper"):
+            run(build)
+
+
+class TestHelpers:
+    def test_ktime_and_pid_tgid(self):
+        runtime = HelperRuntime(ktime_ns=123456, pid_tgid=(42 << 32) | 7)
+
+        def build(a):
+            a.call(Helper.KTIME_GET_NS)
+            a.mov_reg(Reg.R6, Reg.R0)
+            a.call(Helper.GET_CURRENT_PID_TGID)
+            a.add_reg(Reg.R0, Reg.R6)
+            a.exit_()
+
+        assert ret_value(build, runtime=runtime) == 123456 + ((42 << 32) | 7)
+
+    def test_helper_clobbers_r1_to_r5(self):
+        def build(a):
+            a.mov_imm(Reg.R3, 5)
+            a.call(Helper.KTIME_GET_NS)
+            a.add_reg(Reg.R0, Reg.R3)  # r3 now uninit -> fault
+            a.exit_()
+
+        with pytest.raises(VmFault):
+            run(build)
+
+    def test_map_update_and_lookup(self):
+        counts = HashMap(key_size=8, value_size=8, name="counts")
+
+        def build(a):
+            # key = 5 at fp-8; value = 99 at fp-16; update then lookup+load.
+            a.mov_imm(Reg.R1, 5)
+            a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+            a.mov_imm(Reg.R1, 99)
+            a.stx(MemSize.DW, Reg.R10, -16, Reg.R1)
+            a.ld_map_fd(Reg.R1, counts)
+            a.mov_reg(Reg.R2, Reg.R10)
+            a.add_imm(Reg.R2, -8)
+            a.mov_reg(Reg.R3, Reg.R10)
+            a.add_imm(Reg.R3, -16)
+            a.mov_imm(Reg.R4, 0)
+            a.call(Helper.MAP_UPDATE_ELEM)
+            a.ld_map_fd(Reg.R1, counts)
+            a.mov_reg(Reg.R2, Reg.R10)
+            a.add_imm(Reg.R2, -8)
+            a.call(Helper.MAP_LOOKUP_ELEM)
+            a.jne_imm(Reg.R0, 0, "found")
+            a.mov_imm(Reg.R0, 0)
+            a.exit_()
+            a.label("found")
+            a.ldx(MemSize.DW, Reg.R0, Reg.R0, 0)
+            a.exit_()
+
+        assert ret_value(build) == 99
+        assert counts.lookup_int(5) == 99
+
+    def test_map_value_write_through_pointer_persists(self):
+        """The Listing-1 accumulation pattern: writes through the lookup
+        pointer are visible to userspace without a map_update call."""
+        counts = HashMap(key_size=8, value_size=8, name="counts")
+        counts.update_int(1, 10)
+
+        def build(a):
+            a.mov_imm(Reg.R1, 1)
+            a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+            a.ld_map_fd(Reg.R1, counts)
+            a.mov_reg(Reg.R2, Reg.R10)
+            a.add_imm(Reg.R2, -8)
+            a.call(Helper.MAP_LOOKUP_ELEM)
+            a.jne_imm(Reg.R0, 0, "found")
+            a.mov_imm(Reg.R0, 0)
+            a.exit_()
+            a.label("found")
+            a.ldx(MemSize.DW, Reg.R1, Reg.R0, 0)
+            a.add_imm(Reg.R1, 1)
+            a.stx(MemSize.DW, Reg.R0, 0, Reg.R1)
+            a.mov_imm(Reg.R0, 0)
+            a.exit_()
+
+        run(build)
+        assert counts.lookup_int(1) == 11
+
+    def test_map_delete(self):
+        counts = HashMap(key_size=8, value_size=8)
+        counts.update_int(3, 1)
+
+        def build(a):
+            a.mov_imm(Reg.R1, 3)
+            a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+            a.ld_map_fd(Reg.R1, counts)
+            a.mov_reg(Reg.R2, Reg.R10)
+            a.add_imm(Reg.R2, -8)
+            a.call(Helper.MAP_DELETE_ELEM)
+            a.exit_()
+
+        assert ret_value(build) == 0
+        assert counts.lookup_int(3) is None
+
+    def test_ringbuf_output(self):
+        ring = RingBuf(size=4096)
+
+        def build(a):
+            a.mov_imm(Reg.R1, 0xABCD)
+            a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+            a.ld_map_fd(Reg.R1, ring)
+            a.mov_reg(Reg.R2, Reg.R10)
+            a.add_imm(Reg.R2, -8)
+            a.mov_imm(Reg.R3, 8)
+            a.mov_imm(Reg.R4, 0)
+            a.call(Helper.RINGBUF_OUTPUT)
+            a.exit_()
+
+        assert ret_value(build) == 0
+        records = ring.drain()
+        assert len(records) == 1
+        assert int.from_bytes(records[0], "little") == 0xABCD
+
+    def test_trace_printk(self):
+        runtime = HelperRuntime()
+
+        def build(a):
+            a.ld_imm64(Reg.R1, int.from_bytes(b"hi\x00\x00\x00\x00\x00\x00", "little"))
+            a.stx(MemSize.DW, Reg.R10, -8, Reg.R1)
+            a.mov_reg(Reg.R1, Reg.R10)
+            a.add_imm(Reg.R1, -8)
+            a.mov_imm(Reg.R2, 8)
+            a.call(Helper.TRACE_PRINTK)
+            a.exit_()
+
+        run(build, runtime=runtime)
+        assert runtime.printed == ["hi"]
+
+    def test_prandom_u32(self):
+        runtime = HelperRuntime(prandom=lambda: 0x1_FFFF_FFFF)  # truncated
+
+        def build(a):
+            a.call(Helper.GET_PRANDOM_U32)
+            a.exit_()
+
+        assert ret_value(build, runtime=runtime) == U32
+
+
+class TestCostModel:
+    def test_steps_counted(self):
+        result = run(lambda a: a.mov_imm(Reg.R0, 0).exit_())
+        assert result.steps == 2
+
+    def test_insn_cost_applied(self):
+        result = run(lambda a: a.mov_imm(Reg.R0, 0).exit_(), insn_cost_ns=10)
+        assert result.cost_ns == 20
+
+    def test_helper_cost_added(self):
+        def build(a):
+            a.call(Helper.KTIME_GET_NS)
+            a.exit_()
+
+        result = run(build, insn_cost_ns=0)
+        assert result.cost_ns == 20  # KTIME_GET_NS signature cost
+
+
+_alu_cases = {
+    "add": lambda a, b: (a + b) & U64,
+    "sub": lambda a, b: (a - b) & U64,
+    "mul": lambda a, b: (a * b) & U64,
+    "div": lambda a, b: (a // b) & U64 if b else 0,
+    "mod": lambda a, b: (a % b) & U64 if b else a,
+}
+
+
+@given(
+    op=st.sampled_from(sorted(_alu_cases)),
+    lhs=st.integers(min_value=0, max_value=U64),
+    rhs=st.integers(min_value=0, max_value=U64),
+)
+@settings(max_examples=150)
+def test_alu64_matches_reference_semantics(op, lhs, rhs):
+    def build(a):
+        a.ld_imm64(Reg.R0, lhs)
+        a.ld_imm64(Reg.R1, rhs)
+        getattr(a, f"{op}_reg")(Reg.R0, Reg.R1)
+        a.exit_()
+
+    assert ret_value(build) == _alu_cases[op](lhs, rhs)

@@ -1,0 +1,69 @@
+"""Smoke-run the example scripts — the README's promises must execute.
+
+Each example ends with assertions of its own; running it to completion is
+the test.  The slowest examples are exercised at reduced scale by patching
+their module constants where provided.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "RPS estimation error" in out
+    assert "OK" in out
+
+
+def test_custom_probe(capsys):
+    out = _run_example("custom_probe", capsys)
+    assert "verifier said no" in out
+    assert "OK" in out
+
+
+def test_listing1(capsys):
+    out = _run_example("listing1", capsys)
+    assert "Listing 1 (in eBPF)" in out
+    assert "OK" in out
+
+
+def test_netem_robustness(capsys):
+    out = _run_example("netem_robustness", capsys)
+    assert "OK" in out
+
+
+def test_multitier_bottleneck(capsys):
+    out = _run_example("multitier_bottleneck", capsys)
+    assert "index-search" in out
+    assert "OK" in out
+
+
+@pytest.mark.slow
+def test_saturation_monitor(capsys):
+    out = _run_example("saturation_monitor", capsys)
+    assert "detector first flagged saturation" in out
+
+
+@pytest.mark.slow
+def test_blackbox_autoscaler(capsys):
+    out = _run_example("blackbox_autoscaler", capsys)
+    assert "OK" in out
+
+
+@pytest.mark.slow
+def test_power_governor(capsys):
+    out = _run_example("power_governor", capsys)
+    assert "energy savings" in out
+    assert "OK" in out

@@ -1,0 +1,54 @@
+"""§V-C reproduced as a negative test: io_uring blinds syscall tracing.
+
+A workload flavour that moves its receive/send/poll activity off the
+syscall path (completion-queue style) keeps serving requests correctly,
+but the monitor sees nothing — "our method may not yield useful insights
+as the receiving and sending of the request may not be observable".
+"""
+
+import pytest
+
+from repro.core import RequestMetricsMonitor
+from repro.kernel import Kernel, MachineSpec
+from repro.loadgen import OpenLoopClient
+from repro.sim import Environment, SeedSequence
+from repro.workloads import get_workload
+
+
+def _run(io_uring: bool):
+    definition = get_workload("data-caching")
+    config = definition.config.with_overrides(
+        io_uring=io_uring, connections=8, workers=4
+    )
+    env = Environment()
+    kernel = Kernel(env, MachineSpec(name="t", cores=4), SeedSequence(13),
+                    interference=False)
+    app = definition.app_class(kernel, config).start()
+    monitor = RequestMetricsMonitor(kernel, app.tgid).attach()
+    client = OpenLoopClient(
+        env, app.client_sockets, kernel.seeds.stream("client"),
+        rate_rps=2000, total_requests=300,
+    )
+    client.start()
+    report = env.run(until=client.done)
+    return report, monitor.snapshot()
+
+
+def test_io_uring_serves_but_is_unobservable():
+    report, snap = _run(io_uring=True)
+    # The application performs identically...
+    assert report.completed == 300
+    assert report.achieved_rps > 0
+    # ...but syscall-based observability is blind.
+    assert snap.send.events == 0
+    assert snap.recv.events == 0
+    assert snap.poll.count == 0
+    assert snap.rps_obsv == 0.0
+
+
+def test_syscall_path_control_group():
+    """Same app without io_uring: fully observable (the control)."""
+    report, snap = _run(io_uring=False)
+    assert report.completed == 300
+    assert snap.send.events == 300
+    assert snap.rps_obsv == pytest.approx(report.achieved_rps, rel=0.05)

@@ -1,0 +1,29 @@
+"""run_level must be monitor-mode-invariant: with cost charging off, the
+interpreted-eBPF and native collectors are pure observers, so every single
+result field — ground truth and observations alike — must match exactly."""
+
+import pytest
+
+from repro.analysis import run_level
+from repro.workloads import get_workload
+
+
+@pytest.mark.parametrize("key", ["data-caching", "xapian", "triton-grpc"])
+def test_run_level_identical_across_monitor_modes(key):
+    definition = get_workload(key)
+    rate = definition.paper_fail_rps * 0.6
+    native = run_level(definition, rate, requests=400, monitor_mode="native")
+    vm = run_level(definition, rate, requests=400, monitor_mode="vm")
+    assert native.to_dict() == vm.to_dict()
+
+
+def test_charge_cost_breaks_equivalence_as_expected():
+    """With cost charging ON the vm mode perturbs syscall timing — that is
+    the whole overhead experiment, so the results must differ."""
+    definition = get_workload("data-caching")
+    rate = definition.paper_fail_rps * 0.6
+    free = run_level(definition, rate, requests=400, monitor_mode="vm",
+                     charge_cost=False)
+    charged = run_level(definition, rate, requests=400, monitor_mode="vm",
+                        charge_cost=True)
+    assert charged.sim_duration_ns != free.sim_duration_ns

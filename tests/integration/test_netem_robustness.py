@@ -1,0 +1,54 @@
+"""§V-A invariants at test scale: impairments hurt the client, not the
+kernel-side metrics."""
+
+import pytest
+
+from repro.analysis import run_level
+from repro.net import NetemConfig
+from repro.workloads import get_workload
+
+REQUESTS = 500
+
+
+@pytest.fixture(scope="module")
+def triton_runs():
+    definition = get_workload("triton-grpc")
+    rate = definition.paper_fail_rps * 0.6
+    return {
+        "clean": run_level(definition, rate, requests=REQUESTS),
+        "delay": run_level(
+            definition, rate, requests=REQUESTS,
+            client_to_server=NetemConfig(delay_ns=10_000_000),
+            server_to_client=NetemConfig(delay_ns=10_000_000),
+        ),
+        "loss": run_level(
+            definition, rate, requests=REQUESTS,
+            client_to_server=NetemConfig(loss=0.01),
+            server_to_client=NetemConfig(loss=0.01),
+        ),
+    }
+
+
+def test_delay_shifts_latency_not_metrics(triton_runs):
+    clean, delay = triton_runs["clean"], triton_runs["delay"]
+    # End-to-end latency gains ~2x the one-way delay.
+    assert delay.p50_ns > clean.p50_ns + 15_000_000
+    # Observed RPS is untouched.
+    assert delay.rps_obsv == pytest.approx(clean.rps_obsv, rel=0.03)
+
+
+def test_loss_inflates_tail_not_metrics(triton_runs):
+    clean, loss = triton_runs["clean"], triton_runs["loss"]
+    assert loss.p99_ns > clean.p99_ns + 50_000_000  # +50ms at least
+    assert loss.rps_obsv == pytest.approx(clean.rps_obsv, rel=0.03)
+    assert loss.poll_mean_duration_ns == pytest.approx(
+        clean.poll_mean_duration_ns, rel=0.1
+    )
+
+
+def test_server_throughput_unchanged(triton_runs):
+    clean = triton_runs["clean"]
+    for label in ("delay", "loss"):
+        assert triton_runs[label].achieved_rps == pytest.approx(
+            clean.achieved_rps, rel=0.05
+        ), label

@@ -1,0 +1,278 @@
+"""Tests for the CPU scheduler and interference substrate."""
+
+import pytest
+
+from repro.kernel import CPU, InterferenceModel, MachineSpec, NullInterference
+from repro.kernel.machine import InterferenceSpec
+from repro.sim import MSEC, USEC, Environment, SeedSequence
+
+
+def _spec(cores=2, quantum=1 * MSEC, ctx=0):
+    return MachineSpec(name="test", cores=cores, quantum_ns=quantum, ctx_switch_ns=ctx)
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", cores=0)
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", cores=1, quantum_ns=0)
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", cores=1, ctx_switch_ns=-1)
+
+
+def test_with_cores():
+    spec = _spec(cores=8)
+    assert spec.with_cores(2).cores == 2
+    assert spec.with_cores(2).name == spec.name
+
+
+def test_interference_spec_validation():
+    with pytest.raises(ValueError):
+        InterferenceSpec(prob_per_occupancy=2.0)
+    with pytest.raises(ValueError):
+        InterferenceSpec(stall_mean_ns=-1)
+
+
+def test_uncontended_execute_takes_exact_duration():
+    env = Environment()
+    cpu = CPU(env, _spec(cores=1))
+
+    def job():
+        yield from cpu.execute(5 * MSEC)
+        return env.now
+
+    p = env.process(job())
+    assert env.run(until=p) == 5 * MSEC
+    assert cpu.busy_ns == 5 * MSEC
+
+
+def test_uncontended_job_runs_in_one_hold():
+    env = Environment()
+    cpu = CPU(env, MachineSpec(name="t", cores=1, quantum_ns=1 * MSEC, ctx_switch_ns=10 * USEC))
+
+    def job():
+        yield from cpu.execute(3 * MSEC)  # no contention -> single slice
+        return env.now
+
+    p = env.process(job())
+    assert env.run(until=p) == 3 * MSEC + 10 * USEC
+
+
+def test_contended_jobs_round_robin_by_quantum():
+    env = Environment()
+    cpu = CPU(env, _spec(cores=1, quantum=1 * MSEC))
+    done = {}
+
+    def job(tag):
+        yield from cpu.execute(2 * MSEC)
+        done[tag] = env.now
+
+    env.process(job("a"))
+    env.process(job("b"))
+    env.run()
+    # "b" queues before "a"'s grant event is processed, so "a" sees
+    # contention and the two interleave in 1ms quanta:
+    # a@[0,1) b@[1,2) a@[2,3) b@[3,4).
+    assert done == {"a": 3 * MSEC, "b": 4 * MSEC}
+
+
+def test_three_jobs_interleave_under_contention():
+    env = Environment()
+    cpu = CPU(env, _spec(cores=1, quantum=1 * MSEC))
+    order = []
+
+    def job(tag, duration):
+        yield from cpu.execute(duration)
+        order.append((tag, env.now))
+
+    def late_job():
+        yield env.timeout(100)  # arrives while "a" holds the core
+        yield from cpu.execute(2 * MSEC)
+        order.append(("c", env.now))
+
+    env.process(job("a", 4 * MSEC))
+    env.process(job("b", 2 * MSEC))
+    env.process(late_job())
+    env.run()
+    done = dict(order)
+    # Deterministic RR interleaving in 1ms quanta while contended; each
+    # job's final quantum may extend to its whole remainder once the queue
+    # empties.  Completion order is shortest-first: b, then c, then a.
+    assert done["b"] == 5 * MSEC
+    assert done["c"] == 6 * MSEC
+    assert done["a"] == 8 * MSEC
+    # Total work conserved: 8ms of demand on one core finishes at 8ms.
+    assert env.now == 8 * MSEC
+
+
+def test_parallel_jobs_on_separate_cores():
+    env = Environment()
+    cpu = CPU(env, _spec(cores=2))
+    done = {}
+
+    def job(tag):
+        yield from cpu.execute(2 * MSEC)
+        done[tag] = env.now
+
+    env.process(job("a"))
+    env.process(job("b"))
+    env.run()
+    assert done == {"a": 2 * MSEC, "b": 2 * MSEC}
+
+
+def test_run_queue_grows_under_overload():
+    env = Environment()
+    cpu = CPU(env, _spec(cores=1))
+    seen = []
+
+    def job():
+        yield from cpu.execute(10 * MSEC)
+
+    def sampler():
+        yield env.timeout(5 * MSEC)
+        seen.append((cpu.running, cpu.run_queue_len))
+
+    for _ in range(4):
+        env.process(job())
+    env.process(sampler())
+    env.run()
+    running, queued = seen[0]
+    assert running == 1
+    assert queued == 3
+
+
+def test_utilization_accounting():
+    env = Environment()
+    cpu = CPU(env, _spec(cores=2))
+
+    def job():
+        yield from cpu.execute(4 * MSEC)
+
+    env.process(job())
+    env.run(until=8 * MSEC)
+    # 4ms busy on one of two cores over 8ms elapsed -> 0.25.
+    assert cpu.utilization() == pytest.approx(0.25)
+
+
+def test_utilization_at_boot_is_zero():
+    env = Environment()
+    cpu = CPU(env, _spec())
+    assert cpu.utilization() == 0.0
+
+
+def test_negative_duration_rejected():
+    env = Environment()
+    cpu = CPU(env, _spec())
+
+    def job():
+        yield from cpu.execute(-1)
+
+    p = env.process(job())
+    with pytest.raises(ValueError):
+        env.run(until=p)
+
+
+def test_zero_duration_is_noop():
+    env = Environment()
+    cpu = CPU(env, _spec())
+
+    def job():
+        yield from cpu.execute(0)
+        return env.now
+
+    p = env.process(job())
+    assert env.run(until=p) == 0
+
+
+class TestInterference:
+    def test_null_interference_never_stalls(self):
+        model = NullInterference()
+        assert all(model.stall_ns(q, 1, q * 100) == 0 for q in range(100))
+
+    def test_no_convoys_when_idle(self):
+        spec = InterferenceSpec(min_occupancy=0.05)
+        model = InterferenceModel(spec, SeedSequence(1).stream("i"))
+        assert all(model.stall_ns(0, 16, t) == 0 for t in range(0, 100000, 100))
+
+    def test_convoy_opens_under_occupancy(self):
+        spec = InterferenceSpec(prob_per_occupancy=1.0, max_prob=1.0, stall_mean_ns=1 * MSEC)
+        model = InterferenceModel(spec, SeedSequence(1).stream("i"))
+        assert model.stall_ns(32, 16, now_ns=0) > 0
+        assert model.window_count == 1
+
+    def test_acquisitions_join_open_window(self):
+        spec = InterferenceSpec(prob_per_occupancy=1.0, max_prob=1.0, stall_mean_ns=5 * MSEC)
+        model = InterferenceModel(spec, SeedSequence(1).stream("i"))
+        first = model.stall_ns(32, 16, now_ns=0)
+        assert first > 0
+        # A later acquisition inside the window waits exactly to its end.
+        joined = model.stall_ns(32, 16, now_ns=first // 2)
+        assert joined == first - first // 2
+        assert model.window_count == 1  # no new window
+
+    def test_cooldown_enforces_duty_cycle(self):
+        spec = InterferenceSpec(
+            prob_per_occupancy=1.0, max_prob=1.0, stall_mean_ns=10 * MSEC, duty_cycle=0.1
+        )
+        model = InterferenceModel(spec, SeedSequence(2).stream("i"))
+        duration = model.stall_ns(32, 16, now_ns=0)
+        # Just after the window: cooldown blocks a new convoy.
+        assert model.stall_ns(32, 16, now_ns=duration + 1) == 0
+        # Long after the cooldown (9x duration quiet period): allowed again.
+        assert model.stall_ns(32, 16, now_ns=duration * 11) > 0
+        assert model.window_count == 2
+
+    def test_long_run_duty_cycle_bounded(self):
+        spec = InterferenceSpec(
+            prob_per_occupancy=1.0, max_prob=1.0, stall_mean_ns=10 * MSEC, duty_cycle=0.1
+        )
+        model = InterferenceModel(spec, SeedSequence(3).stream("i"))
+        horizon = 0
+        # Acquire constantly at max occupancy for ~100 simulated seconds.
+        while horizon < 100_000 * MSEC:
+            stall = model.stall_ns(32, 16, horizon)
+            horizon += max(stall, MSEC)
+        stalled_fraction = model.stall_total_ns / horizon
+        assert stalled_fraction <= 0.15  # duty 0.1 plus join-tail slack
+
+    def test_probability_scales_with_occupancy(self):
+        spec = InterferenceSpec(
+            prob_per_occupancy=0.05, max_prob=1.0, min_occupancy=0.0, duty_cycle=0.99
+        )
+        low = InterferenceModel(spec, SeedSequence(4).stream("a"))
+        high = InterferenceModel(spec, SeedSequence(4).stream("b"))
+        low_hits = sum(low.stall_ns(2, 16, t * 10**9) > 0 for t in range(2000))
+        high_hits = sum(high.stall_ns(32, 16, t * 10**9) > 0 for t in range(2000))
+        assert high_hits > 2 * low_hits
+
+    def test_diagnostics_counters(self):
+        spec = InterferenceSpec(prob_per_occupancy=1.0, max_prob=1.0)
+        model = InterferenceModel(spec, SeedSequence(5).stream("i"))
+        model.stall_ns(32, 16, 0)
+        assert model.window_count == 1
+        assert model.stall_count == 1
+        assert model.stall_total_ns > 0
+
+    def test_cpu_integrates_interference(self):
+        env = Environment()
+        spec = MachineSpec(
+            name="t",
+            cores=1,
+            quantum_ns=1 * MSEC,
+            ctx_switch_ns=0,
+            interference=InterferenceSpec(
+                prob_per_occupancy=1.0, max_prob=1.0, min_occupancy=0.0,
+                stall_mean_ns=1 * MSEC,
+            ),
+        )
+        model = InterferenceModel(spec.interference, SeedSequence(6).stream("i"))
+        cpu = CPU(env, spec, model)
+
+        def job():
+            yield from cpu.execute(1 * MSEC)
+
+        for _ in range(4):
+            env.process(job())
+        env.run()
+        assert cpu.stall_ns > 0
+        assert env.now > 4 * MSEC  # stalls stretched the schedule

@@ -1,0 +1,150 @@
+"""Tests for the DVFS driver and frequency-scaled execution."""
+
+import pytest
+
+from repro.kernel import CPU, DEFAULT_PSTATES, DvfsDriver, MachineSpec, PState
+from repro.sim import MSEC, Environment
+
+
+def _cpu(env, cores=1):
+    return CPU(env, MachineSpec(name="t", cores=cores, ctx_switch_ns=0))
+
+
+class TestPState:
+    def test_defaults_ladder(self):
+        ratios = [p.freq_ratio for p in DEFAULT_PSTATES]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] == 1.0
+
+    def test_cubic_power(self):
+        # half frequency -> one eighth dynamic power
+        half = next(p for p in DEFAULT_PSTATES if p.freq_ratio == 0.5)
+        full = next(p for p in DEFAULT_PSTATES if p.freq_ratio == 1.0)
+        assert half.busy_power_w == pytest.approx(full.busy_power_w / 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PState(freq_ratio=0.0, busy_power_w=1)
+        with pytest.raises(ValueError):
+            PState(freq_ratio=1.0, busy_power_w=-1)
+
+
+class TestSpeedScaling:
+    def test_half_speed_doubles_wall_time(self):
+        env = Environment()
+        cpu = _cpu(env)
+        cpu.set_speed(0.5)
+
+        def job():
+            yield from cpu.execute(4 * MSEC)
+            return env.now
+
+        p = env.process(job())
+        assert env.run(until=p) == 8 * MSEC
+
+    def test_speed_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            _cpu(env).set_speed(0)
+
+    def test_speed_change_applies_to_next_quantum(self):
+        env = Environment()
+        cpu = _cpu(env)
+
+        def job():
+            yield from cpu.execute(2 * MSEC)
+            cpu.set_speed(0.5)
+            yield from cpu.execute(2 * MSEC)
+            return env.now
+
+        p = env.process(job())
+        assert env.run(until=p) == 2 * MSEC + 4 * MSEC
+
+
+class TestDvfsDriver:
+    def test_boots_at_max(self):
+        env = Environment()
+        driver = DvfsDriver(env, _cpu(env))
+        assert driver.at_max
+        assert driver.current.freq_ratio == 1.0
+
+    def test_step_up_down(self):
+        env = Environment()
+        driver = DvfsDriver(env, _cpu(env))
+        driver.step_down()
+        assert driver.current.freq_ratio < 1.0
+        assert driver.transitions == 1
+        driver.step_up()
+        assert driver.at_max
+        driver.step_up()  # no-op at max
+        assert driver.transitions == 2
+
+    def test_set_index_bounds(self):
+        env = Environment()
+        driver = DvfsDriver(env, _cpu(env))
+        with pytest.raises(ValueError):
+            driver.set_index(99)
+
+    def test_set_index_applies_speed(self):
+        env = Environment()
+        cpu = _cpu(env)
+        driver = DvfsDriver(env, cpu)
+        driver.set_index(0)
+        assert cpu.speed == driver.pstates[0].freq_ratio
+
+    def test_needs_pstates(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            DvfsDriver(env, _cpu(env), pstates=[])
+
+    def test_idle_energy_is_static_only(self):
+        env = Environment()
+        cpu = _cpu(env, cores=2)
+        driver = DvfsDriver(env, cpu, static_power_w=3.0)
+        env.timeout(1_000_000_000)  # 1 simulated second
+        env.run()
+        # 2 cores x 3 W x 1 s = 6 J
+        assert driver.energy_joules() == pytest.approx(6.0)
+
+    def test_busy_energy_adds_dynamic_power(self):
+        env = Environment()
+        cpu = _cpu(env, cores=1)
+        driver = DvfsDriver(env, cpu, static_power_w=1.0)
+
+        def job():
+            yield from cpu.execute(1_000_000_000)  # 1 s fully busy
+
+        env.process(job())
+        env.run()
+        dynamic = driver.current.busy_power_w
+        assert driver.energy_joules() == pytest.approx(1.0 + dynamic, rel=0.01)
+
+    def test_lower_frequency_uses_less_energy_for_idle_period(self):
+        def energy_at(index):
+            env = Environment()
+            cpu = _cpu(env)
+            driver = DvfsDriver(env, cpu, static_power_w=0.5)
+            driver.set_index(index)
+
+            def job():
+                # Fixed wall-clock horizon with a fixed demand.
+                yield from cpu.execute(100 * MSEC)
+
+            env.process(job())
+            env.run(until=1_000_000_000)
+            return driver.energy_joules()
+
+        # Same demand over the same horizon: lower frequency, lower energy
+        # (f^3 dynamic power dominates the longer busy stretch).
+        assert energy_at(0) < energy_at(len(DEFAULT_PSTATES) - 1)
+
+    def test_energy_monotone_in_time(self):
+        env = Environment()
+        cpu = _cpu(env)
+        driver = DvfsDriver(env, cpu)
+        env.timeout(1000)
+        env.run()
+        first = driver.energy_joules()
+        env.timeout(1000)
+        env.run()
+        assert driver.energy_joules() >= first

@@ -1,0 +1,97 @@
+"""Timeout semantics for epoll_wait/select through the syscall layer."""
+
+import pytest
+
+from repro.kernel import Kernel, MachineSpec, Sys, TraceRecorder
+from repro.net import Message, NetemConfig
+from repro.sim import MSEC, Environment, SeedSequence
+
+
+def _kernel():
+    spec = MachineSpec(name="t", cores=2, ctx_switch_ns=0, syscall_overhead_ns=0)
+    return Kernel(Environment(), spec, SeedSequence(1), interference=False)
+
+
+def test_epoll_wait_timeout_returns_empty():
+    kernel = _kernel()
+    proc = kernel.create_process("srv")
+    _client, server = kernel.open_connection()
+    results = []
+
+    def worker(task):
+        ep = yield from task.sys_epoll_create1()
+        yield from task.sys_epoll_ctl(ep, server)
+        ready = yield from task.sys_epoll_wait(ep, timeout_ns=5 * MSEC)
+        results.append((kernel.env.now, ready))
+
+    proc.spawn_thread(worker)
+    kernel.env.run()
+    when, ready = results[0]
+    assert when == 5 * MSEC
+    assert ready == []
+
+
+def test_epoll_wait_timeout_race_with_arrival():
+    kernel = _kernel()
+    proc = kernel.create_process("srv")
+    client, server = kernel.open_connection(
+        client_to_server=NetemConfig(delay_ns=3 * MSEC)
+    )
+    results = []
+
+    def worker(task):
+        ep = yield from task.sys_epoll_create1()
+        yield from task.sys_epoll_ctl(ep, server)
+        ready = yield from task.sys_epoll_wait(ep, timeout_ns=10 * MSEC)
+        results.append((kernel.env.now, ready))
+
+    proc.spawn_thread(worker)
+    client.send(Message())
+    kernel.env.run()
+    when, ready = results[0]
+    assert when == 3 * MSEC  # arrival wins the race
+    assert ready == [server]
+
+
+def test_select_timeout_duration_recorded():
+    """A timed-out select's duration equals its timeout — these show up in
+    the poll-duration statistics as pure idleness, as they should."""
+    kernel = _kernel()
+    proc = kernel.create_process("srv")
+    _client, server = kernel.open_connection()
+    recorder = TraceRecorder(kernel.tracepoints).attach()
+
+    def worker(task):
+        for _ in range(3):
+            yield from task.sys_select([server], timeout_ns=2 * MSEC)
+
+    proc.spawn_thread(worker)
+    kernel.env.run()
+    selects = recorder.by_syscall(Sys.SELECT)
+    assert len(selects) == 3
+    assert all(r.duration_ns == 2 * MSEC for r in selects)
+    assert all(r.ret == 0 for r in selects)
+
+
+def test_zero_timeout_polls_nonblocking():
+    kernel = _kernel()
+    proc = kernel.create_process("srv")
+    client, server = kernel.open_connection()
+    client.send(Message())
+    kernel.env.run()
+    results = []
+
+    def worker(task):
+        ep = yield from task.sys_epoll_create1()
+        yield from task.sys_epoll_ctl(ep, server)
+        ready = yield from task.sys_epoll_wait(ep, timeout_ns=0)
+        results.append((kernel.env.now, len(ready)))
+        yield from task.sys_read(server)
+        ready = yield from task.sys_epoll_wait(ep, timeout_ns=0)
+        results.append((kernel.env.now, len(ready)))
+
+    proc.spawn_thread(worker)
+    kernel.env.run()
+    assert results[0][1] == 1  # data pending: returned immediately
+    assert results[1][1] == 0  # drained: empty, still immediate
+    assert results[0][0] == results[1][0]

@@ -1,0 +1,87 @@
+"""Tests for the syscall table and family classification."""
+
+import pytest
+
+from repro.kernel import (
+    POLL_FAMILY,
+    RECV_FAMILY,
+    SEND_FAMILY,
+    SETUP_SYSCALLS,
+    SYSCALL_NAMES,
+    Sys,
+    SyscallFamily,
+    SyscallSpec,
+    family_of,
+    nr_of,
+)
+
+
+def test_real_x86_64_numbers():
+    # The numbers the paper relies on (Listing 1 filters epoll_wait == 232).
+    assert Sys.EPOLL_WAIT == 232
+    assert Sys.READ == 0
+    assert Sys.WRITE == 1
+    assert Sys.SELECT == 23
+    assert Sys.SENDTO == 44
+    assert Sys.RECVFROM == 45
+    assert Sys.SENDMSG == 46
+    assert Sys.RECVMSG == 47
+    assert Sys.ACCEPT == 43
+
+
+def test_names_round_trip():
+    for nr, name in SYSCALL_NAMES.items():
+        assert nr_of(name) == nr
+
+
+def test_nr_of_unknown():
+    with pytest.raises(KeyError):
+        nr_of("not_a_syscall")
+
+
+def test_families_are_disjoint():
+    assert not (RECV_FAMILY & SEND_FAMILY)
+    assert not (RECV_FAMILY & POLL_FAMILY)
+    assert not (SEND_FAMILY & POLL_FAMILY)
+
+
+def test_family_of():
+    assert family_of(Sys.READ) == SyscallFamily.RECV
+    assert family_of(Sys.RECVFROM) == SyscallFamily.RECV
+    assert family_of(Sys.SENDMSG) == SyscallFamily.SEND
+    assert family_of(Sys.EPOLL_WAIT) == SyscallFamily.POLL
+    assert family_of(Sys.SELECT) == SyscallFamily.POLL
+    assert family_of(Sys.ACCEPT) == SyscallFamily.OTHER
+    assert family_of(Sys.FUTEX) == SyscallFamily.OTHER
+
+
+def test_setup_syscalls_not_request_oriented():
+    request_oriented = RECV_FAMILY | SEND_FAMILY | POLL_FAMILY
+    assert not (SETUP_SYSCALLS & request_oriented)
+    assert Sys.ACCEPT in SETUP_SYSCALLS
+    assert Sys.SOCKET in SETUP_SYSCALLS
+
+
+class TestSyscallSpec:
+    def test_paper_workload_specs(self):
+        # §IV-A: TailBench -> recvfrom/sendto/select; Data Caching ->
+        # read/sendmsg/epoll_wait; Web Search -> read/write; Triton gRPC ->
+        # recvmsg/sendmsg; Triton HTTP -> recvfrom/sendto.
+        tb = SyscallSpec.tailbench()
+        assert (tb.recv_nr, tb.send_nr, tb.poll_nr) == (Sys.RECVFROM, Sys.SENDTO, Sys.SELECT)
+        dc = SyscallSpec.data_caching()
+        assert (dc.recv_nr, dc.send_nr, dc.poll_nr) == (Sys.READ, Sys.SENDMSG, Sys.EPOLL_WAIT)
+        ws = SyscallSpec.web_search()
+        assert (ws.recv_nr, ws.send_nr) == (Sys.READ, Sys.WRITE)
+        tg = SyscallSpec.triton_grpc()
+        assert (tg.recv_nr, tg.send_nr) == (Sys.RECVMSG, Sys.SENDMSG)
+        th = SyscallSpec.triton_http()
+        assert (th.recv_nr, th.send_nr) == (Sys.RECVFROM, Sys.SENDTO)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyscallSpec(Sys.WRITE, Sys.SENDTO, Sys.SELECT)  # write is not recv
+        with pytest.raises(ValueError):
+            SyscallSpec(Sys.READ, Sys.READ, Sys.SELECT)  # read is not send
+        with pytest.raises(ValueError):
+            SyscallSpec(Sys.READ, Sys.WRITE, Sys.ACCEPT)  # accept is not poll

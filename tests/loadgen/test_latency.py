@@ -1,0 +1,85 @@
+"""Latency tracker and percentile tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen import LatencyTracker, percentile
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([42], 99) == 42.0
+
+    def test_median_interpolation(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        samples = [5, 1, 3]
+        assert percentile(samples, 0) == 1
+        assert percentile(samples, 100) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=200),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=100)
+    def test_matches_numpy(self, samples, p):
+        import numpy as np
+
+        assert percentile(samples, p) == pytest.approx(
+            float(np.percentile(samples, p)), rel=1e-9, abs=1e-6
+        )
+
+
+class TestLatencyTracker:
+    def test_empty(self):
+        tracker = LatencyTracker()
+        assert tracker.count == 0
+        assert tracker.mean_ns() == 0.0
+        assert tracker.p99_ns() == 0.0
+        assert tracker.max_ns() == 0
+
+    def test_records(self):
+        tracker = LatencyTracker()
+        for value in (10, 20, 30):
+            tracker.record(value)
+        assert tracker.count == 3
+        assert tracker.mean_ns() == 20.0
+        assert tracker.max_ns() == 30
+        assert tracker.p50_ns() == 20.0
+
+    def test_p99_picks_tail(self):
+        tracker = LatencyTracker()
+        for _ in range(99):
+            tracker.record(10)
+        tracker.record(1000)
+        assert tracker.p99_ns() > 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().record(-1)
+
+    def test_reset(self):
+        tracker = LatencyTracker()
+        tracker.record(5)
+        tracker.reset()
+        assert tracker.count == 0
+
+    def test_samples_copy(self):
+        tracker = LatencyTracker()
+        tracker.record(5)
+        samples = tracker.samples()
+        samples.append(6)
+        assert tracker.count == 1
+
+    def test_cache_invalidation(self):
+        tracker = LatencyTracker()
+        tracker.record(10)
+        assert tracker.p99_ns() == 10
+        tracker.record(100)
+        assert tracker.p99_ns() > 10

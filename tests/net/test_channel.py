@@ -1,0 +1,110 @@
+"""Tests for ordered reliable channels."""
+
+import pytest
+
+from repro.net import Channel, Message, NetemConfig
+from repro.sim import MSEC, Environment, SeedSequence
+
+
+def _channel(env, config=None, seed=1):
+    received = []
+    chan = Channel(
+        env,
+        config or NetemConfig.ideal(),
+        SeedSequence(seed).stream("chan"),
+        deliver=lambda msg: received.append((env.now, msg)),
+    )
+    return chan, received
+
+
+def test_requires_receiver():
+    env = Environment()
+    chan = Channel(env, NetemConfig.ideal(), SeedSequence(1).stream("c"))
+    with pytest.raises(RuntimeError):
+        chan.send(Message())
+
+
+def test_ideal_delivery_is_prompt():
+    env = Environment()
+    chan, received = _channel(env)
+    chan.send(Message(payload="hi"))
+    env.run()
+    assert len(received) == 1
+    when, msg = received[0]
+    assert when <= 1  # only the FIFO min-spacing tick
+    assert msg.payload == "hi"
+    assert msg.sent_at == 0
+    assert msg.delivered_at == when
+
+
+def test_fixed_delay_applied():
+    env = Environment()
+    chan, received = _channel(env, NetemConfig(delay_ns=5 * MSEC))
+    chan.send(Message())
+    env.run()
+    assert received[0][0] == 5 * MSEC
+
+
+def test_fifo_order_preserved():
+    env = Environment()
+    chan, received = _channel(env, NetemConfig(delay_ns=1 * MSEC, jitter_ns=MSEC // 2))
+    for i in range(50):
+        chan.send(Message(tag=i))
+    env.run()
+    tags = [msg.tag for _, msg in received]
+    assert tags == list(range(50))
+
+
+def test_head_of_line_blocking_on_loss():
+    """A lost first message must delay the (un-lost) second one."""
+    env = Environment()
+    # seed chosen so the first transit draw is lost, rest are not; emulate by
+    # brute-force searching a seed where message 0 pays an RTO.
+    for seed in range(1, 60):
+        chan, received = _channel(env := Environment(), NetemConfig(loss=0.3), seed=seed)
+        chan.send(Message(tag=0))
+        chan.send(Message(tag=1))
+        env.run()
+        t0, t1 = received[0][0], received[1][0]
+        if t0 > 0:  # message 0 was retransmitted
+            assert t1 >= t0  # message 1 head-of-line blocked behind it
+            assert received[0][1].tag == 0
+            return
+    pytest.fail("no seed produced a first-message loss")
+
+
+def test_counters():
+    env = Environment()
+    chan, received = _channel(env)
+    for _ in range(10):
+        chan.send(Message())
+    env.run()
+    assert chan.sent == 10
+    assert chan.delivered == 10
+    assert len(received) == 10
+
+
+def test_send_returns_arrival_time():
+    env = Environment()
+    chan, _ = _channel(env, NetemConfig(delay_ns=2 * MSEC))
+    arrival = chan.send(Message())
+    assert arrival == 2 * MSEC
+
+
+def test_simultaneous_sends_get_distinct_arrivals():
+    env = Environment()
+    chan, received = _channel(env)
+    chan.send(Message(tag=0))
+    chan.send(Message(tag=1))
+    env.run()
+    assert received[0][0] != received[1][0]
+
+
+def test_late_connect():
+    env = Environment()
+    got = []
+    chan = Channel(env, NetemConfig.ideal(), SeedSequence(1).stream("c"))
+    chan.connect(lambda msg: got.append(msg))
+    chan.send(Message(payload=1))
+    env.run()
+    assert len(got) == 1

@@ -1,0 +1,102 @@
+"""Tests for the netem impairment model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import NetemConfig, NetemPath, TCP_MIN_RTO_NS
+from repro.sim import MSEC, SeedSequence
+
+
+def _path(config, seed=1):
+    return NetemPath(config, SeedSequence(seed).stream("netem"))
+
+
+class TestNetemConfig:
+    def test_ideal(self):
+        cfg = NetemConfig.ideal()
+        assert cfg.delay_ns == 0 and cfg.loss == 0.0
+
+    def test_paper_impaired(self):
+        cfg = NetemConfig.paper_impaired()
+        assert cfg.delay_ns == 10 * MSEC
+        assert cfg.loss == 0.01
+
+    def test_label(self):
+        assert NetemConfig.paper_impaired().label() == "10ms delay / 1% loss"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delay_ns": -1},
+            {"jitter_ns": -1},
+            {"loss": 1.0},
+            {"loss": -0.1},
+            {"delay_ns": 5, "jitter_ns": 10},
+            {"rto_ns": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetemConfig(**kwargs)
+
+
+class TestNetemPath:
+    def test_no_impairment_zero_transit(self):
+        path = _path(NetemConfig.ideal())
+        assert all(path.transit_ns() == 0 for _ in range(100))
+
+    def test_fixed_delay(self):
+        path = _path(NetemConfig(delay_ns=3 * MSEC))
+        assert all(path.transit_ns() == 3 * MSEC for _ in range(100))
+
+    def test_jitter_bounds(self):
+        cfg = NetemConfig(delay_ns=10 * MSEC, jitter_ns=2 * MSEC)
+        path = _path(cfg)
+        draws = [path.transit_ns() for _ in range(2000)]
+        assert min(draws) >= 8 * MSEC
+        assert max(draws) <= 12 * MSEC
+        assert len(set(draws)) > 100  # actually jittered
+
+    def test_loss_adds_rto(self):
+        # With loss ~1, every message pays at least one RTO; our cap stops
+        # the worst case. Use 0.9 to terminate quickly.
+        path = _path(NetemConfig(loss=0.9))
+        draws = [path.transit_ns() for _ in range(200)]
+        assert all(d == 0 or d >= TCP_MIN_RTO_NS for d in draws)
+        assert sum(d >= TCP_MIN_RTO_NS for d in draws) > 150
+
+    def test_loss_rate_statistics(self):
+        path = _path(NetemConfig(loss=0.01))
+        n = 50000
+        hit = sum(path.transit_ns() >= TCP_MIN_RTO_NS for _ in range(n))
+        assert hit / n == pytest.approx(0.01, abs=0.004)
+
+    def test_backoff_doubles(self):
+        # loss=0.97 gives frequent multi-loss streaks; delays must be sums of
+        # doubling RTOs: 200, 200+400, 200+400+800 ...
+        path = _path(NetemConfig(loss=0.97), seed=3)
+        valid = set()
+        total, rto = 0, TCP_MIN_RTO_NS
+        for _ in range(16):
+            valid.add(total)
+            total += rto
+            rto *= 2
+        for _ in range(500):
+            assert path.transit_ns() in valid
+
+    def test_loss_counter(self):
+        path = _path(NetemConfig(loss=0.5))
+        for _ in range(1000):
+            path.transit_ns()
+        assert path.carried == 1000
+        assert path.loss_fraction == pytest.approx(0.5, abs=0.06)
+
+    @given(
+        delay=st.integers(min_value=0, max_value=50 * MSEC),
+        loss=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50)
+    def test_transit_never_negative(self, delay, loss):
+        path = _path(NetemConfig(delay_ns=delay, loss=loss))
+        assert all(path.transit_ns() >= 0 for _ in range(20))

@@ -1,0 +1,76 @@
+"""Tests for the tc-netem 'rate' (bandwidth) option."""
+
+import pytest
+
+from repro.net import Channel, Message, NetemConfig
+from repro.sim import MSEC, SEC, Environment, SeedSequence
+
+
+def _channel(env, config, seed=1):
+    received = []
+    chan = Channel(env, config, SeedSequence(seed).stream("rate"),
+                   deliver=lambda msg: received.append((env.now, msg)))
+    return chan, received
+
+
+def test_serialization_ns():
+    cfg = NetemConfig(rate_bps=8_000_000)  # 1 MB/s
+    assert cfg.serialization_ns(1000) == 1_000_000  # 1ms for 1000 bytes
+    assert NetemConfig().serialization_ns(10**6) == 0  # unlimited
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        NetemConfig(rate_bps=-1)
+
+
+def test_single_message_pays_serialization():
+    env = Environment()
+    chan, received = _channel(env, NetemConfig(rate_bps=8_000_000))
+    chan.send(Message(size=1000))
+    env.run()
+    assert received[0][0] == 1 * MSEC
+
+
+def test_back_to_back_messages_queue_on_link():
+    env = Environment()
+    chan, received = _channel(env, NetemConfig(rate_bps=8_000_000))
+    for tag in range(3):
+        chan.send(Message(size=1000, tag=tag))
+    env.run()
+    times = [t for t, _m in received]
+    assert times == [1 * MSEC, 2 * MSEC, 3 * MSEC]
+
+
+def test_rate_composes_with_delay():
+    env = Environment()
+    chan, received = _channel(
+        env, NetemConfig(delay_ns=5 * MSEC, rate_bps=8_000_000)
+    )
+    chan.send(Message(size=1000))
+    env.run()
+    assert received[0][0] == 6 * MSEC  # propagation + serialization
+
+
+def test_unlimited_rate_unchanged():
+    env = Environment()
+    chan, received = _channel(env, NetemConfig())
+    for tag in range(3):
+        chan.send(Message(size=10_000, tag=tag))
+    env.run()
+    assert received[-1][0] <= 3  # only FIFO min-spacing ticks
+
+
+def test_spaced_sends_do_not_queue():
+    env = Environment()
+    chan, received = _channel(env, NetemConfig(rate_bps=8_000_000))
+
+    def sender():
+        for _ in range(3):
+            chan.send(Message(size=1000))
+            yield env.timeout(10 * MSEC)
+
+    env.process(sender())
+    env.run()
+    gaps = [b[0] - a[0] for a, b in zip(received, received[1:])]
+    assert all(gap == 10 * MSEC for gap in gaps)

@@ -1,0 +1,134 @@
+"""Tests for deterministic random streams."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SeedSequence, splitmix64
+
+
+def test_same_seed_same_stream():
+    a = SeedSequence(1).stream("arrivals")
+    b = SeedSequence(1).stream("arrivals")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_independent():
+    seq = SeedSequence(1)
+    a = seq.stream("arrivals")
+    b = seq.stream("service")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_stream_instance_reused():
+    seq = SeedSequence(1)
+    assert seq.stream("x") is seq.stream("x")
+
+
+def test_child_sequences_independent():
+    root = SeedSequence(7)
+    a = root.child("machine-a").stream("svc")
+    b = root.child("machine-b").stream("svc")
+    assert a.random() != b.random()
+
+
+def test_adding_stream_does_not_perturb_existing():
+    seq1 = SeedSequence(9)
+    s1 = seq1.stream("alpha")
+    first = [s1.random() for _ in range(5)]
+
+    seq2 = SeedSequence(9)
+    seq2.stream("beta")  # new consumer registered first
+    s2 = seq2.stream("alpha")
+    second = [s2.random() for _ in range(5)]
+    assert first == second
+
+
+def test_splitmix64_known_vector():
+    # Reference values from the canonical splitmix64 with seed state 0 and 1.
+    assert splitmix64(0) == 0xE220A8397B1DCDAF
+    assert splitmix64(1) != splitmix64(0)
+    assert 0 <= splitmix64(12345) < 2**64
+
+
+def test_exponential_mean():
+    s = SeedSequence(3).stream("exp")
+    draws = [s.exponential(100.0) for _ in range(20000)]
+    assert statistics.mean(draws) == pytest.approx(100.0, rel=0.05)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    s = SeedSequence(3).stream("exp")
+    with pytest.raises(ValueError):
+        s.exponential(0)
+
+
+def test_lognormal_mean_cv_moments():
+    s = SeedSequence(4).stream("lognorm")
+    mean, cv = 50.0, 0.8
+    draws = [s.lognormal_mean_cv(mean, cv) for _ in range(40000)]
+    assert statistics.mean(draws) == pytest.approx(mean, rel=0.05)
+    assert statistics.stdev(draws) / statistics.mean(draws) == pytest.approx(cv, rel=0.1)
+
+
+def test_lognormal_zero_cv_is_deterministic():
+    s = SeedSequence(4).stream("lognorm")
+    assert s.lognormal_mean_cv(10.0, 0.0) == 10.0
+
+
+def test_bernoulli_edges():
+    s = SeedSequence(5).stream("bern")
+    assert not s.bernoulli(0.0)
+    assert s.bernoulli(1.0)
+
+
+def test_bernoulli_rate():
+    s = SeedSequence(5).stream("bern")
+    hits = sum(s.bernoulli(0.25) for _ in range(40000))
+    assert hits / 40000 == pytest.approx(0.25, abs=0.01)
+
+
+def test_exponential_ns_is_positive_int():
+    s = SeedSequence(6).stream("expns")
+    for _ in range(100):
+        draw = s.exponential_ns(1000)
+        assert isinstance(draw, int) and draw >= 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1), name=st.text(max_size=20))
+@settings(max_examples=50)
+def test_streams_reproducible_property(seed, name):
+    a = SeedSequence(seed).stream(name)
+    b = SeedSequence(seed).stream(name)
+    assert [a.random() for _ in range(3)] == [b.random() for _ in range(3)]
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=200)
+def test_splitmix64_range_property(state):
+    assert 0 <= splitmix64(state) < 2**64
+
+
+def test_pareto_min_scale():
+    s = SeedSequence(8).stream("pareto")
+    draws = [s.pareto(10.0, 2.0) for _ in range(1000)]
+    assert min(draws) >= 10.0
+
+
+def test_pareto_validation():
+    s = SeedSequence(8).stream("pareto")
+    with pytest.raises(ValueError):
+        s.pareto(0, 1)
+    with pytest.raises(ValueError):
+        s.pareto(1, 0)
+
+
+def test_lognormal_heavy_tail_vs_light():
+    s = SeedSequence(10).stream("tail")
+    light = [s.lognormal_mean_cv(100, 0.1) for _ in range(5000)]
+    heavy = [s.lognormal_mean_cv(100, 2.0) for _ in range(5000)]
+    assert max(heavy) > max(light)
+    assert math.isfinite(max(heavy))

@@ -1,0 +1,38 @@
+"""Tests for time unit helpers."""
+
+import pytest
+
+from repro.sim import MSEC, SEC, USEC, fmt_ns, ns, per_second, seconds
+
+
+def test_ns_conversions():
+    assert ns(1, SEC) == 1_000_000_000
+    assert ns(1.5, MSEC) == 1_500_000
+    assert ns(2, USEC) == 2_000
+    assert ns(7) == 7
+
+
+def test_ns_rounds():
+    assert ns(0.6) == 1
+    assert ns(0.4) == 0
+
+
+def test_seconds_round_trip():
+    assert seconds(ns(2.5, SEC)) == pytest.approx(2.5)
+
+
+def test_per_second():
+    assert per_second(100, SEC) == pytest.approx(100.0)
+    assert per_second(50, 500 * MSEC) == pytest.approx(100.0)
+
+
+def test_per_second_zero_duration():
+    assert per_second(100, 0) == 0.0
+
+
+def test_fmt_ns_units():
+    assert fmt_ns(1_500_000) == "1.500ms"
+    assert fmt_ns(2_000_000_000) == "2.000s"
+    assert fmt_ns(3_000) == "3.000us"
+    assert fmt_ns(42) == "42.000ns"
+    assert fmt_ns(0) == "0ns"

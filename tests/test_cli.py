@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "data-caching" in out
+    assert "triton-grpc" in out
+    assert "62000" in out
+
+
+def test_run(capsys):
+    assert main(["run", "silo", "--load", "0.5", "--requests", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "RPS_obsv" in out
+    assert "QoS ok" in out
+
+
+def test_run_explicit_rps(capsys):
+    assert main(["run", "silo", "--rps", "700", "--requests", "200"]) == 0
+    assert "700" in capsys.readouterr().out
+
+
+def test_run_vm_monitor(capsys):
+    assert main(["run", "silo", "--load", "0.4", "--requests", "150",
+                 "--monitor", "vm"]) == 0
+    assert "var(dt_send)" in capsys.readouterr().out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "silo", "--levels", "4", "--requests", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "dispersion" in out
+    assert "QoS failure at offered" in out or "never violated" in out
+
+
+def test_report_empty(tmp_path, capsys):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    assert main(["report", "--results", str(directory)]) == 0
+    assert "No renderable results" in capsys.readouterr().out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nginx"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

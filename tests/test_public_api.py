@@ -1,0 +1,53 @@
+"""The package's public surface: imports, __all__ integrity, versioning."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.sim",
+    "repro.kernel",
+    "repro.net",
+    "repro.ebpf",
+    "repro.workloads",
+    "repro.loadgen",
+    "repro.core",
+    "repro.analysis",
+]
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_all_resolvable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolvable(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__all__, module_name
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+def test_nine_workloads_exposed():
+    assert len(repro.workload_keys()) == 9
+    assert set(repro.WORKLOADS) == set(repro.workload_keys())
+
+
+def test_public_entry_points_are_documented():
+    for name in ("Kernel", "RequestMetricsMonitor", "OpenLoopClient",
+                 "run_level", "sweep"):
+        obj = getattr(repro, name)
+        assert (obj.__doc__ or "").strip(), name

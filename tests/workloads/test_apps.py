@@ -1,0 +1,252 @@
+"""Application-model tests: each architecture serves requests correctly and
+emits the syscall mix the paper documents for it."""
+
+import pytest
+
+from repro.kernel import Kernel, MachineSpec, Sys, TraceRecorder
+from repro.loadgen import OpenLoopClient
+from repro.sim import MSEC, Environment, SeedSequence
+from repro.workloads import (
+    DispatchPoolApp,
+    ServiceModel,
+    ThreadedPollApp,
+    TwoTierApp,
+    WorkloadConfig,
+    get_workload,
+    workload_keys,
+)
+from repro.kernel.syscalls import SyscallSpec
+
+
+def _kernel(cores=4):
+    spec = MachineSpec(name="t", cores=cores, ctx_switch_ns=0, syscall_overhead_ns=0)
+    return Kernel(Environment(), spec, SeedSequence(5), interference=False)
+
+
+def _drive(kernel, app, requests=30, rate=500):
+    client = OpenLoopClient(
+        kernel.env,
+        app.client_sockets,
+        kernel.seeds.stream("test-client"),
+        rate_rps=rate,
+        total_requests=requests,
+    )
+    client.start()
+    return kernel.env.run(until=client.done)
+
+
+def _small_config(app_kind="poll", **overrides):
+    defaults = dict(
+        name="small",
+        syscalls=SyscallSpec.data_caching(),
+        service=ServiceModel(mean_ns=500_000, cv=0.2),
+        workers=4,
+        cores=4,
+        connections=4,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestThreadedPollApp:
+    def test_serves_all_requests(self):
+        kernel = _kernel()
+        app = ThreadedPollApp(kernel, _small_config()).start()
+        report = _drive(kernel, app, requests=40)
+        assert report.completed == 40
+
+    def test_emits_configured_syscalls(self):
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        app = ThreadedPollApp(kernel, _small_config()).start()
+        _drive(kernel, app, requests=10)
+        nrs = {r.syscall_nr for r in recorder.records if r.tgid == app.tgid}
+        # Data Caching profile: read + sendmsg + epoll_wait (paper §IV-A).
+        assert Sys.READ in nrs
+        assert Sys.SENDMSG in nrs
+        assert Sys.EPOLL_WAIT in nrs
+        assert Sys.SELECT not in nrs
+        # Setup phase happened (Fig. 1(b)).
+        assert Sys.SOCKET in nrs
+        assert Sys.ACCEPT in nrs
+
+    def test_select_variant(self):
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        config = _small_config(syscalls=SyscallSpec.tailbench())
+        app = ThreadedPollApp(kernel, config).start()
+        _drive(kernel, app, requests=10)
+        nrs = {r.syscall_nr for r in recorder.records if r.tgid == app.tgid}
+        assert Sys.SELECT in nrs
+        assert Sys.RECVFROM in nrs
+        assert Sys.SENDTO in nrs
+        assert Sys.EPOLL_WAIT not in nrs
+
+    def test_chunked_responses(self):
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        config = _small_config(sends_per_request=(2, 2))
+        app = ThreadedPollApp(kernel, config).start()
+        report = _drive(kernel, app, requests=10)
+        assert report.completed == 10  # tag rides the final chunk
+        sends = [r for r in recorder.records
+                 if r.tgid == app.tgid and r.syscall_nr == Sys.SENDMSG]
+        assert len(sends) == 20
+
+    def test_double_start_rejected(self):
+        kernel = _kernel()
+        app = ThreadedPollApp(kernel, _small_config()).start()
+        with pytest.raises(RuntimeError):
+            app.start()
+
+    def test_io_uring_variant_serves_without_syscalls(self):
+        """§V-C: io_uring bypasses the syscall layer; tracing sees nothing."""
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        config = _small_config(io_uring=True)
+        app = ThreadedPollApp(kernel, config).start()
+        report = _drive(kernel, app, requests=20)
+        assert report.completed == 20  # service still works...
+        request_nrs = {
+            r.syscall_nr for r in recorder.records if r.tgid == app.tgid
+        }
+        # ...but no recv/send/poll syscalls were observable.
+        assert Sys.READ not in request_nrs
+        assert Sys.SENDMSG not in request_nrs
+        assert Sys.EPOLL_WAIT not in request_nrs
+
+
+class TestDispatchPoolApp:
+    def test_serves_all_requests(self):
+        kernel = _kernel()
+        config = _small_config(syscalls=SyscallSpec.triton_grpc())
+        app = DispatchPoolApp(kernel, config).start()
+        report = _drive(kernel, app, requests=30)
+        assert report.completed == 30
+
+    def test_grpc_syscall_mix_with_futex_dispatch(self):
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        config = _small_config(syscalls=SyscallSpec.triton_grpc())
+        app = DispatchPoolApp(kernel, config).start()
+        _drive(kernel, app, requests=15, rate=200)
+        nrs = {r.syscall_nr for r in recorder.records if r.tgid == app.tgid}
+        assert Sys.RECVMSG in nrs
+        assert Sys.SENDMSG in nrs
+        assert Sys.FUTEX in nrs  # executors block on the dispatch queue
+
+    def test_network_threads_receive_executors_send(self):
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        config = _small_config(syscalls=SyscallSpec.triton_http())
+        app = DispatchPoolApp(kernel, config).start()
+        _drive(kernel, app, requests=20, rate=300)
+        recv_tids = {r.tid for r in recorder.records
+                     if r.tgid == app.tgid and r.syscall_nr == Sys.RECVFROM}
+        send_tids = {r.tid for r in recorder.records
+                     if r.tgid == app.tgid and r.syscall_nr == Sys.SENDTO}
+        assert recv_tids.isdisjoint(send_tids)  # dispatch across threads
+        assert len(recv_tids) <= DispatchPoolApp.NETWORK_THREADS
+
+
+class TestTwoTierApp:
+    def _config(self, **overrides):
+        defaults = dict(
+            name="ws",
+            syscalls=SyscallSpec.web_search(),
+            service=ServiceModel(mean_ns=1 * MSEC, cv=0.3),
+            workers=4,
+            cores=4,
+            connections=4,
+            frontend_threads=2,
+            inflight_limit=8,
+        )
+        defaults.update(overrides)
+        return WorkloadConfig(**defaults)
+
+    def test_serves_all_requests(self):
+        kernel = _kernel()
+        app = TwoTierApp(kernel, self._config()).start()
+        report = _drive(kernel, app, requests=40, rate=400)
+        assert report.completed == 40
+
+    def test_two_processes(self):
+        kernel = _kernel()
+        app = TwoTierApp(kernel, self._config()).start()
+        assert app.backend_process.pid != app.process.pid
+        assert app.tgid == app.process.pid  # monitoring targets the front-end
+
+    def test_read_write_syscalls_in_both_tiers(self):
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        app = TwoTierApp(kernel, self._config()).start()
+        _drive(kernel, app, requests=20, rate=300)
+        frontend = {r.syscall_nr for r in recorder.records if r.tgid == app.tgid}
+        backend = {r.syscall_nr for r in recorder.records
+                   if r.tgid == app.backend_process.pid}
+        assert {Sys.READ, Sys.WRITE, Sys.EPOLL_WAIT} <= frontend
+        assert {Sys.READ, Sys.WRITE, Sys.EPOLL_WAIT} <= backend
+
+    def test_log_writes_add_noise(self):
+        kernel = _kernel()
+        recorder = TraceRecorder(kernel.tracepoints).attach()
+        app = TwoTierApp(kernel, self._config(log_write_prob=1.0)).start()
+        # A run factor in [0.2, 2.2] scales the probability; force >= 1.
+        app._run_log_factor = 1.0
+        _drive(kernel, app, requests=20, rate=300)
+        writes = [r for r in recorder.records
+                  if r.tgid == app.tgid and r.syscall_nr == Sys.WRITE]
+        # 20 forwards + 20 responses + 20 log writes.
+        assert len(writes) == 60
+
+    def test_backpressure_keeps_completions_correct(self):
+        kernel = _kernel()
+        config = self._config(inflight_limit=2, service=ServiceModel(mean_ns=3 * MSEC))
+        app = TwoTierApp(kernel, config).start()
+        report = _drive(kernel, app, requests=60, rate=2000)  # overload
+        assert report.completed == 60
+
+
+class TestRegistry:
+    def test_nine_workloads(self):
+        assert len(workload_keys()) == 9
+
+    def test_paper_failure_values(self):
+        # §IV-A's reported failure RPS.
+        expected = {
+            "img-dnn": 1950, "xapian": 970, "silo": 2100, "specjbb": 3700,
+            "moses": 900, "data-caching": 62000, "web-search": 420,
+            "triton-http": 21, "triton-grpc": 21,
+        }
+        for key, value in expected.items():
+            assert get_workload(key).paper_fail_rps == value
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nginx")
+
+    def test_suites(self):
+        suites = {get_workload(k).suite for k in workload_keys()}
+        assert suites == {"tailbench", "cloudsuite", "triton"}
+
+    def test_capacity_calibration(self):
+        """cores / mean_service must approximate the paper failure RPS."""
+        for key in workload_keys():
+            d = get_workload(key)
+            capacity = d.config.cores / (d.config.service.mean_ns / 1e9)
+            assert capacity == pytest.approx(d.paper_fail_rps, rel=0.25), key
+
+    def test_each_workload_serves_requests(self):
+        """Every registry entry builds and completes a small burst."""
+        for key in workload_keys():
+            d = get_workload(key)
+            kernel = Kernel(
+                Environment(),
+                MachineSpec(name="t", cores=d.config.cores),
+                SeedSequence(7),
+                interference=False,
+            )
+            app = d.build(kernel)
+            report = _drive(kernel, app, requests=10,
+                            rate=max(2.0, d.paper_fail_rps * 0.3))
+            assert report.completed == 10, key

@@ -1,0 +1,104 @@
+"""Tests for Triton-style dynamic batching in DispatchPoolApp."""
+
+import pytest
+
+from repro.kernel import Kernel, MachineSpec, TraceRecorder
+from repro.kernel.syscalls import Sys, SyscallSpec
+from repro.loadgen import OpenLoopClient
+from repro.sim import MSEC, Environment, SeedSequence
+from repro.workloads import DispatchPoolApp, ServiceModel, WorkloadConfig
+
+
+def _config(**overrides):
+    defaults = dict(
+        name="batchy",
+        syscalls=SyscallSpec.triton_grpc(),
+        service=ServiceModel(mean_ns=10 * MSEC, cv=0.0, distribution="deterministic"),
+        workers=1,
+        cores=1,
+        connections=4,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+def _run(config, rate, requests, seed=3):
+    env = Environment()
+    kernel = Kernel(env, MachineSpec(name="t", cores=config.cores),
+                    SeedSequence(seed), interference=False)
+    app = DispatchPoolApp(kernel, config).start()
+    client = OpenLoopClient(
+        env, app.client_sockets, kernel.seeds.stream("client"),
+        rate_rps=rate, total_requests=requests, arrival="uniform",
+    )
+    client.start()
+    report = env.run(until=client.done)
+    return report
+
+
+def test_batching_config_validation():
+    with pytest.raises(ValueError):
+        _config(batch_max=0)
+    with pytest.raises(ValueError):
+        _config(batch_window_ns=-1)
+    with pytest.raises(ValueError):
+        _config(batch_marginal_cost=0.0)
+
+
+def test_batching_off_serves_sequentially():
+    # 1 worker, 10ms deterministic service: 20 requests = 200ms+ of work.
+    report = _run(_config(), rate=500, requests=20)
+    assert report.completed == 20
+    assert report.achieved_rps <= 115  # ~1/10ms ceiling (+ edge effects)
+
+
+def test_batching_raises_throughput_ceiling():
+    """Batch of 4 at 0.35 marginal cost: ceiling ~4/(1+3*0.35) = 1.95x."""
+    plain = _run(_config(), rate=500, requests=40)
+    batched = _run(
+        _config(batch_max=4, batch_window_ns=5 * MSEC), rate=500, requests=40
+    )
+    assert batched.achieved_rps > 1.5 * plain.achieved_rps
+
+
+def test_batching_window_delays_lone_requests():
+    """At trickle load the batcher waits out its window before computing."""
+    plain = _run(_config(), rate=20, requests=10)
+    batched = _run(
+        _config(batch_max=4, batch_window_ns=8 * MSEC), rate=20, requests=10
+    )
+    # Each lone request pays (up to) the batching window extra.
+    assert batched.latency.p50_ns() > plain.latency.p50_ns() + 6 * MSEC
+
+
+def test_batched_responses_still_tagged_correctly():
+    report = _run(
+        _config(batch_max=8, batch_window_ns=5 * MSEC), rate=1000, requests=30
+    )
+    assert report.completed == 30  # every response matched its request
+
+
+def test_batch_send_syscalls_cluster():
+    """A drained batch emits its sendmsg calls back-to-back — the send
+    clustering that inflates delta variance at saturation."""
+    config = _config(batch_max=4, batch_window_ns=5 * MSEC)
+    env = Environment()
+    kernel = Kernel(env, MachineSpec(name="t", cores=1), SeedSequence(7),
+                    interference=False)
+    recorder = TraceRecorder(kernel.tracepoints).attach()
+    app = DispatchPoolApp(kernel, config).start()
+    client = OpenLoopClient(
+        env, app.client_sockets, kernel.seeds.stream("client"),
+        rate_rps=2000, total_requests=12, arrival="uniform",
+    )
+    client.start()
+    env.run(until=client.done)
+    sends = sorted(r.enter_ns for r in recorder.records
+                   if r.syscall_nr == Sys.SENDMSG)
+    assert len(sends) == 12
+    gaps = [b - a for a, b in zip(sends, sends[1:])]
+    # Mostly tiny intra-batch gaps with a few large inter-batch ones.
+    small = sum(1 for g in gaps if g < 1 * MSEC)
+    large = sum(1 for g in gaps if g > 5 * MSEC)
+    assert small >= 6
+    assert large >= 2

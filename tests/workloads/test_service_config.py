@@ -1,0 +1,73 @@
+"""ServiceModel and WorkloadConfig tests."""
+
+import statistics
+
+import pytest
+
+from repro.kernel import Sys, SyscallSpec
+from repro.sim import MSEC, SeedSequence
+from repro.workloads import ServiceModel, WorkloadConfig
+
+
+class TestServiceModel:
+    def test_deterministic(self):
+        model = ServiceModel(mean_ns=5 * MSEC, cv=0.0)
+        stream = SeedSequence(1).stream("svc")
+        assert all(model.draw(stream) == 5 * MSEC for _ in range(10))
+
+    def test_lognormal_moments(self):
+        model = ServiceModel(mean_ns=10 * MSEC, cv=0.5)
+        stream = SeedSequence(1).stream("svc")
+        draws = [model.draw(stream) for _ in range(20000)]
+        assert statistics.mean(draws) == pytest.approx(10 * MSEC, rel=0.05)
+        cv = statistics.stdev(draws) / statistics.mean(draws)
+        assert cv == pytest.approx(0.5, abs=0.05)
+
+    def test_exponential(self):
+        model = ServiceModel(mean_ns=1 * MSEC, distribution="exponential", cv=1.0)
+        stream = SeedSequence(2).stream("svc")
+        draws = [model.draw(stream) for _ in range(20000)]
+        assert statistics.mean(draws) == pytest.approx(1 * MSEC, rel=0.05)
+
+    def test_draws_positive(self):
+        model = ServiceModel(mean_ns=10, cv=3.0)
+        stream = SeedSequence(3).stream("svc")
+        assert all(model.draw(stream) >= 1 for _ in range(1000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceModel(mean_ns=0)
+        with pytest.raises(ValueError):
+            ServiceModel(mean_ns=1, cv=-1)
+        with pytest.raises(ValueError):
+            ServiceModel(mean_ns=1, distribution="pareto")
+
+
+class TestWorkloadConfig:
+    def _config(self, **overrides):
+        defaults = dict(
+            name="t",
+            syscalls=SyscallSpec.data_caching(),
+            service=ServiceModel(mean_ns=1 * MSEC),
+        )
+        defaults.update(overrides)
+        return WorkloadConfig(**defaults)
+
+    def test_defaults_valid(self):
+        config = self._config()
+        assert config.workers >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._config(workers=0)
+        with pytest.raises(ValueError):
+            self._config(sends_per_request=(2, 1))
+        with pytest.raises(ValueError):
+            self._config(sends_per_request=(0, 1))
+        with pytest.raises(ValueError):
+            self._config(log_write_prob=1.5)
+
+    def test_with_overrides(self):
+        config = self._config()
+        assert config.with_overrides(workers=3).workers == 3
+        assert config.with_overrides(workers=3).name == "t"
