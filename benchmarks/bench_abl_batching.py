@@ -14,10 +14,10 @@ from __future__ import annotations
 
 from conftest import emit, scaled
 
-from repro.analysis import run_level, save_record, series_table
+from repro.analysis import ExperimentSpec, run_level, save_record, series_table
 from repro.core import fit_linear
 from repro.sim import MSEC
-from repro.workloads import WorkloadDefinition, get_workload
+from repro.workloads import WorkloadDefinition, get_workload, register_workload
 
 
 def _batched_definition() -> WorkloadDefinition:
@@ -29,13 +29,13 @@ def _batched_definition() -> WorkloadDefinition:
         # Batching raises capacity ~4/(1+3*0.35) = 1.95x.
         paper_fail_rps=base.paper_fail_rps * 1.95,
     )
-    return WorkloadDefinition(
+    return register_workload(WorkloadDefinition(
         key="triton-grpc-batched",
         label="Triton (gRPC, batched)",
         suite="triton",
         app_class=base.app_class,
         config=config,
-    )
+    ))
 
 
 def sweep_one(definition) -> dict:
@@ -43,7 +43,10 @@ def sweep_one(definition) -> dict:
     obs, real, dispersion, p99 = [], [], [], []
     for fraction in fractions:
         rate = definition.paper_fail_rps * fraction
-        level = run_level(definition, rate, requests=scaled(1500, minimum=500))
+        level = run_level(ExperimentSpec(
+            workload=definition.key, offered_rps=rate,
+            requests=scaled(1500, minimum=500),
+        ))
         obs.append(level.rps_obsv)
         real.append(level.achieved_rps)
         dispersion.append(level.send_delta_cov2)

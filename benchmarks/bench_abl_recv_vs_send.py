@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from conftest import emit, scaled
 
-from repro.analysis import default_levels, run_level, save_record, series_table
+from repro.analysis import (
+    ExperimentSpec,
+    default_levels,
+    run_level,
+    save_record,
+    series_table,
+)
 from repro.core import fit_linear
 from repro.workloads import get_workload
 
@@ -20,7 +26,9 @@ def correlations(key: str) -> dict:
     levels = default_levels(definition, count=8, low_frac=0.3, high_frac=1.0)
     send_xs, recv_xs, ys = [], [], []
     for rate in levels:
-        level = run_level(definition, rate, requests=scaled(6000, minimum=1500))
+        level = run_level(ExperimentSpec(
+            workload=key, offered_rps=rate, requests=scaled(6000, minimum=1500),
+        ))
         send_xs.append(level.rps_obsv)
         recv_xs.append(level.rps_obsv_recv)
         ys.append(level.achieved_rps)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from conftest import emit, scaled
 
 from repro.analysis import save_record, series_table
-from repro.analysis.experiment import _SendTimestampProbe, run_level
+from repro.analysis.executor.pool import _SendTimestampProbe
 from repro.core import DeltaStats, chunk_by_count
 from repro.kernel import Kernel
 from repro.kernel.machine import AMD_EPYC_7302

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from conftest import bench_scale, emit, fig2_requests
 
-from repro.analysis import default_levels, run_level, save_record, series_table
+from repro.analysis import (
+    ExperimentSpec,
+    default_levels,
+    run_level,
+    save_record,
+    series_table,
+)
 from repro.core import fit_linear, residual_summary
 from repro.workloads import get_workload, workload_keys
 
@@ -38,7 +44,9 @@ def correlation_for(key: str) -> dict:
     xs, ys = [], []
     per_level = []
     for rate in levels:
-        level = run_level(definition, rate, requests=fig2_requests(rate))
+        level = run_level(ExperimentSpec(
+            workload=key, offered_rps=rate, requests=fig2_requests(rate),
+        ))
         for estimate in level.window_rps:
             xs.append(estimate)
             ys.append(level.achieved_rps)

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from conftest import emit, scaled
 
-from repro.analysis import default_levels, run_level, save_record, series_table
+from repro.analysis import (
+    ExperimentSpec,
+    default_levels,
+    run_level,
+    save_record,
+    series_table,
+)
 from repro.core import normalize
 from repro.net import NetemConfig
 from repro.workloads import get_workload
@@ -29,10 +35,11 @@ def run_fig5() -> dict:
     for label, netem in configs.items():
         p99s, polls, rps = [], [], []
         for rate in levels:
-            level = run_level(
-                definition, rate, requests=scaled(1200, minimum=400),
+            level = run_level(ExperimentSpec(
+                workload=definition.key, offered_rps=rate,
+                requests=scaled(1200, minimum=400),
                 client_to_server=netem, server_to_client=netem,
-            )
+            ))
             p99s.append(level.p99_ns / 1e6)
             polls.append(level.poll_mean_duration_ns / 1e6)
             rps.append(level.achieved_rps)

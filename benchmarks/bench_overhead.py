@@ -18,15 +18,17 @@ LOAD_FRACTION = 0.7
 
 
 def overhead_for(key: str) -> dict:
-    from repro.analysis import run_level
+    from repro.analysis import ExperimentSpec, run_level
 
     definition = get_workload(key)
-    rate = definition.paper_fail_rps * LOAD_FRACTION
-    requests = scaled(2500, minimum=600)
-    base = run_level(definition, rate, requests=requests,
-                     monitor_mode="native", charge_cost=False)
-    traced = run_level(definition, rate, requests=requests,
-                       monitor_mode="vm", charge_cost=True)
+    spec = ExperimentSpec(
+        workload=key,
+        offered_rps=definition.paper_fail_rps * LOAD_FRACTION,
+        requests=scaled(2500, minimum=600),
+        monitor_mode="native", charge_cost=False,
+    )
+    base = run_level(spec)
+    traced = run_level(spec.replace(monitor_mode="vm", charge_cost=True))
     p99_overhead = (traced.p99_ns - base.p99_ns) / base.p99_ns
     p50_overhead = (traced.p50_ns - base.p50_ns) / base.p50_ns
     return {

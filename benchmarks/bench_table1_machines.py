@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from conftest import emit, scaled
 
-from repro.analysis import default_levels, render_table1, run_level, save_record
+from repro.analysis import (
+    ExperimentSpec,
+    default_levels,
+    render_table1,
+    run_level,
+    save_record,
+)
 from repro.core import fit_linear
 from repro.kernel import AMD_EPYC_7302, INTEL_XEON_E5_2620
 from repro.workloads import get_workload
@@ -21,8 +27,10 @@ def r2_on(machine) -> float:
     levels = default_levels(definition, count=6, low_frac=0.3, high_frac=0.95)
     xs, ys = [], []
     for rate in levels:
-        level = run_level(definition, rate, requests=scaled(8000, minimum=2000),
-                          machine=machine)
+        level = run_level(ExperimentSpec(
+            workload=definition.key, offered_rps=rate,
+            requests=scaled(8000, minimum=2000), machine=machine,
+        ))
         for estimate in level.window_rps:
             xs.append(estimate)
             ys.append(level.achieved_rps)

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from conftest import bench_scale, emit, fig2_requests
 
-from repro.analysis import default_levels, render_table2, run_level, save_record
+from repro.analysis import (
+    ExperimentSpec,
+    default_levels,
+    render_table2,
+    run_level,
+    save_record,
+)
 from repro.core import fit_linear
 from repro.net import NetemConfig
 from repro.workloads import get_workload, workload_keys
@@ -34,10 +40,10 @@ def r2_under(key: str, netem: NetemConfig) -> float:
     levels = default_levels(definition, count=8, low_frac=0.3, high_frac=1.0)
     xs, ys = [], []
     for rate in levels:
-        level = run_level(
-            definition, rate, requests=fig2_requests(rate),
+        level = run_level(ExperimentSpec(
+            workload=key, offered_rps=rate, requests=fig2_requests(rate),
             client_to_server=netem, server_to_client=netem,
-        )
+        ))
         for estimate in level.window_rps:
             xs.append(estimate)
             ys.append(level.achieved_rps)

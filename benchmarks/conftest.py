@@ -6,11 +6,20 @@ under ``results/``, and asserts the paper's qualitative claims (who wins,
 where the knee falls) — not its absolute numbers, since the substrate is a
 simulator rather than the authors' testbed.
 
+Sweeps go through the parallel experiment executor
+(:mod:`repro.analysis.executor`), so long figure regenerations can fan out
+across cores and reuse the on-disk result cache; both are opt-in and
+bit-identical to a serial, uncached run.
+
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — multiply per-level request budgets (default 1.0;
   set to e.g. 0.25 for a quick smoke run).
 * ``REPRO_FAST=1`` — shorthand for ``REPRO_BENCH_SCALE=0.25``.
+* ``REPRO_BENCH_JOBS`` — worker processes per sweep (default 1 = serial).
+* ``REPRO_BENCH_CACHE=1`` — reuse the on-disk result cache under
+  ``results/.cache/`` across benchmark runs (off by default so fresh code
+  is always re-measured).
 """
 
 from __future__ import annotations
@@ -21,7 +30,13 @@ from typing import Dict, Optional, Sequence
 
 import pytest
 
-from repro.analysis import SweepResult, default_levels, run_level, sweep
+from repro.analysis import (
+    CellProgress,
+    ResultCache,
+    SweepResult,
+    default_levels,
+    sweep,
+)
 from repro.workloads import WorkloadDefinition, get_workload, workload_keys
 
 
@@ -29,6 +44,14 @@ def bench_scale() -> float:
     if os.environ.get("REPRO_FAST"):
         return 0.25
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def bench_cache() -> Optional[ResultCache]:
+    return ResultCache() if os.environ.get("REPRO_BENCH_CACHE") else None
 
 
 def scaled(requests: int, minimum: int = 200) -> int:
@@ -47,12 +70,22 @@ def emit(text: str) -> None:
     print(text, file=sys.stderr)
 
 
+def _progress(event: CellProgress) -> None:
+    print(
+        f"  [{event.done}/{event.total}] {event.spec.label()} {event.source} "
+        f"({event.cache_hits} cached, {event.elapsed_s:.1f}s)",
+        file=sys.stderr,
+    )
+
+
 class SweepCache:
     """Session-scoped cache so figure benches sharing a sweep (Figs. 3/4)
-    compute it once."""
+    compute it once.  Backed by the experiment executor, so each sweep also
+    honours ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_CACHE``."""
 
     def __init__(self) -> None:
         self._cache: Dict[tuple, SweepResult] = {}
+        self._disk_cache = bench_cache()
 
     def full_sweep(
         self,
@@ -66,7 +99,12 @@ class SweepCache:
             definition = get_workload(key)
             levels = default_levels(definition, count=count, high_frac=high_frac)
             self._cache[cache_key] = sweep(
-                definition, levels=levels, requests=scaled(requests)
+                definition,
+                levels=levels,
+                requests=scaled(requests),
+                jobs=bench_jobs(),
+                cache=self._disk_cache,
+                progress=_progress,
             )
         return self._cache[cache_key]
 

@@ -20,7 +20,16 @@ stack:
 
 __version__ = "1.0.0"
 
-from .analysis import default_levels, run_level, sweep
+from .analysis import (
+    ExperimentSpec,
+    LevelResult,
+    ResultCache,
+    SweepResult,
+    default_levels,
+    run_cells,
+    run_level,
+    sweep,
+)
 from .core import MetricsSnapshot, RequestMetricsMonitor
 from .kernel import AMD_EPYC_7302, INTEL_XEON_E5_2620, Kernel, MachineSpec
 from .loadgen import OpenLoopClient
@@ -46,4 +55,9 @@ __all__ = [
     "run_level",
     "sweep",
     "default_levels",
+    "ExperimentSpec",
+    "LevelResult",
+    "SweepResult",
+    "ResultCache",
+    "run_cells",
 ]

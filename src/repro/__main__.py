@@ -6,24 +6,53 @@ Commands:
 * ``run`` — one load level of one workload; prints ground truth vs the
   eBPF-side observations;
 * ``sweep`` — a full load sweep with sparkline summaries of the three
-  signals (Figs. 2-4 in miniature);
+  signals (Figs. 2-4 in miniature); ``--jobs N`` fans the levels out
+  across a process pool, and the on-disk result cache (disable with
+  ``--no-cache``) makes re-runs compute only missing cells;
 * ``report`` — render ``results/*.json`` into markdown
   (same as ``python -m repro.analysis.report``).
+
+``run`` and ``sweep`` accept ``--json`` for a machine-readable
+``LevelResult`` dump.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .analysis import default_levels, run_level, sweep
+from .analysis import (
+    CellProgress,
+    ExperimentSpec,
+    ResultCache,
+    default_levels,
+    run_cells,
+    save_sweep,
+    sweep,
+)
 from .analysis.figures import series_table, sparkline
 from .analysis.report import load_results, render_report
 from .analysis.results import results_dir
 from .workloads import get_workload, workload_keys, WORKLOADS
 
 __all__ = ["main"]
+
+
+def _cache_from(args) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)  # None -> default results/.cache
+
+
+def _print_progress(event: CellProgress) -> None:
+    """One stderr line per finished cell so long sweeps are observable."""
+    print(
+        f"[{event.done}/{event.total}] {event.spec.label()} {event.source} "
+        f"({event.cache_hits} cached, {event.elapsed_s:.1f}s)",
+        file=sys.stderr,
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -43,10 +72,20 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     definition = get_workload(args.workload)
     rate = args.rps if args.rps else definition.paper_fail_rps * args.load
-    level = run_level(
-        definition, rate, requests=args.requests, seed=args.seed,
+    spec = ExperimentSpec(
+        workload=definition.key,
+        offered_rps=rate,
+        requests=args.requests,
+        seed=args.seed,
         monitor_mode=args.monitor,
     )
+    levels, stats = run_cells(
+        [spec], jobs=args.jobs, cache=_cache_from(args)
+    )
+    level = levels[0]
+    if args.json:
+        print(json.dumps(level.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(f"workload {definition.label!r} at {rate:g} offered rps "
           f"({args.requests} requests, seed {args.seed})\n")
     print(f"  achieved RPS       : {level.achieved_rps:12.1f}   (ground truth)")
@@ -59,14 +98,35 @@ def _cmd_run(args) -> int:
     print(f"  poll duration      : {level.poll_mean_duration_ns / 1e6:12.3f} ms "
           f"({level.poll_count} polls)")
     print(f"  cpu utilization    : {level.utilization:12.2f}")
+    print(f"  executor           : {stats.summary()}")
     return 0
 
 
 def _cmd_sweep(args) -> int:
     definition = get_workload(args.workload)
     levels = default_levels(definition, count=args.levels, high_frac=args.high)
-    result = sweep(definition, levels=levels, requests=args.requests,
-                   seed=args.seed)
+    progress = None if args.json else _print_progress
+    result = sweep(
+        definition,
+        levels=levels,
+        requests=args.requests,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_cache_from(args),
+        progress=progress,
+    )
+    if args.save:
+        save_sweep(result, args.save)
+    if args.json:
+        print(json.dumps(
+            {
+                "workload": result.workload,
+                "levels": [level.to_dict() for level in result.levels],
+                "telemetry": result.telemetry,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print(f"sweep of {definition.label!r} "
           f"(paper failure at {definition.paper_fail_rps:g} rps)\n")
     print(series_table(
@@ -86,6 +146,10 @@ def _cmd_sweep(args) -> int:
     fail = result.qos_failure_rps()
     print(f"\nQoS failure at offered ~{fail:g} rps" if fail
           else "\nQoS never violated in this sweep")
+    if result.telemetry:
+        t = result.telemetry
+        print(f"executor: {t['total']} cells: {t['cache_hits']} cached, "
+              f"{t['computed']} computed in {t['wall_s']:.2f}s")
     return 0
 
 
@@ -93,6 +157,24 @@ def _cmd_report(args) -> int:
     directory = results_dir() if args.results is None else args.results
     print(render_report(load_results(directory)))
     return 0
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return jobs
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for independent cells (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default results/.cache)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable LevelResult JSON")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,6 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=1317)
     run_parser.add_argument("--monitor", choices=("native", "vm"),
                             default="native")
+    _add_executor_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run a full load sweep")
     sweep_parser.add_argument("workload", choices=workload_keys())
@@ -123,6 +206,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="top level as a fraction of failure RPS")
     sweep_parser.add_argument("--requests", type=int, default=2000)
     sweep_parser.add_argument("--seed", type=int, default=1317)
+    sweep_parser.add_argument("--save", default=None, metavar="NAME",
+                              help="persist the sweep as results/NAME.json")
+    _add_executor_flags(sweep_parser)
 
     report_parser = sub.add_parser("report", help="render results/ to markdown")
     report_parser.add_argument("--results", default=None)

@@ -1,5 +1,15 @@
-"""Experiment harness: sweeps, persistence, figure/table renderers."""
+"""Experiment harness: typed specs, parallel executor, persistence, renderers."""
 
+from .executor import (
+    CellProgress,
+    ExecutorStats,
+    ExperimentSpec,
+    ProgressCallback,
+    ResultCache,
+    default_cache_dir,
+    execute_cell,
+    run_cells,
+)
 from .experiment import (
     DEFAULT_SEED,
     LevelResult,
@@ -9,21 +19,34 @@ from .experiment import (
     sweep,
 )
 from .figures import figure_header, series_table, sparkline
+from .report import load_results, render_report
 from .results import load_sweep, results_dir, save_record, save_sweep
 from .tables import render_table1, render_table2
 from .timeline import phase_summary, render_stream, render_timeline
 
 __all__ = [
+    # specs + executor
+    "ExperimentSpec",
+    "ResultCache",
+    "default_cache_dir",
+    "execute_cell",
+    "run_cells",
+    "CellProgress",
+    "ExecutorStats",
+    "ProgressCallback",
+    # sweep harness
     "run_level",
     "sweep",
     "default_levels",
     "LevelResult",
     "SweepResult",
     "DEFAULT_SEED",
+    # persistence
     "save_sweep",
     "load_sweep",
     "save_record",
     "results_dir",
+    # renderers
     "sparkline",
     "series_table",
     "figure_header",
@@ -32,4 +55,6 @@ __all__ = [
     "phase_summary",
     "render_stream",
     "render_timeline",
+    "load_results",
+    "render_report",
 ]

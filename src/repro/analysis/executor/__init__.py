@@ -1,0 +1,40 @@
+"""Parallel experiment executor with deterministic result caching.
+
+The subsystem behind every figure regeneration:
+
+* :mod:`.spec` — :class:`ExperimentSpec`, the canonical typed description
+  of one (workload, offered-RPS, netem, machine) cell, plus the
+  :class:`LevelResult`/:class:`SweepResult` containers;
+* :mod:`.cache` — :class:`ResultCache`, an on-disk store under
+  ``results/.cache/`` keyed by the spec's content hash;
+* :mod:`.pool` — :func:`execute_cell` (one cell, pure function of its
+  spec) and :func:`run_cells` (process-pool fan-out with cache consultation
+  and progress telemetry).
+
+Because each cell derives its own seed sequence from its spec, parallel
+execution and cache replay are both bit-identical to a serial run.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .pool import (
+    CellProgress,
+    ExecutorStats,
+    ProgressCallback,
+    execute_cell,
+    run_cells,
+)
+from .spec import DEFAULT_SEED, ExperimentSpec, LevelResult, SweepResult
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentSpec",
+    "LevelResult",
+    "SweepResult",
+    "ResultCache",
+    "default_cache_dir",
+    "CellProgress",
+    "ExecutorStats",
+    "ProgressCallback",
+    "execute_cell",
+    "run_cells",
+]

@@ -1,0 +1,97 @@
+"""On-disk result cache, content-addressed by :meth:`ExperimentSpec.cache_key`.
+
+One cache entry = one JSON file under ``results/.cache/`` holding the spec
+(for auditability) and the :class:`LevelResult` it produced.  Because the
+key hashes every outcome-shaping field plus the package version, a warm
+cache can only ever serve results that are bit-identical to what a fresh
+run would compute — re-running a sweep therefore computes missing or
+changed cells only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .spec import ExperimentSpec, LevelResult
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``results/.cache`` under the repository's results directory."""
+    # Imported lazily: results.py sits above this module in the analysis
+    # package's import order.
+    from ..results import results_dir
+
+    return results_dir() / ".cache"
+
+
+class ResultCache:
+    """Persistent (spec -> LevelResult) store.
+
+    Misses return ``None`` rather than raising; corrupt or foreign files in
+    the cache directory are treated as misses, never as errors, so a cache
+    can always be deleted or hand-edited safely.
+    """
+
+    def __init__(self, directory: Union[None, str, Path] = None) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir()
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.directory / f"{spec.cache_key()}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[LevelResult]:
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            return LevelResult(**payload["result"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: ExperimentSpec, result: LevelResult) -> Path:
+        """Store ``result`` under ``spec``'s key; returns the entry path."""
+        path = self.path_for(spec)
+        payload = {
+            "key": spec.cache_key(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        # Write-then-rename so a crashed run never leaves a truncated entry
+        # that a later run would have to classify as corrupt.
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def invalidate(self, spec: ExperimentSpec) -> bool:
+        """Drop the entry for ``spec``; True if one existed."""
+        path = self.path_for(spec)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"<ResultCache dir={str(self.directory)!r} entries={len(self)}>"

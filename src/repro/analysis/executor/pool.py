@@ -1,0 +1,248 @@
+"""Cell execution and the parallel experiment executor.
+
+:func:`execute_cell` runs one :class:`ExperimentSpec` to completion — boot
+a kernel, start the app, attach the observability monitor, drive an
+open-loop burst of requests, collect every signal.  :func:`run_cells` fans
+a batch of cells out across a process pool, consulting a
+:class:`ResultCache` first and reporting progress through a telemetry
+callback.
+
+Determinism: each cell derives its own :class:`SeedSequence` from its spec
+(see :meth:`ExperimentSpec.seed_sequence`), so results are a pure function
+of the spec — ``jobs=4`` is bit-identical to ``jobs=1``, and a cache hit is
+bit-identical to a fresh computation.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...core.monitor import MetricsSnapshot, RequestMetricsMonitor
+from ...core.windows import window_estimates
+from ...kernel.kernel import Kernel
+from ...loadgen.client import ClientReport, OpenLoopClient
+from ...net.netem import NetemConfig
+from ...sim.engine import Environment
+from .cache import ResultCache
+from .spec import ExperimentSpec, LevelResult
+
+__all__ = [
+    "CellProgress",
+    "ExecutorStats",
+    "ProgressCallback",
+    "execute_cell",
+    "run_cells",
+]
+
+
+class _SendTimestampProbe:
+    """Minimal native probe recording send-family sys_enter timestamps
+    (for the per-window estimates of Fig. 2's residual analysis)."""
+
+    def __init__(self, kernel: Kernel, tgid: int, syscall_nrs) -> None:
+        self.kernel = kernel
+        self.tgid = tgid
+        self.nrs = frozenset(syscall_nrs)
+        self.timestamps: List[int] = []
+
+    def __call__(self, ctx) -> int:
+        if ctx.pid_tgid >> 32 == self.tgid and ctx.syscall_nr in self.nrs:
+            self.timestamps.append(ctx.ktime_ns)
+        return 0
+
+    def attach(self) -> "_SendTimestampProbe":
+        self.kernel.tracepoints.sys_enter.attach(self)
+        return self
+
+
+def execute_cell(spec: ExperimentSpec) -> LevelResult:
+    """Run one experiment cell to completion and collect all signals."""
+    definition = spec.definition
+    config = definition.config
+    machine = spec.machine.with_cores(config.cores)
+    if config.interference_scale != 1.0:
+        from dataclasses import replace as _replace
+
+        machine = _replace(
+            machine,
+            interference=_replace(
+                machine.interference,
+                stall_mean_ns=max(1, int(machine.interference.stall_mean_ns
+                                         * config.interference_scale)),
+            ),
+        )
+    env = Environment()
+    seeds = spec.seed_sequence()
+    kernel = Kernel(env, machine, seeds, interference=spec.interference)
+
+    app = definition.build(kernel, spec.client_to_server, spec.server_to_client)
+    monitor = RequestMetricsMonitor(
+        kernel, app.tgid, spec=config.syscalls, mode=spec.monitor_mode,
+        charge_cost=spec.charge_cost,
+    ).attach()
+    send_probe = _SendTimestampProbe(kernel, app.tgid, (config.syscalls.send_nr,)).attach()
+
+    client = OpenLoopClient(
+        env,
+        app.client_sockets,
+        seeds.stream("client:arrivals"),
+        rate_rps=spec.offered_rps,
+        total_requests=spec.requests,
+        request_size=config.request_size,
+        qos_latency_ns=config.qos_latency_ns,
+        arrival=spec.arrival,
+    )
+    client.start()
+    report: ClientReport = env.run(until=client.done)
+    snapshot: MetricsSnapshot = monitor.snapshot()
+
+    # Steady-state trim for the per-window estimates too: sends after the
+    # final offered arrival belong to the drain, not the measured load.
+    send_times = send_probe.timestamps
+    if client.last_offered_ns is not None:
+        send_times = [t for t in send_times if t <= client.last_offered_ns]
+
+    c2s = spec.client_to_server or NetemConfig.ideal()
+    return LevelResult(
+        workload=definition.key,
+        offered_rps=spec.offered_rps,
+        achieved_rps=report.achieved_rps,
+        p99_ns=report.p99_ns,
+        p50_ns=report.latency.p50_ns(),
+        mean_latency_ns=report.latency.mean_ns(),
+        completed=report.completed,
+        qos_violated=report.qos_violated,
+        rps_obsv=snapshot.rps_obsv,
+        rps_obsv_recv=snapshot.rps_obsv_recv,
+        send_delta_variance=float(snapshot.send_delta_variance),
+        send_delta_cov2=snapshot.send_delta_cov2,
+        recv_delta_variance=float(snapshot.recv_delta_variance),
+        poll_mean_duration_ns=float(snapshot.poll_mean_duration_ns),
+        poll_count=snapshot.poll.count,
+        window_rps=window_estimates(send_times, spec.estimate_windows),
+        machine=machine.name,
+        netem_label=c2s.label(),
+        utilization=kernel.cpu.utilization(),
+        sim_duration_ns=env.now,
+    )
+
+
+def _cell_worker(payload: dict) -> dict:
+    """Process-pool entry point: dicts in, dicts out (spawn-safe, picklable)."""
+    return execute_cell(ExperimentSpec.from_dict(payload)).to_dict()
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """One telemetry event: a cell finished (from cache or computed)."""
+
+    #: Position of the cell in the submitted batch.
+    index: int
+    #: Batch size.
+    total: int
+    #: The cell's spec.
+    spec: ExperimentSpec
+    #: ``"cache"`` or ``"computed"``.
+    source: str
+    #: Cells finished so far (cache hits + computed).
+    done: int
+    #: Cache hits so far.
+    cache_hits: int
+    #: Cells computed so far.
+    computed: int
+    #: Wall-clock seconds since the batch started.
+    elapsed_s: float
+
+
+@dataclass
+class ExecutorStats:
+    """End-of-batch telemetry: cells done, cache hits, wall-clock."""
+
+    total: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} cells: {self.cache_hits} cached, "
+            f"{self.computed} computed in {self.wall_s:.2f}s"
+        )
+
+
+ProgressCallback = Callable[[CellProgress], None]
+
+
+def run_cells(
+    specs: Sequence[ExperimentSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> Tuple[List[LevelResult], ExecutorStats]:
+    """Run a batch of cells, in spec order, across up to ``jobs`` workers.
+
+    Cache hits are served first (and never occupy a worker); only missing
+    cells are computed.  Freshly computed results are written back to the
+    cache from the parent process, so concurrent workers never race on the
+    cache directory.  The returned results list is ordered like ``specs``
+    regardless of completion order.
+    """
+    specs = list(specs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    stats = ExecutorStats(total=len(specs))
+    results: List[Optional[LevelResult]] = [None] * len(specs)
+
+    def emit(index: int, source: str) -> None:
+        if progress is not None:
+            progress(CellProgress(
+                index=index,
+                total=len(specs),
+                spec=specs[index],
+                source=source,
+                done=stats.cache_hits + stats.computed,
+                cache_hits=stats.cache_hits,
+                computed=stats.computed,
+                elapsed_s=time.perf_counter() - start,
+            ))
+
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            stats.cache_hits += 1
+            emit(index, "cache")
+        else:
+            pending.append(index)
+
+    def finish(index: int, result: LevelResult) -> None:
+        results[index] = result
+        stats.computed += 1
+        if cache is not None:
+            cache.put(specs[index], result)
+        emit(index, "computed")
+
+    workers = min(jobs, len(pending))
+    if workers <= 1:
+        for index in pending:
+            finish(index, execute_cell(specs[index]))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_cell_worker, specs[index].to_dict()): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                finish(futures[future], LevelResult(**future.result()))
+
+    stats.wall_s = time.perf_counter() - start
+    return results, stats

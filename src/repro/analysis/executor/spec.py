@@ -1,0 +1,298 @@
+"""The typed experiment specification and result containers.
+
+An :class:`ExperimentSpec` is the canonical description of one
+(workload, offered-RPS, netem, machine) cell: a frozen, hashable value
+object that can be serialized (``to_dict``/``from_dict``), compared, and
+content-addressed (``cache_key``).  Everything the cell's simulation
+consumes is a field here, which is what makes parallel execution and
+on-disk caching sound: a cell is a pure function of its spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace as _dc_replace
+from typing import List, Mapping, Optional, Sequence, Union
+
+from ...kernel.machine import AMD_EPYC_7302, MACHINES, InterferenceSpec, MachineSpec
+from ...net.netem import NetemConfig
+from ...sim.rng import SeedSequence
+from ...workloads.registry import WorkloadDefinition, get_workload
+
+__all__ = ["DEFAULT_SEED", "ExperimentSpec", "LevelResult", "SweepResult"]
+
+#: Stable default seed so figures are reproducible run to run.
+DEFAULT_SEED = 1317
+
+#: Monitor implementations understood by :class:`~repro.core.RequestMetricsMonitor`.
+MONITOR_MODES = ("native", "vm")
+
+#: Arrival processes understood by :class:`~repro.loadgen.OpenLoopClient`.
+ARRIVAL_PROCESSES = ("uniform", "poisson")
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports this module (indirectly) while
+    # it is still initializing, but ``__version__`` is bound before that.
+    from ... import __version__
+
+    return __version__
+
+
+def _machine_from(value: Union[str, Mapping, MachineSpec]) -> MachineSpec:
+    if isinstance(value, MachineSpec):
+        return value
+    if isinstance(value, str):
+        try:
+            return MACHINES[value]
+        except KeyError:
+            raise KeyError(
+                f"unknown machine {value!r}; available: {sorted(MACHINES)}"
+            ) from None
+    payload = dict(value)
+    interference = payload.pop("interference", None)
+    if isinstance(interference, Mapping):
+        interference = InterferenceSpec(**interference)
+    if interference is not None:
+        payload["interference"] = interference
+    return MachineSpec(**payload)
+
+
+def _netem_from(value: Union[None, Mapping, NetemConfig]) -> Optional[NetemConfig]:
+    if value is None or isinstance(value, NetemConfig):
+        return value
+    return NetemConfig(**dict(value))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Complete, typed description of one experiment cell.
+
+    Replaces ``run_level``'s keyword sprawl: every knob that shapes the
+    cell's outcome is a named, validated field.  Instances are frozen and
+    hashable, so they can key in-memory dictionaries directly, and
+    :meth:`cache_key` gives a stable content hash for the on-disk result
+    cache.
+    """
+
+    #: Workload registry key (e.g. ``"silo"``).
+    workload: str
+    #: Offered load in requests per second.
+    offered_rps: float
+    #: Open-loop request budget for the cell.
+    requests: int = 3000
+    #: Master seed; the cell derives its own child sequence from it.
+    seed: int = DEFAULT_SEED
+    #: Machine profile the kernel boots on (a name from ``MACHINES`` or a
+    #: full :class:`MachineSpec`).
+    machine: MachineSpec = AMD_EPYC_7302
+    #: Impairment on the client -> server direction (``None`` = ideal).
+    client_to_server: Optional[NetemConfig] = None
+    #: Impairment on the server -> client direction (``None`` = ideal).
+    server_to_client: Optional[NetemConfig] = None
+    #: Monitor implementation: ``"native"`` twin or the eBPF ``"vm"``.
+    monitor_mode: str = "native"
+    #: Charge the probe's execution cost to the traced syscalls.
+    charge_cost: bool = False
+    #: Number of per-window Eq. 1 estimates to compute.
+    estimate_windows: int = 10
+    #: Enable the contention-convoy interference substrate.
+    interference: bool = True
+    #: Client arrival process.
+    arrival: str = "uniform"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "machine", _machine_from(self.machine))
+        object.__setattr__(self, "offered_rps", float(self.offered_rps))
+        object.__setattr__(self, "requests", int(self.requests))
+        object.__setattr__(self, "seed", int(self.seed))
+        get_workload(self.workload)  # raises KeyError for unknown workloads
+        if self.offered_rps <= 0:
+            raise ValueError(f"offered_rps must be positive, got {self.offered_rps}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.monitor_mode not in MONITOR_MODES:
+            raise ValueError(
+                f"monitor_mode must be one of {MONITOR_MODES}, got {self.monitor_mode!r}"
+            )
+        if self.estimate_windows < 1:
+            raise ValueError("estimate_windows must be >= 1")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_PROCESSES}, got {self.arrival!r}"
+            )
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def definition(self) -> WorkloadDefinition:
+        """The workload definition this spec names."""
+        return get_workload(self.workload)
+
+    def seed_sequence(self) -> SeedSequence:
+        """The cell's own seed sequence.
+
+        Derived per cell (seed x workload x offered RPS), so every cell's
+        random streams are independent of execution order: parallel results
+        are bit-identical to serial ones.  The derivation string matches the
+        original serial runner's, keeping results comparable across versions.
+        """
+        return SeedSequence(self.seed).child(f"{self.workload}@{self.offered_rps:g}")
+
+    def label(self) -> str:
+        """Short human-readable cell label (progress lines, filenames)."""
+        return f"{self.workload}@{self.offered_rps:g}"
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "workload": self.workload,
+            "offered_rps": self.offered_rps,
+            "requests": self.requests,
+            "seed": self.seed,
+            "machine": asdict(self.machine),
+            "client_to_server": (
+                asdict(self.client_to_server) if self.client_to_server else None
+            ),
+            "server_to_client": (
+                asdict(self.server_to_client) if self.server_to_client else None
+            ),
+            "monitor_mode": self.monitor_mode,
+            "charge_cost": self.charge_cost,
+            "estimate_windows": self.estimate_windows,
+            "interference": self.interference,
+            "arrival": self.arrival,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(payload)
+        data["machine"] = _machine_from(data.get("machine", AMD_EPYC_7302))
+        data["client_to_server"] = _netem_from(data.get("client_to_server"))
+        data["server_to_client"] = _netem_from(data.get("server_to_client"))
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Stable content hash of the spec (plus the package version).
+
+        Two specs share a key iff every field that can influence the cell's
+        outcome is identical and the package version matches, so a cache
+        entry can never be served for a semantically different cell.  The
+        resolved workload's full configuration is hashed in too, so a
+        recalibrated or custom-registered workload under the same key can
+        never collide with stale entries.
+        """
+        definition = self.definition
+        canonical = json.dumps(
+            {
+                "spec": self.to_dict(),
+                "version": _package_version(),
+                "workload_config": {
+                    "app_class": definition.app_class.__name__,
+                    "suite": definition.suite,
+                    "config": asdict(definition.config),
+                },
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+    # -- construction helpers --------------------------------------------
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy of this spec with the given fields changed."""
+        return _dc_replace(self, **changes)
+
+    @staticmethod
+    def grid(
+        workloads: Sequence[Union[str, WorkloadDefinition]],
+        levels: Sequence[float],
+        **common,
+    ) -> List["ExperimentSpec"]:
+        """The cross product of workloads x offered-RPS levels.
+
+        ``common`` keywords apply to every cell (seed, netem, ...).
+        """
+        keys = [w.key if isinstance(w, WorkloadDefinition) else w for w in workloads]
+        return [
+            ExperimentSpec(workload=key, offered_rps=rate, **common)
+            for key in keys
+            for rate in levels
+        ]
+
+
+@dataclass
+class LevelResult:
+    """Everything measured at one load level."""
+
+    workload: str
+    offered_rps: float
+    # ground truth (client side)
+    achieved_rps: float
+    p99_ns: float
+    p50_ns: float
+    mean_latency_ns: float
+    completed: int
+    qos_violated: bool
+    # eBPF-side observations
+    rps_obsv: float
+    rps_obsv_recv: float
+    send_delta_variance: float
+    send_delta_cov2: float
+    recv_delta_variance: float
+    poll_mean_duration_ns: float
+    poll_count: int
+    # per-window Eq.1 estimates (Fig. 2 green dots)
+    window_rps: List[float] = field(default_factory=list)
+    # run metadata
+    machine: str = ""
+    netem_label: str = ""
+    utilization: float = 0.0
+    sim_duration_ns: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SweepResult:
+    """A full load sweep for one workload."""
+
+    workload: str
+    levels: List[LevelResult]
+    #: Executor telemetry for the run that produced this sweep (cells done,
+    #: cache hits, wall-clock), when it came through the executor.
+    telemetry: Optional[dict] = None
+
+    @property
+    def offered(self) -> List[float]:
+        return [l.offered_rps for l in self.levels]
+
+    @property
+    def achieved(self) -> List[float]:
+        return [l.achieved_rps for l in self.levels]
+
+    @property
+    def observed(self) -> List[float]:
+        return [l.rps_obsv for l in self.levels]
+
+    @property
+    def variances(self) -> List[float]:
+        return [float(l.send_delta_variance) for l in self.levels]
+
+    @property
+    def dispersion(self) -> List[float]:
+        return [l.send_delta_cov2 for l in self.levels]
+
+    @property
+    def poll_durations(self) -> List[float]:
+        return [float(l.poll_mean_duration_ns) for l in self.levels]
+
+    def qos_failure_rps(self) -> Optional[float]:
+        """First offered RPS whose p99 crossed the QoS threshold."""
+        for level in self.levels:
+            if level.qos_violated:
+                return level.offered_rps
+        return None

@@ -1,129 +1,67 @@
-"""The load-sweep experiment runner.
+"""The load-sweep experiment runner (compatibility surface).
 
-One :func:`run_level` = one (workload, offered-RPS, netem, machine) cell:
-boot a kernel, start the app, attach the observability monitor, drive an
-open-loop burst of requests to completion, and report both the ground truth
-(client-side RPS + latency percentiles) and the eBPF-side observations.
-:func:`sweep` strings levels into the trajectories Figs. 2-4 plot.
+One cell = one (workload, offered-RPS, netem, machine) experiment; the
+canonical description of a cell is an :class:`ExperimentSpec` and the
+machinery that runs batches of them lives in :mod:`repro.analysis.executor`.
+This module keeps the historical entry points on top of it:
+
+* ``run_level(spec)`` — run one cell from its typed spec (preferred);
+* ``run_level(definition, rate, ...)`` — the legacy keyword form, now a
+  deprecated thin wrapper that builds the spec for you;
+* :func:`sweep` — a full load sweep, optionally parallel (``jobs=N``) and
+  cached (``cache=...``), returning the same :class:`SweepResult` as ever.
+
+Migration (one release): replace ``run_level(definition, rate, seed=s)``
+with ``run_level(ExperimentSpec(workload=definition.key, offered_rps=rate,
+seed=s))`` — every old keyword has a same-named spec field.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import warnings
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
-from ..core.monitor import MetricsSnapshot, RequestMetricsMonitor
-from ..core.windows import window_estimates
-from ..kernel.kernel import Kernel
 from ..kernel.machine import AMD_EPYC_7302, MachineSpec
 from ..net.netem import NetemConfig
-from ..sim.engine import Environment
-from ..sim.rng import SeedSequence
-from ..sim.timebase import SEC
-from ..loadgen.client import ClientReport, OpenLoopClient
-from ..workloads.registry import WorkloadDefinition
+from ..workloads.registry import (
+    WORKLOADS,
+    WorkloadDefinition,
+    get_workload,
+    register_workload,
+)
+from .executor import (
+    DEFAULT_SEED,
+    ExperimentSpec,
+    LevelResult,
+    ProgressCallback,
+    ResultCache,
+    SweepResult,
+    execute_cell,
+    run_cells,
+)
+from .executor.pool import _SendTimestampProbe  # noqa: F401  (bench compat)
 
-__all__ = ["LevelResult", "SweepResult", "run_level", "sweep", "default_levels"]
+__all__ = [
+    "ExperimentSpec",
+    "LevelResult",
+    "SweepResult",
+    "run_level",
+    "sweep",
+    "default_levels",
+    "DEFAULT_SEED",
+]
 
-#: Stable default seed so figures are reproducible run to run.
-DEFAULT_SEED = 1317
-
-
-class _SendTimestampProbe:
-    """Minimal native probe recording send-family sys_enter timestamps
-    (for the per-window estimates of Fig. 2's residual analysis)."""
-
-    def __init__(self, kernel: Kernel, tgid: int, syscall_nrs) -> None:
-        self.kernel = kernel
-        self.tgid = tgid
-        self.nrs = frozenset(syscall_nrs)
-        self.timestamps: List[int] = []
-
-    def __call__(self, ctx) -> int:
-        if ctx.pid_tgid >> 32 == self.tgid and ctx.syscall_nr in self.nrs:
-            self.timestamps.append(ctx.ktime_ns)
-        return 0
-
-    def attach(self) -> "_SendTimestampProbe":
-        self.kernel.tracepoints.sys_enter.attach(self)
-        return self
-
-
-@dataclass
-class LevelResult:
-    """Everything measured at one load level."""
-
-    workload: str
-    offered_rps: float
-    # ground truth (client side)
-    achieved_rps: float
-    p99_ns: float
-    p50_ns: float
-    mean_latency_ns: float
-    completed: int
-    qos_violated: bool
-    # eBPF-side observations
-    rps_obsv: float
-    rps_obsv_recv: float
-    send_delta_variance: float
-    send_delta_cov2: float
-    recv_delta_variance: float
-    poll_mean_duration_ns: float
-    poll_count: int
-    # per-window Eq.1 estimates (Fig. 2 green dots)
-    window_rps: List[float] = field(default_factory=list)
-    # run metadata
-    machine: str = ""
-    netem_label: str = ""
-    utilization: float = 0.0
-    sim_duration_ns: int = 0
-
-    def to_dict(self) -> dict:
-        return dict(self.__dict__)
-
-
-@dataclass
-class SweepResult:
-    """A full load sweep for one workload."""
-
-    workload: str
-    levels: List[LevelResult]
-
-    @property
-    def offered(self) -> List[float]:
-        return [l.offered_rps for l in self.levels]
-
-    @property
-    def achieved(self) -> List[float]:
-        return [l.achieved_rps for l in self.levels]
-
-    @property
-    def observed(self) -> List[float]:
-        return [l.rps_obsv for l in self.levels]
-
-    @property
-    def variances(self) -> List[float]:
-        return [float(l.send_delta_variance) for l in self.levels]
-
-    @property
-    def dispersion(self) -> List[float]:
-        return [l.send_delta_cov2 for l in self.levels]
-
-    @property
-    def poll_durations(self) -> List[float]:
-        return [float(l.poll_mean_duration_ns) for l in self.levels]
-
-    def qos_failure_rps(self) -> Optional[float]:
-        """First offered RPS whose p99 crossed the QoS threshold."""
-        for level in self.levels:
-            if level.qos_violated:
-                return level.offered_rps
-        return None
+_DEPRECATION_MESSAGE = (
+    "run_level(definition, rate, ...) is deprecated and will be removed in "
+    "the next release; build an ExperimentSpec and call run_level(spec) "
+    "(every keyword has a same-named ExperimentSpec field)"
+)
 
 
 def run_level(
-    definition: WorkloadDefinition,
-    offered_rps: float,
+    definition: Union[ExperimentSpec, WorkloadDefinition, str],
+    offered_rps: Optional[float] = None,
     requests: int = 3000,
     seed: int = DEFAULT_SEED,
     machine: MachineSpec = AMD_EPYC_7302,
@@ -135,73 +73,45 @@ def run_level(
     interference: bool = True,
     arrival: str = "uniform",
 ) -> LevelResult:
-    """Run one load level to completion and collect all signals."""
-    config = definition.config
-    spec = machine.with_cores(config.cores)
-    if config.interference_scale != 1.0:
-        from dataclasses import replace as _replace
+    """Run one load level to completion and collect all signals.
 
-        spec = _replace(
-            spec,
-            interference=_replace(
-                spec.interference,
-                stall_mean_ns=max(1, int(spec.interference.stall_mean_ns
-                                         * config.interference_scale)),
-            ),
-        )
-    env = Environment()
-    seeds = SeedSequence(seed).child(f"{definition.key}@{offered_rps:g}")
-    kernel = Kernel(env, spec, seeds, interference=interference)
-
-    app = definition.build(kernel, client_to_server, server_to_client)
-    monitor = RequestMetricsMonitor(
-        kernel, app.tgid, spec=config.syscalls, mode=monitor_mode, charge_cost=charge_cost
-    ).attach()
-    send_probe = _SendTimestampProbe(kernel, app.tgid, (config.syscalls.send_nr,)).attach()
-
-    client = OpenLoopClient(
-        env,
-        app.client_sockets,
-        seeds.stream("client:arrivals"),
-        rate_rps=offered_rps,
-        total_requests=requests,
-        request_size=config.request_size,
-        qos_latency_ns=config.qos_latency_ns,
+    Preferred form: ``run_level(spec)`` with an :class:`ExperimentSpec`.
+    The legacy ``run_level(definition, rate, ...)`` form still works but
+    emits a :class:`DeprecationWarning`; both forms return bit-identical
+    results for equivalent parameters.
+    """
+    if isinstance(definition, ExperimentSpec):
+        if offered_rps is not None:
+            raise TypeError(
+                "run_level(spec) takes no further arguments; use "
+                "spec.replace(...) to vary a field"
+            )
+        return execute_cell(definition)
+    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
+    if offered_rps is None:
+        raise TypeError("run_level(definition, rate, ...) requires an offered RPS")
+    if isinstance(definition, WorkloadDefinition) and (
+        definition.key not in WORKLOADS
+    ):
+        # Ad-hoc definitions keep working through the legacy path: register
+        # them so the spec's key resolves to exactly this configuration.
+        register_workload(definition)
+    key = definition if isinstance(definition, str) else definition.key
+    spec = ExperimentSpec(
+        workload=key,
+        offered_rps=offered_rps,
+        requests=requests,
+        seed=seed,
+        machine=machine,
+        client_to_server=client_to_server,
+        server_to_client=server_to_client,
+        monitor_mode=monitor_mode,
+        charge_cost=charge_cost,
+        estimate_windows=estimate_windows,
+        interference=interference,
         arrival=arrival,
     )
-    client.start()
-    report: ClientReport = env.run(until=client.done)
-    snapshot: MetricsSnapshot = monitor.snapshot()
-
-    # Steady-state trim for the per-window estimates too: sends after the
-    # final offered arrival belong to the drain, not the measured load.
-    send_times = send_probe.timestamps
-    if client.last_offered_ns is not None:
-        send_times = [t for t in send_times if t <= client.last_offered_ns]
-
-    c2s = client_to_server or NetemConfig.ideal()
-    return LevelResult(
-        workload=definition.key,
-        offered_rps=offered_rps,
-        achieved_rps=report.achieved_rps,
-        p99_ns=report.p99_ns,
-        p50_ns=report.latency.p50_ns(),
-        mean_latency_ns=report.latency.mean_ns(),
-        completed=report.completed,
-        qos_violated=report.qos_violated,
-        rps_obsv=snapshot.rps_obsv,
-        rps_obsv_recv=snapshot.rps_obsv_recv,
-        send_delta_variance=float(snapshot.send_delta_variance),
-        send_delta_cov2=snapshot.send_delta_cov2,
-        recv_delta_variance=float(snapshot.recv_delta_variance),
-        poll_mean_duration_ns=float(snapshot.poll_mean_duration_ns),
-        poll_count=snapshot.poll.count,
-        window_rps=window_estimates(send_times, estimate_windows),
-        machine=spec.name,
-        netem_label=c2s.label(),
-        utilization=kernel.cpu.utilization(),
-        sim_duration_ns=env.now,
-    )
+    return execute_cell(spec)
 
 
 def default_levels(definition: WorkloadDefinition, count: int = 10,
@@ -216,15 +126,51 @@ def default_levels(definition: WorkloadDefinition, count: int = 10,
     return [fail * (low_frac + i * step) for i in range(count)]
 
 
+def _resolve_cache(cache) -> Optional[ResultCache]:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(Path(cache))
+
+
 def sweep(
-    definition: WorkloadDefinition,
+    definition: Union[WorkloadDefinition, str],
     levels: Optional[Sequence[float]] = None,
     requests: int = 3000,
+    *,
+    jobs: int = 1,
+    cache: Union[None, bool, str, Path, ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
     **level_kwargs,
 ) -> SweepResult:
-    """Run a full load sweep (Figs. 2/3/4 trajectories)."""
+    """Run a full load sweep (Figs. 2/3/4 trajectories).
+
+    ``jobs`` fans the levels out across a process pool (results stay
+    bit-identical to ``jobs=1``).  ``cache`` enables the on-disk result
+    cache: ``True`` for the default ``results/.cache/`` directory, a path,
+    or a :class:`ResultCache`.  ``progress`` receives one
+    :class:`~repro.analysis.executor.CellProgress` event per finished cell.
+    Remaining keywords (``seed``, ``monitor_mode``, netem configs, ...) are
+    :class:`ExperimentSpec` fields applied to every level.
+    """
+    if isinstance(definition, str):
+        definition = get_workload(definition)
     levels = list(levels) if levels is not None else default_levels(definition)
-    results = [
-        run_level(definition, rate, requests=requests, **level_kwargs) for rate in levels
+    specs = [
+        ExperimentSpec(
+            workload=definition.key,
+            offered_rps=rate,
+            requests=requests,
+            **level_kwargs,
+        )
+        for rate in levels
     ]
-    return SweepResult(workload=definition.key, levels=results)
+    results, stats = run_cells(
+        specs, jobs=jobs, cache=_resolve_cache(cache), progress=progress
+    )
+    return SweepResult(
+        workload=definition.key, levels=results, telemetry=stats.to_dict()
+    )

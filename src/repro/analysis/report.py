@@ -113,6 +113,40 @@ def _section_overhead(record: dict) -> str:
     )
 
 
+def _is_sweep_record(record: dict) -> bool:
+    """Sweep records are what ``save_sweep`` writes: workload + level dicts."""
+    return (
+        isinstance(record, dict)
+        and isinstance(record.get("workload"), str)
+        and isinstance(record.get("levels"), list)
+        and all(isinstance(level, dict) and "offered_rps" in level
+                for level in record["levels"])
+    )
+
+
+def _section_sweep(name: str, record: dict) -> str:
+    """One persisted executor sweep: the trajectory plus run telemetry."""
+    rows = [
+        [_fmt(l["offered_rps"], 1), _fmt(l["achieved_rps"], 1),
+         _fmt(l["rps_obsv"], 1), _fmt(l["p99_ns"] / 1e6, 2),
+         "FAIL" if l.get("qos_violated") else "ok"]
+        for l in record["levels"]
+    ]
+    parts = [
+        f"## Sweep `{name}` — {record['workload']}\n",
+        _md_table(["offered", "achieved", "RPS_obsv", "p99 ms", "QoS"], rows),
+    ]
+    telemetry = record.get("telemetry")
+    if telemetry:
+        parts.append(
+            f"\n_{telemetry.get('total', len(record['levels']))} cells: "
+            f"{telemetry.get('cache_hits', 0)} cached, "
+            f"{telemetry.get('computed', 0)} computed in "
+            f"{telemetry.get('wall_s', 0.0):.2f}s_"
+        )
+    return "\n".join(parts)
+
+
 _SECTIONS = {
     "fig2_rps_correlation": _section_fig2,
     "fig3_send_variance": _section_fig3,
@@ -133,9 +167,17 @@ def render_report(records: Dict[str, dict]) -> str:
             parts.append("")
             rendered += 1
     remaining = sorted(set(records) - set(_SECTIONS))
-    if remaining:
+    others = []
+    for name in remaining:
+        if _is_sweep_record(records[name]):
+            parts.append(_section_sweep(name, records[name]))
+            parts.append("")
+            rendered += 1
+        else:
+            others.append(name)
+    if others:
         parts.append("## Other records\n")
-        for name in remaining:
+        for name in others:
             parts.append(f"* `{name}.json`")
         parts.append("")
     if rendered == 0:

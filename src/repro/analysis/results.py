@@ -21,12 +21,19 @@ def results_dir(base: Optional[Path] = None) -> Path:
 
 
 def save_sweep(sweep: SweepResult, name: str, base: Optional[Path] = None) -> Path:
-    """Persist a sweep as ``results/<name>.json``; returns the path."""
+    """Persist a sweep as ``results/<name>.json``; returns the path.
+
+    Executor telemetry (cells done, cache hits, wall-clock), when the sweep
+    carries it, is stored alongside the levels so reports can show how the
+    run went.
+    """
     path = results_dir(base) / f"{name}.json"
     payload = {
         "workload": sweep.workload,
         "levels": [level.to_dict() for level in sweep.levels],
     }
+    if sweep.telemetry is not None:
+        payload["telemetry"] = dict(sweep.telemetry)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
@@ -36,7 +43,11 @@ def load_sweep(name: str, base: Optional[Path] = None) -> SweepResult:
     path = results_dir(base) / f"{name}.json"
     payload = json.loads(path.read_text())
     levels: List[LevelResult] = [LevelResult(**entry) for entry in payload["levels"]]
-    return SweepResult(workload=payload["workload"], levels=levels)
+    return SweepResult(
+        workload=payload["workload"],
+        levels=levels,
+        telemetry=payload.get("telemetry"),
+    )
 
 
 def save_record(record: dict, name: str, base: Optional[Path] = None) -> Path:

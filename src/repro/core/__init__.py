@@ -30,7 +30,7 @@ from .pairing import PairingResult, RequestTimeline, reconstruct_timelines
 from .regression import LinearFit, fit_linear, normalize, residual_summary
 from .saturation import OnlineSaturationDetector, VarianceKneeDetector, detect_knee
 from .slack import SlackEstimator, idleness_fraction, stabilization_point
-from .streaming import StreamingDeltaCollector
+from .streaming import RECORD_SIZE, StreamingDeltaCollector
 from .windows import RECOMMENDED_WINDOW_EVENTS, chunk_by_count, window_estimates
 
 __all__ = [
@@ -61,6 +61,7 @@ __all__ = [
     "idleness_fraction",
     "stabilization_point",
     "StreamingDeltaCollector",
+    "RECORD_SIZE",
     "PairingResult",
     "RequestTimeline",
     "reconstruct_timelines",

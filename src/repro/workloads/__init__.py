@@ -8,7 +8,14 @@ from .base import (
     WorkloadConfig,
 )
 from .noise import spawn_noise_process
-from .registry import WORKLOADS, WorkloadDefinition, get_workload, workload_keys
+from .registry import (
+    WORKLOADS,
+    WorkloadDefinition,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_keys,
+)
 from .service import ServiceModel
 
 __all__ = [
@@ -22,5 +29,7 @@ __all__ = [
     "WORKLOADS",
     "get_workload",
     "workload_keys",
+    "register_workload",
+    "unregister_workload",
     "spawn_noise_process",
 ]

@@ -22,7 +22,14 @@ from ..sim.timebase import MSEC, USEC
 from .base import DispatchPoolApp, ServerApp, ThreadedPollApp, TwoTierApp, WorkloadConfig
 from .service import ServiceModel
 
-__all__ = ["WorkloadDefinition", "WORKLOADS", "get_workload", "workload_keys"]
+__all__ = [
+    "WorkloadDefinition",
+    "WORKLOADS",
+    "get_workload",
+    "workload_keys",
+    "register_workload",
+    "unregister_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -184,3 +191,41 @@ def get_workload(key: str) -> WorkloadDefinition:
 
 def workload_keys() -> List[str]:
     return [d.key for d in _DEFINITIONS]
+
+
+def register_workload(
+    definition: WorkloadDefinition, replace: bool = False
+) -> WorkloadDefinition:
+    """Add a custom workload definition to the registry.
+
+    Registration makes the definition addressable by key everywhere a
+    workload name is accepted — :class:`~repro.analysis.ExperimentSpec`,
+    the executor, the CLI.  Re-registering an identical definition is a
+    no-op; registering a *different* definition under an existing key
+    requires ``replace=True`` (otherwise a spec naming that key could
+    silently resolve to the wrong configuration).
+    """
+    existing = WORKLOADS.get(definition.key)
+    if existing is not None:
+        if existing == definition:
+            return existing
+        if not replace:
+            raise ValueError(
+                f"a different workload is already registered under "
+                f"{definition.key!r}; pass replace=True or pick a distinct key"
+            )
+        index = [d.key for d in _DEFINITIONS].index(definition.key)
+        _DEFINITIONS[index] = definition
+    else:
+        _DEFINITIONS.append(definition)
+    WORKLOADS[definition.key] = definition
+    return definition
+
+
+def unregister_workload(key: str) -> bool:
+    """Remove a (custom) workload from the registry; True if it existed."""
+    if key not in WORKLOADS:
+        return False
+    del WORKLOADS[key]
+    _DEFINITIONS[:] = [d for d in _DEFINITIONS if d.key != key]
+    return True

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis import (
+    ExperimentSpec,
     LevelResult,
     SweepResult,
     default_levels,
@@ -24,7 +25,9 @@ from repro.workloads import get_workload
 def small_level():
     """One cheap real run shared across tests."""
     d = get_workload("silo")
-    return run_level(d, d.paper_fail_rps * 0.5, requests=400)
+    return run_level(ExperimentSpec(
+        workload="silo", offered_rps=d.paper_fail_rps * 0.5, requests=400
+    ))
 
 
 class TestRunLevel:
@@ -53,30 +56,32 @@ class TestRunLevel:
 
     def test_netem_label_propagates(self):
         d = get_workload("silo")
-        result = run_level(
-            d, d.paper_fail_rps * 0.4, requests=100,
+        result = run_level(ExperimentSpec(
+            workload="silo", offered_rps=d.paper_fail_rps * 0.4, requests=100,
             client_to_server=NetemConfig.paper_impaired(),
             server_to_client=NetemConfig.paper_impaired(),
-        )
+        ))
         assert result.netem_label == "10ms delay / 1% loss"
         assert result.completed == 100
 
     def test_machine_profile_switch(self):
         d = get_workload("silo")
-        result = run_level(d, d.paper_fail_rps * 0.4, requests=100,
-                           machine=INTEL_XEON_E5_2620)
+        result = run_level(ExperimentSpec(
+            workload="silo", offered_rps=d.paper_fail_rps * 0.4, requests=100,
+            machine=INTEL_XEON_E5_2620,
+        ))
         assert result.machine == "intel-xeon-e5-2620"
 
     def test_deterministic(self):
-        d = get_workload("silo")
-        a = run_level(d, 500, requests=200, seed=99)
-        b = run_level(d, 500, requests=200, seed=99)
-        assert a.to_dict() == b.to_dict()
+        spec = ExperimentSpec(workload="silo", offered_rps=500,
+                              requests=200, seed=99)
+        assert run_level(spec).to_dict() == run_level(spec).to_dict()
 
     def test_seed_changes_results(self):
-        d = get_workload("silo")
-        a = run_level(d, 500, requests=200, seed=1)
-        b = run_level(d, 500, requests=200, seed=2)
+        spec = ExperimentSpec(workload="silo", offered_rps=500,
+                              requests=200, seed=1)
+        a = run_level(spec)
+        b = run_level(spec.replace(seed=2))
         assert a.p99_ns != b.p99_ns
 
 

@@ -7,7 +7,7 @@ idleness signal shrinks with load.
 
 import pytest
 
-from repro.analysis import run_level
+from repro.analysis import ExperimentSpec, run_level
 from repro.workloads import get_workload, workload_keys
 
 REQUESTS = 400
@@ -20,10 +20,12 @@ def levels():
     for key in workload_keys():
         definition = get_workload(key)
         cache[key] = {
-            "low": run_level(definition, definition.paper_fail_rps * 0.5,
-                             requests=REQUESTS),
-            "over": run_level(definition, definition.paper_fail_rps * 1.2,
-                              requests=REQUESTS),
+            "low": run_level(ExperimentSpec(
+                workload=key, offered_rps=definition.paper_fail_rps * 0.5,
+                requests=REQUESTS)),
+            "over": run_level(ExperimentSpec(
+                workload=key, offered_rps=definition.paper_fail_rps * 1.2,
+                requests=REQUESTS)),
         }
     return cache
 

@@ -4,16 +4,18 @@ result field — ground truth and observations alike — must match exactly."""
 
 import pytest
 
-from repro.analysis import run_level
+from repro.analysis import ExperimentSpec, run_level
 from repro.workloads import get_workload
 
 
 @pytest.mark.parametrize("key", ["data-caching", "xapian", "triton-grpc"])
 def test_run_level_identical_across_monitor_modes(key):
     definition = get_workload(key)
-    rate = definition.paper_fail_rps * 0.6
-    native = run_level(definition, rate, requests=400, monitor_mode="native")
-    vm = run_level(definition, rate, requests=400, monitor_mode="vm")
+    spec = ExperimentSpec(workload=key,
+                          offered_rps=definition.paper_fail_rps * 0.6,
+                          requests=400)
+    native = run_level(spec.replace(monitor_mode="native"))
+    vm = run_level(spec.replace(monitor_mode="vm"))
     assert native.to_dict() == vm.to_dict()
 
 
@@ -21,9 +23,9 @@ def test_charge_cost_breaks_equivalence_as_expected():
     """With cost charging ON the vm mode perturbs syscall timing — that is
     the whole overhead experiment, so the results must differ."""
     definition = get_workload("data-caching")
-    rate = definition.paper_fail_rps * 0.6
-    free = run_level(definition, rate, requests=400, monitor_mode="vm",
-                     charge_cost=False)
-    charged = run_level(definition, rate, requests=400, monitor_mode="vm",
-                        charge_cost=True)
+    spec = ExperimentSpec(workload="data-caching",
+                          offered_rps=definition.paper_fail_rps * 0.6,
+                          requests=400, monitor_mode="vm")
+    free = run_level(spec.replace(charge_cost=False))
+    charged = run_level(spec.replace(charge_cost=True))
     assert charged.sim_duration_ns != free.sim_duration_ns

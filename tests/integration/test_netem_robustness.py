@@ -3,7 +3,7 @@ kernel-side metrics."""
 
 import pytest
 
-from repro.analysis import run_level
+from repro.analysis import ExperimentSpec, run_level
 from repro.net import NetemConfig
 from repro.workloads import get_workload
 
@@ -13,19 +13,19 @@ REQUESTS = 500
 @pytest.fixture(scope="module")
 def triton_runs():
     definition = get_workload("triton-grpc")
-    rate = definition.paper_fail_rps * 0.6
+    clean = ExperimentSpec(workload="triton-grpc",
+                           offered_rps=definition.paper_fail_rps * 0.6,
+                           requests=REQUESTS)
     return {
-        "clean": run_level(definition, rate, requests=REQUESTS),
-        "delay": run_level(
-            definition, rate, requests=REQUESTS,
+        "clean": run_level(clean),
+        "delay": run_level(clean.replace(
             client_to_server=NetemConfig(delay_ns=10_000_000),
             server_to_client=NetemConfig(delay_ns=10_000_000),
-        ),
-        "loss": run_level(
-            definition, rate, requests=REQUESTS,
+        )),
+        "loss": run_level(clean.replace(
             client_to_server=NetemConfig(loss=0.01),
             server_to_client=NetemConfig(loss=0.01),
-        ),
+        )),
     }
 
 

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -14,28 +16,90 @@ def test_list(capsys):
 
 
 def test_run(capsys):
-    assert main(["run", "silo", "--load", "0.5", "--requests", "300"]) == 0
+    assert main(["run", "silo", "--load", "0.5", "--requests", "300",
+                 "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "RPS_obsv" in out
     assert "QoS ok" in out
 
 
 def test_run_explicit_rps(capsys):
-    assert main(["run", "silo", "--rps", "700", "--requests", "200"]) == 0
+    assert main(["run", "silo", "--rps", "700", "--requests", "200",
+                 "--no-cache"]) == 0
     assert "700" in capsys.readouterr().out
 
 
 def test_run_vm_monitor(capsys):
     assert main(["run", "silo", "--load", "0.4", "--requests", "150",
-                 "--monitor", "vm"]) == 0
+                 "--monitor", "vm", "--no-cache"]) == 0
     assert "var(dt_send)" in capsys.readouterr().out
 
 
+def test_run_json(capsys):
+    assert main(["run", "silo", "--rps", "600", "--requests", "150",
+                 "--no-cache", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "silo"
+    assert payload["offered_rps"] == 600.0
+    assert payload["completed"] == 150
+
+
+def test_run_cache_round_trip(tmp_path, capsys):
+    args = ["run", "silo", "--rps", "600", "--requests", "150",
+            "--cache-dir", str(tmp_path), "--json"]
+    assert main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(args) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first == second
+    assert list(tmp_path.glob("*.json"))  # entry actually written
+
+
 def test_sweep(capsys):
-    assert main(["sweep", "silo", "--levels", "4", "--requests", "200"]) == 0
+    assert main(["sweep", "silo", "--levels", "4", "--requests", "200",
+                 "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "dispersion" in out
     assert "QoS failure at offered" in out or "never violated" in out
+    assert "executor:" in out  # telemetry summary line
+
+
+def test_sweep_jobs_matches_serial(tmp_path, capsys):
+    base = ["sweep", "silo", "--levels", "3", "--requests", "150", "--json"]
+    assert main(base + ["--no-cache"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(base + ["--jobs", "2", "--cache-dir", str(tmp_path)]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial["levels"] == parallel["levels"]
+    assert parallel["telemetry"]["computed"] == 3
+    # warm re-run: every cell served from cache
+    assert main(base + ["--jobs", "2", "--cache-dir", str(tmp_path)]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["levels"] == serial["levels"]
+    assert warm["telemetry"]["cache_hits"] == 3
+    assert warm["telemetry"]["computed"] == 0
+
+
+def test_jobs_must_be_positive(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "silo", "--jobs", "0"])
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_sweep_save_then_report(tmp_path, capsys, monkeypatch):
+    import repro.analysis.results as results_module
+
+    monkeypatch.setattr(
+        results_module, "results_dir", lambda base=None: tmp_path
+    )
+    assert main(["sweep", "silo", "--levels", "3", "--requests", "150",
+                 "--no-cache", "--save", "smoke_sweep"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "smoke_sweep.json").exists()
+    assert main(["report", "--results", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep `smoke_sweep` — silo" in out
+    assert "computed in" in out  # telemetry rendered
 
 
 def test_report_empty(tmp_path, capsys):

@@ -48,6 +48,33 @@ def test_nine_workloads_exposed():
 
 def test_public_entry_points_are_documented():
     for name in ("Kernel", "RequestMetricsMonitor", "OpenLoopClient",
-                 "run_level", "sweep"):
+                 "run_level", "sweep", "ExperimentSpec", "ResultCache",
+                 "run_cells"):
         obj = getattr(repro, name)
         assert (obj.__doc__ or "").strip(), name
+
+
+def test_executor_types_exported_at_top_level():
+    for name in ("ExperimentSpec", "LevelResult", "SweepResult",
+                 "ResultCache", "run_cells"):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name), name
+
+
+def test_run_level_legacy_form_deprecated_but_equal():
+    """The one-release migration contract: run_level(definition, rate, ...)
+    warns, and returns results bit-identical to run_level(spec)."""
+    definition = repro.get_workload("silo")
+    spec = repro.ExperimentSpec(
+        workload="silo", offered_rps=500, requests=150, seed=7
+    )
+    modern = repro.run_level(spec)
+    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+        legacy = repro.run_level(definition, 500, requests=150, seed=7)
+    assert legacy.to_dict() == modern.to_dict()
+
+
+def test_run_level_spec_form_rejects_extra_arguments():
+    spec = repro.ExperimentSpec(workload="silo", offered_rps=500, requests=100)
+    with pytest.raises(TypeError):
+        repro.run_level(spec, 600)

@@ -12,7 +12,10 @@ from repro.workloads import (
     ThreadedPollApp,
     TwoTierApp,
     WorkloadConfig,
+    WorkloadDefinition,
     get_workload,
+    register_workload,
+    unregister_workload,
     workload_keys,
 )
 from repro.kernel.syscalls import SyscallSpec
@@ -235,6 +238,39 @@ class TestRegistry:
             d = get_workload(key)
             capacity = d.config.cores / (d.config.service.mean_ns / 1e9)
             assert capacity == pytest.approx(d.paper_fail_rps, rel=0.25), key
+
+    def test_register_and_unregister_custom_workload(self):
+        base = get_workload("silo")
+        custom = WorkloadDefinition(
+            key="silo-custom",
+            label="Silo (custom)",
+            suite="tailbench",
+            app_class=base.app_class,
+            config=base.config.with_overrides(name="silo-custom"),
+        )
+        try:
+            register_workload(custom)
+            assert get_workload("silo-custom") is custom
+            assert "silo-custom" in workload_keys()
+            # Re-registering the identical definition is a no-op.
+            assert register_workload(custom) is custom
+            # A conflicting definition under the same key is rejected...
+            clashing = WorkloadDefinition(
+                key="silo-custom",
+                label="different",
+                suite="tailbench",
+                app_class=base.app_class,
+                config=base.config,
+            )
+            with pytest.raises(ValueError, match="already registered"):
+                register_workload(clashing)
+            # ...unless replacement is explicit.
+            register_workload(clashing, replace=True)
+            assert get_workload("silo-custom") is clashing
+        finally:
+            assert unregister_workload("silo-custom")
+        assert len(workload_keys()) == 9
+        assert not unregister_workload("silo-custom")
 
     def test_each_workload_serves_requests(self):
         """Every registry entry builds and completes a small burst."""
