@@ -1,0 +1,143 @@
+"""BENCH-VM-DISPATCH — reference interpreter vs pre-decoded fast path.
+
+Executes the delta-collector program (the hot probe behind every EXP-OVH
+configuration) through both interpreter tiers over the same firing
+sequence, asserting bit-identical ``(r0, steps, cost_ns)`` per firing and
+identical final map state, then reports the dispatch speedup.  The fast
+path must win by >= 2x; any divergence is a hard failure, because the
+cost model it produces is the simulated probe overhead the paper's
+experiments charge to syscalls.
+
+Runs two ways:
+
+* under pytest-benchmark with the rest of the suite
+  (``pytest benchmarks/bench_vm_dispatch.py --benchmark-only``);
+* standalone for CI smoke (``python benchmarks/bench_vm_dispatch.py
+  --smoke``), which needs neither pytest-benchmark nor hypothesis and
+  fails only on divergence — tiny-parameter wall clocks on shared
+  runners are too noisy to gate on a speedup ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.collectors import _DELTA_VALUE_SIZE, build_delta_program
+from repro.ebpf import (
+    ArrayMap,
+    FastVm,
+    HelperRuntime,
+    TranslationCache,
+    Vm,
+    pack_sys_enter,
+)
+from repro.kernel.tracepoints import SysEnterCtx
+
+TGID = 7
+PID_TGID = (TGID << 32) | TGID
+
+
+def _fresh_program():
+    state = ArrayMap(value_size=_DELTA_VALUE_SIZE, max_entries=1, name="state")
+    program = (build_delta_program("state", TGID, [0, 1, 44])
+               .resolve_maps({"state": state}).verify())
+    return program, state
+
+
+def _firings(count: int):
+    """Pre-packed (ctx, runtime) pairs: 3/4 hit the filter, 1/4 miss."""
+    pairs = []
+    t = 1_000
+    for i in range(count):
+        nr = (0, 1, 44, 232)[i % 4]  # 232 fails the syscall filter
+        ctx = SysEnterCtx(pid_tgid=PID_TGID, syscall_nr=nr, ktime_ns=t)
+        pairs.append((pack_sys_enter(ctx),
+                      HelperRuntime(ktime_ns=t, pid_tgid=PID_TGID, cpu_id=0)))
+        t += 1_000 + (i * 37) % 5_000
+    return pairs
+
+
+def _run_tier(vm, count: int):
+    program, state = _fresh_program()
+    pairs = _firings(count)
+    vm.execute(program.insns, pairs[0][0], pairs[0][1])  # warm up / translate
+    program, state = _fresh_program()
+
+    results = []
+    execute = vm.execute
+    insns = program.insns
+    start = time.perf_counter()
+    for blob, runtime in pairs:
+        r = execute(insns, blob, runtime)
+        results.append((r.r0, r.steps, r.cost_ns))
+    wall = time.perf_counter() - start
+    return wall, results, bytes(state.lookup(state.key_of(0)))
+
+
+def run_comparison(count: int) -> dict:
+    ref_wall, ref_results, ref_state = _run_tier(Vm(), count)
+    fast_wall, fast_results, fast_state = _run_tier(
+        FastVm(cache=TranslationCache()), count)
+
+    diverged = None
+    for i, (a, b) in enumerate(zip(ref_results, fast_results)):
+        if a != b:
+            diverged = f"firing {i}: reference {a} != fast {b}"
+            break
+    if diverged is None and ref_state != fast_state:
+        diverged = f"map state: reference {ref_state!r} != fast {fast_state!r}"
+
+    return {
+        "executions": count,
+        "reference_us_per_exec": ref_wall / count * 1e6,
+        "fast_us_per_exec": fast_wall / count * 1e6,
+        "speedup": ref_wall / fast_wall if fast_wall else float("inf"),
+        "diverged": diverged,
+    }
+
+
+def test_fast_dispatch_speedup(benchmark):
+    from conftest import emit, scaled
+
+    from repro.analysis import save_record
+
+    data = benchmark.pedantic(
+        lambda: run_comparison(scaled(4000, minimum=1000)), rounds=1, iterations=1)
+    save_record({"ablation": "vm_dispatch", **data}, "bench_vm_dispatch")
+
+    emit("BENCH-VM-DISPATCH — reference interpreter vs pre-decoded fast path")
+    emit(f"  reference: {data['reference_us_per_exec']:.1f} us/exec")
+    emit(f"  fast path: {data['fast_us_per_exec']:.1f} us/exec")
+    emit(f"  speedup:   {data['speedup']:.2f}x over {data['executions']} firings")
+
+    assert data["diverged"] is None, data["diverged"]
+    assert data["speedup"] >= 2.0, f"fast path only {data['speedup']:.2f}x"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run; fail on divergence only, not speedup")
+    parser.add_argument("--executions", type=int, default=None,
+                        help="firings per tier (default: 400 smoke / 4000 full)")
+    args = parser.parse_args(argv)
+    count = args.executions or (400 if args.smoke else 4000)
+
+    data = run_comparison(count)
+    print(f"reference: {data['reference_us_per_exec']:.1f} us/exec")
+    print(f"fast path: {data['fast_us_per_exec']:.1f} us/exec")
+    print(f"speedup:   {data['speedup']:.2f}x over {count} firings")
+
+    if data["diverged"] is not None:
+        print(f"DIVERGENCE: {data['diverged']}", file=sys.stderr)
+        return 1
+    if not args.smoke and data["speedup"] < 2.0:
+        print(f"speedup {data['speedup']:.2f}x below the 2x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -225,6 +225,11 @@ class DeltaCollector:
                                           prog_name=f"{name}_enter")
             self._bpf = BPF(kernel, maps={f"{name}_state": self._map},
                             programs=[program], charge_cost=charge_cost)
+            # The in-kernel _EVENTS slot doubles as the "have an anchor
+            # timestamp" flag, so after reset_window() it reads 1 even
+            # though the anchor belongs to the previous window; userspace
+            # tracks carried-ness so snapshots report true event counts.
+            self._carried = False
         else:
             self._bpf = None
             self._stats = DeltaStats()
@@ -269,17 +274,23 @@ class DeltaCollector:
         if self.mode == "native":
             s = self._stats
             return DeltaStats(count=s.count, sum=s.sum, sumsq=s.sumsq,
-                              first_ns=s.first_ns, last_ns=s.last_ns)
+                              first_ns=s.first_ns, last_ns=s.last_ns,
+                              carried=s.carried)
         entry = self._map.lookup(self._map.key_of(0))
         events = _read_u64(entry, _EVENTS)
         if events == 0:
             return DeltaStats()
+        count = _read_u64(entry, _COUNT)
+        # While no event has landed since reset, the entry still holds the
+        # carried anchor only; once events grow past the anchor the window
+        # is carried iff it was reset with an anchor.
         return DeltaStats(
-            count=_read_u64(entry, _COUNT),
+            count=count,
             sum=_read_u64(entry, _SUM),
             sumsq=_read_u64(entry, _SUMSQ),
             first_ns=_read_u64(entry, _FIRST),
             last_ns=_read_u64(entry, _LAST),
+            carried=self._carried,
         )
 
     def reset_window(self) -> None:
@@ -295,6 +306,7 @@ class DeltaCollector:
         if events > 0:
             _write_u64(entry, _FIRST, _read_u64(entry, _LAST))
             _write_u64(entry, _EVENTS, 1)
+            self._carried = True
 
 
 @dataclass

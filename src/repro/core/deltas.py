@@ -53,6 +53,11 @@ class DeltaStats:
     sumsq: int = 0
     first_ns: Optional[int] = None
     last_ns: Optional[int] = None
+    #: True when ``last_ns`` was inherited from the previous window by
+    #: :meth:`reset_window` rather than observed in this one — the carried
+    #: timestamp anchors the boundary-spanning delta but is not an event
+    #: of this window.
+    carried: bool = False
 
     # -- kernel-side updates ----------------------------------------------
     def add_timestamp(self, ts_ns: int) -> None:
@@ -78,17 +83,29 @@ class DeltaStats:
 
     def reset_window(self) -> None:
         """Start a new observation window, keeping the last timestamp so the
-        next delta spans the window boundary correctly."""
+        next delta spans the window boundary correctly.
+
+        The kept timestamp is marked *carried*: it anchors the next delta
+        but does not count as an event of the new window (a freshly reset
+        window has observed nothing yet)."""
         self.count = 0
         self.sum = 0
         self.sumsq = 0
         self.first_ns = self.last_ns
+        self.carried = self.last_ns is not None
 
     # -- Eq. 1 / Eq. 2 ---------------------------------------------------
     @property
     def events(self) -> int:
-        """Number of events observed in this window (deltas + 1)."""
-        return self.count + 1 if self.last_ns is not None else 0
+        """Number of events observed in this window.
+
+        ``count`` deltas come from ``count + 1`` timestamps, but when the
+        anchoring timestamp was carried over a ``reset_window()`` boundary
+        it belongs to the previous window, so only ``count`` of those
+        events are this window's."""
+        if self.last_ns is None:
+            return 0
+        return self.count if self.carried else self.count + 1
 
     def mean_delta_ns(self) -> int:
         """Integer mean inter-event time (0 when under two events)."""
@@ -139,6 +156,11 @@ class DeltaStats:
         lasts = [l for l in (self.last_ns, other.last_ns) if l is not None]
         merged.first_ns = min(firsts) if firsts else None
         merged.last_ns = max(lasts) if lasts else None
+        # Preserve the combined event count where representable: if the
+        # parts observed exactly ``merged.count`` events, the merged
+        # window's anchor must be treated as carried.
+        total_events = self.events + other.events
+        merged.carried = merged.last_ns is not None and total_events <= merged.count
         return merged
 
     @classmethod

@@ -80,18 +80,24 @@ class StreamingDeltaCollector:
         per_cpu_capacity: int = 65536,
         charge_cost: bool = False,
         name: str = "stream",
+        cpus: int = 1,
     ) -> None:
         self.kernel = kernel
         self.tgid = tgid
         self.syscall_nrs = tuple(syscall_nrs)
         self.name = name
-        self.events = PerfEventArray(cpus=1, per_cpu_capacity=per_cpu_capacity,
+        self.cpus = cpus
+        self.events = PerfEventArray(cpus=cpus, per_cpu_capacity=per_cpu_capacity,
                                      name=f"{name}_events")
         program = build_streaming_program(
             f"{name}_events", tgid, self.syscall_nrs, prog_name=f"{name}_enter"
         )
+        # Model CPU placement by pinning each thread to one of ``cpus``
+        # buffers, so perf records spread across per-CPU streams the way
+        # a multi-core host spreads them.
         self._bpf = BPF(kernel, maps={f"{name}_events": self.events},
-                        programs=[program], charge_cost=charge_cost)
+                        programs=[program], charge_cost=charge_cost,
+                        cpu_of=lambda ctx: ctx.tid % cpus)
         self._stats = DeltaStats()
         self._attached = False
         #: Total record bytes shipped to userspace (the ablation's metric).
@@ -132,8 +138,20 @@ class StreamingDeltaCollector:
         self.drain()
         s = self._stats
         return DeltaStats(count=s.count, sum=s.sum, sumsq=s.sumsq,
-                          first_ns=s.first_ns, last_ns=s.last_ns)
+                          first_ns=s.first_ns, last_ns=s.last_ns,
+                          carried=s.carried)
 
-    def reset_window(self) -> None:
-        self.drain()
+    def reset_window(self) -> List[Tuple[int, int]]:
+        """Close the current window at the drain point.
+
+        Records still sitting in the perf buffer fired *before* the
+        boundary, so they are drained into the closing window first — and
+        returned, so a caller that already snapshotted the window can
+        account for the late-arriving tail instead of it being silently
+        folded into a window that is then immediately zeroed.  An empty
+        return means the last snapshot told the whole story, i.e. the
+        windowed stream agrees with the in-kernel collector.
+        """
+        tail = self.drain()
         self._stats.reset_window()
+        return tail

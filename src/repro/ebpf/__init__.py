@@ -15,6 +15,14 @@ from .context import (
     pack_sys_exit,
 )
 from .errors import AssemblerError, BpfError, MapError, VerifierError, VmFault
+from .fastvm import (
+    DecodedProgram,
+    FastVm,
+    TranslationCache,
+    clear_translation_cache,
+    decode_program,
+    translation_cache_stats,
+)
 from .helpers import HELPER_SIGS, Helper, HelperRuntime
 from .insn import Insn, decode, encode
 from .maps import ArrayMap, BpfMap, HashMap, PerfEventArray, RingBuf
@@ -31,6 +39,12 @@ __all__ = [
     "ProgType",
     "Vm",
     "VmResult",
+    "FastVm",
+    "DecodedProgram",
+    "TranslationCache",
+    "decode_program",
+    "translation_cache_stats",
+    "clear_translation_cache",
     "verify",
     "Insn",
     "encode",

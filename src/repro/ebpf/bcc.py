@@ -17,12 +17,13 @@ is charged to the traced syscall — the mechanism behind the overhead study.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..kernel.kernel import Kernel
 from ..kernel.tracepoints import SysEnterCtx, SysExitCtx, Tracepoint
 from .context import ProgType, pack_sys_enter, pack_sys_exit
 from .errors import BpfError
+from .fastvm import FastVm
 from .helpers import HelperRuntime
 from .maps import BpfMap, PerfEventArray, RingBuf
 from .program import Program
@@ -34,7 +35,15 @@ MapLike = Union[BpfMap, RingBuf, PerfEventArray]
 
 
 class BPF:
-    """Loads programs against a kernel and manages attachments."""
+    """Loads programs against a kernel and manages attachments.
+
+    Programs run on the pre-decoded :class:`~repro.ebpf.fastvm.FastVm`
+    by default (pass ``vm=Vm()`` for the reference interpreter; both are
+    bit-for-bit identical).  ``cpu_of`` maps a tracepoint context to the
+    CPU the probe observes itself on (``bpf_get_smp_processor_id`` and
+    the per-CPU ``perf_event_output`` buffer index); the default pins
+    everything to CPU 0.
+    """
 
     def __init__(
         self,
@@ -43,6 +52,7 @@ class BPF:
         programs: Sequence[Program] = (),
         charge_cost: bool = False,
         vm: Optional[Vm] = None,
+        cpu_of: Optional[Callable[[object], int]] = None,
     ) -> None:
         self.kernel = kernel
         self.maps: Dict[str, MapLike] = dict(maps or {})
@@ -50,7 +60,8 @@ class BPF:
             if getattr(bpf_map, "name", None) in (None, "", bpf_map.map_type):
                 bpf_map.name = name
         self.charge_cost = charge_cost
-        self.vm = vm or Vm()
+        self.vm = vm or FastVm()
+        self.cpu_of = cpu_of
         self._programs: Dict[str, Program] = {}
         self._attached: List[tuple] = []
         #: Diagnostics: per-program invocation and instruction counts.
@@ -117,17 +128,26 @@ class BPF:
             else pack_sys_exit
         )
         prandom_stream = self.kernel.seeds.stream(f"bpf:{program.name}:prandom")
+        # Bind the per-firing hot state into locals: the probe runs once
+        # per traced syscall, millions of times per experiment.
+        vm = self.vm
+        insns = program.insns
+        name = program.name
+        cpu_of = self.cpu_of
+        invocations = self.invocations
+        insns_executed = self.insns_executed
+        prandom = lambda: prandom_stream.randint(0, (1 << 32) - 1)  # noqa: E731
 
         def probe(ctx) -> int:
             runtime = HelperRuntime(
                 ktime_ns=ctx.ktime_ns,
                 pid_tgid=ctx.pid_tgid,
-                cpu_id=0,
-                prandom=lambda: prandom_stream.randint(0, (1 << 32) - 1),
+                cpu_id=cpu_of(ctx) if cpu_of is not None else 0,
+                prandom=prandom,
             )
-            result = self.vm.execute(program.insns, pack(ctx), runtime)
-            self.invocations[program.name] += 1
-            self.insns_executed[program.name] += result.steps
+            result = vm.execute(insns, pack(ctx), runtime)
+            invocations[name] += 1
+            insns_executed[name] += result.steps
             return result.cost_ns if self.charge_cost else 0
 
         return probe

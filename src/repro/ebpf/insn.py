@@ -78,6 +78,11 @@ class Insn:
         return JmpOp(self.opcode & 0xF0)
 
     @property
+    def op_bits(self) -> int:
+        """Raw operation bits (``opcode & 0xF0``) without enum wrapping."""
+        return self.opcode & 0xF0
+
+    @property
     def uses_reg_source(self) -> bool:
         return bool(self.opcode & Src.X)
 

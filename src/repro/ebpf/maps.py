@@ -13,6 +13,7 @@ Semantics follow the kernel:
 
 from __future__ import annotations
 
+import heapq
 import struct
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
@@ -213,7 +214,11 @@ class PerfEventArray:
         self.cpus = cpus
         self.per_cpu_capacity = per_cpu_capacity
         self.name = name
-        self._buffers: List[Deque[bytes]] = [deque() for _ in range(cpus)]
+        # Each record is tagged with a map-global arrival sequence number
+        # so poll() can interleave the per-CPU streams back into emission
+        # order (perf's timestamp-ordered reader), not CPU-by-CPU.
+        self._buffers: List[Deque[Tuple[int, bytes]]] = [deque() for _ in range(cpus)]
+        self._seq = 0
         self.lost = 0
 
     def output(self, cpu: int, data: bytes) -> bool:
@@ -221,14 +226,20 @@ class PerfEventArray:
         if len(buffer) >= self.per_cpu_capacity:
             self.lost += 1
             return False
-        buffer.append(bytes(data))
+        buffer.append((self._seq, bytes(data)))
+        self._seq += 1
         return True
 
     def poll(self) -> List[bytes]:
-        """Drain all CPU buffers in round-robin arrival order (approx)."""
-        events: List[bytes] = []
+        """Drain all CPU buffers, merged into global arrival order.
+
+        Each per-CPU deque is already sequence-sorted, so a k-way merge
+        restores the emission order across CPUs — a consumer feeding the
+        records to order-sensitive accumulators (e.g. delta statistics)
+        sees monotone timestamps even with ``cpus > 1``.
+        """
+        events = [data for _seq, data in heapq.merge(*self._buffers)]
         for buffer in self._buffers:
-            events.extend(buffer)
             buffer.clear()
         return events
 

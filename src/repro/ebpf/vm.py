@@ -27,7 +27,7 @@ from .maps import BpfMap, PerfEventArray, RingBuf
 from .opcodes import AluOp, InsnClass, JmpOp, MemMode, MemSize, Reg
 
 __all__ = ["Vm", "VmResult", "MemRegion", "Pointer", "MapRef", "STACK_SIZE",
-           "DEFAULT_INSN_COST_NS"]
+           "DEFAULT_INSN_COST_NS", "MAX_STEPS", "call_helper"]
 
 _MASK32 = (1 << 32) - 1
 _MASK64 = (1 << 64) - 1
@@ -316,35 +316,19 @@ class Vm:
     # ------------------------------------------------------------------
     @staticmethod
     def _resolve(target: RegValue, off: int, size: int, for_write: bool):
-        if not isinstance(target, Pointer):
-            raise VmFault(f"memory access through non-pointer {target!r}")
-        region = target.region
-        start = target.offset + off
-        if start < 0 or start + size > len(region):
-            raise VmFault(
-                f"out-of-bounds {'write' if for_write else 'read'} at "
-                f"{region.kind}+{start} size {size}"
-            )
-        if for_write and not region.writable:
-            raise VmFault(f"write to read-only region {region.kind}")
-        return region, start
+        return _resolve(target, off, size, for_write)
 
     def _load(self, target: RegValue, off: int, size: MemSize) -> int:
-        region, start = self._resolve(target, off, size.nbytes, for_write=False)
-        return int.from_bytes(region.data[start : start + size.nbytes], "little")
+        return mem_load(target, off, size)
 
     def _store(self, target: RegValue, off: int, size: MemSize, value: int) -> None:
-        region, start = self._resolve(target, off, size.nbytes, for_write=True)
-        region.data[start : start + size.nbytes] = (value & ((1 << (8 * size.nbytes)) - 1)).to_bytes(
-            size.nbytes, "little"
-        )
+        mem_store(target, off, size, value)
 
     # ------------------------------------------------------------------
     # helper calls
     # ------------------------------------------------------------------
     def _read_mem(self, pointer: RegValue, length: int) -> bytes:
-        region, start = self._resolve(pointer, 0, length, for_write=False)
-        return bytes(region.data[start : start + length])
+        return read_mem(pointer, length)
 
     def _call(self, helper_id: int, regs: List[RegValue], ctx_region: MemRegion,
               runtime: HelperRuntime) -> int:
@@ -352,70 +336,124 @@ class Vm:
             sig = HELPER_SIGS[helper_id]
         except KeyError:
             raise VmFault(f"unknown helper id {helper_id}") from None
-        args = [regs[r] for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5)]
-        r0: RegValue
-
-        if sig.helper == Helper.MAP_LOOKUP_ELEM:
-            bpf_map = self._arg_map(args[0])
-            key = self._read_mem(args[1], bpf_map.key_size)
-            entry = bpf_map.lookup(key)
-            if entry is None:
-                r0 = 0
-            else:
-                r0 = Pointer(MemRegion("map_value", entry, writable=True), 0)
-        elif sig.helper == Helper.MAP_UPDATE_ELEM:
-            bpf_map = self._arg_map(args[0])
-            key = self._read_mem(args[1], bpf_map.key_size)
-            value = self._read_mem(args[2], bpf_map.value_size)
-            bpf_map.update(key, value)
-            r0 = 0
-        elif sig.helper == Helper.MAP_DELETE_ELEM:
-            bpf_map = self._arg_map(args[0])
-            key = self._read_mem(args[1], bpf_map.key_size)
-            r0 = 0 if bpf_map.delete(key) else (-2 & _MASK64)  # -ENOENT
-        elif sig.helper == Helper.KTIME_GET_NS:
-            r0 = runtime.ktime() & _MASK64
-        elif sig.helper == Helper.GET_CURRENT_PID_TGID:
-            r0 = runtime.current_pid_tgid() & _MASK64
-        elif sig.helper == Helper.GET_SMP_PROCESSOR_ID:
-            r0 = runtime.smp_processor_id() & _MASK64
-        elif sig.helper == Helper.GET_PRANDOM_U32:
-            r0 = runtime.prandom_u32()
-        elif sig.helper == Helper.TRACE_PRINTK:
-            length = self._arg_scalar(args[1])
-            text = self._read_mem(args[0], length).decode("latin-1").rstrip("\x00")
-            runtime.printk(text)
-            r0 = len(text)
-        elif sig.helper == Helper.PERF_EVENT_OUTPUT:
-            perf_map = self._arg_map(args[1])
-            if not isinstance(perf_map, PerfEventArray):
-                raise VmFault("perf_event_output needs a PERF_EVENT_ARRAY map")
-            length = self._arg_scalar(args[4])
-            data = self._read_mem(args[3], length)
-            r0 = runtime.perf_output(perf_map, data) & _MASK64
-        elif sig.helper == Helper.RINGBUF_OUTPUT:
-            ring = self._arg_map(args[0])
-            if not isinstance(ring, RingBuf):
-                raise VmFault("ringbuf_output needs a RINGBUF map")
-            length = self._arg_scalar(args[2])
-            data = self._read_mem(args[1], length)
-            r0 = runtime.ringbuf_output(ring, data) & _MASK64
-        else:  # pragma: no cover - signature table covers all
-            raise VmFault(f"unimplemented helper {sig.helper!r}")
-
-        regs[Reg.R0] = r0
-        for scratch in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5):
-            regs[scratch] = None
-        return sig.cost_ns
+        return call_helper(sig, regs, runtime)
 
     @staticmethod
     def _arg_map(value: RegValue):
-        if not isinstance(value, MapRef):
-            raise VmFault(f"helper expected a map, got {value!r}")
-        return value.bpf_map
+        return _arg_map(value)
 
     @staticmethod
     def _arg_scalar(value: RegValue) -> int:
-        if not isinstance(value, int):
-            raise VmFault(f"helper expected a scalar, got {value!r}")
-        return value
+        return _arg_scalar(value)
+
+
+# ----------------------------------------------------------------------
+# shared semantics (used by both the reference interpreter above and the
+# pre-decoded fast path in :mod:`repro.ebpf.fastvm`)
+# ----------------------------------------------------------------------
+def _resolve(target: RegValue, off: int, size: int, for_write: bool):
+    if not isinstance(target, Pointer):
+        raise VmFault(f"memory access through non-pointer {target!r}")
+    region = target.region
+    start = target.offset + off
+    if start < 0 or start + size > len(region):
+        raise VmFault(
+            f"out-of-bounds {'write' if for_write else 'read'} at "
+            f"{region.kind}+{start} size {size}"
+        )
+    if for_write and not region.writable:
+        raise VmFault(f"write to read-only region {region.kind}")
+    return region, start
+
+
+def mem_load(target: RegValue, off: int, size: MemSize) -> int:
+    region, start = _resolve(target, off, size.nbytes, for_write=False)
+    return int.from_bytes(region.data[start : start + size.nbytes], "little")
+
+
+def mem_store(target: RegValue, off: int, size: MemSize, value: int) -> None:
+    region, start = _resolve(target, off, size.nbytes, for_write=True)
+    region.data[start : start + size.nbytes] = (value & ((1 << (8 * size.nbytes)) - 1)).to_bytes(
+        size.nbytes, "little"
+    )
+
+
+def read_mem(pointer: RegValue, length: int) -> bytes:
+    region, start = _resolve(pointer, 0, length, for_write=False)
+    return bytes(region.data[start : start + length])
+
+
+def _arg_map(value: RegValue):
+    if not isinstance(value, MapRef):
+        raise VmFault(f"helper expected a map, got {value!r}")
+    return value.bpf_map
+
+
+def _arg_scalar(value: RegValue) -> int:
+    if not isinstance(value, int):
+        raise VmFault(f"helper expected a scalar, got {value!r}")
+    return value
+
+
+def call_helper(sig, regs: List[RegValue], runtime: HelperRuntime) -> int:
+    """Run one helper call against the register file; returns its cost_ns.
+
+    This is the single source of truth for helper semantics *and* the
+    helper half of the probe cost model — both interpreter tiers dispatch
+    here, which is what keeps EXP-OVH bit-for-bit stable across them.
+    """
+    args = [regs[r] for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5)]
+    r0: RegValue
+
+    if sig.helper == Helper.MAP_LOOKUP_ELEM:
+        bpf_map = _arg_map(args[0])
+        key = read_mem(args[1], bpf_map.key_size)
+        entry = bpf_map.lookup(key)
+        if entry is None:
+            r0 = 0
+        else:
+            r0 = Pointer(MemRegion("map_value", entry, writable=True), 0)
+    elif sig.helper == Helper.MAP_UPDATE_ELEM:
+        bpf_map = _arg_map(args[0])
+        key = read_mem(args[1], bpf_map.key_size)
+        value = read_mem(args[2], bpf_map.value_size)
+        bpf_map.update(key, value)
+        r0 = 0
+    elif sig.helper == Helper.MAP_DELETE_ELEM:
+        bpf_map = _arg_map(args[0])
+        key = read_mem(args[1], bpf_map.key_size)
+        r0 = 0 if bpf_map.delete(key) else (-2 & _MASK64)  # -ENOENT
+    elif sig.helper == Helper.KTIME_GET_NS:
+        r0 = runtime.ktime() & _MASK64
+    elif sig.helper == Helper.GET_CURRENT_PID_TGID:
+        r0 = runtime.current_pid_tgid() & _MASK64
+    elif sig.helper == Helper.GET_SMP_PROCESSOR_ID:
+        r0 = runtime.smp_processor_id() & _MASK64
+    elif sig.helper == Helper.GET_PRANDOM_U32:
+        r0 = runtime.prandom_u32()
+    elif sig.helper == Helper.TRACE_PRINTK:
+        length = _arg_scalar(args[1])
+        text = read_mem(args[0], length).decode("latin-1").rstrip("\x00")
+        runtime.printk(text)
+        r0 = len(text)
+    elif sig.helper == Helper.PERF_EVENT_OUTPUT:
+        perf_map = _arg_map(args[1])
+        if not isinstance(perf_map, PerfEventArray):
+            raise VmFault("perf_event_output needs a PERF_EVENT_ARRAY map")
+        length = _arg_scalar(args[4])
+        data = read_mem(args[3], length)
+        r0 = runtime.perf_output(perf_map, data) & _MASK64
+    elif sig.helper == Helper.RINGBUF_OUTPUT:
+        ring = _arg_map(args[0])
+        if not isinstance(ring, RingBuf):
+            raise VmFault("ringbuf_output needs a RINGBUF map")
+        length = _arg_scalar(args[2])
+        data = read_mem(args[1], length)
+        r0 = runtime.ringbuf_output(ring, data) & _MASK64
+    else:  # pragma: no cover - signature table covers all
+        raise VmFault(f"unimplemented helper {sig.helper!r}")
+
+    regs[Reg.R0] = r0
+    for scratch in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5):
+        regs[scratch] = None
+    return sig.cost_ns

@@ -94,6 +94,52 @@ class TestDeltaStats:
         stats.add_timestamp(2)
         assert stats.events == 2
 
+    def test_reset_window_reports_zero_events(self):
+        """Regression: a freshly reset window used to report ``events == 1``
+        (the carried anchor timestamp counted as an observation)."""
+        stats = DeltaStats.from_timestamps([0, 100, 200])
+        assert stats.events == 3
+        stats.reset_window()
+        assert stats.events == 0
+        assert stats.carried
+
+    def test_events_across_window_rollover(self):
+        """Each window's event count covers only its own timestamps even
+        though the boundary delta is anchored on the carried one."""
+        stats = DeltaStats.from_timestamps([0, 100, 200])
+        stats.reset_window()
+        stats.add_timestamp(350)
+        assert stats.events == 1
+        stats.add_timestamp(500)
+        assert stats.events == 2
+        assert stats.count == 2  # both deltas, incl. the boundary-spanning one
+        # A second rollover behaves the same way.
+        stats.reset_window()
+        assert stats.events == 0
+        stats.add_timestamp(900)
+        assert stats.events == 1
+
+    def test_reset_window_on_fresh_stats_is_not_carried(self):
+        stats = DeltaStats()
+        stats.reset_window()
+        assert not stats.carried
+        stats.add_timestamp(10)
+        assert stats.events == 1
+
+    def test_window_event_totals_partition_the_trace(self):
+        """Summing per-window events over rollovers must equal the number
+        of timestamps fed in — no event counted twice, none invented."""
+        stats = DeltaStats()
+        timestamps = [i * 10 for i in range(30)]
+        total = 0
+        for index, ts in enumerate(timestamps):
+            stats.add_timestamp(ts)
+            if index % 7 == 6:
+                total += stats.events
+                stats.reset_window()
+        total += stats.events
+        assert total == len(timestamps)
+
     def test_merge(self):
         a = DeltaStats.from_timestamps([0, 100, 200])
         b = DeltaStats.from_timestamps([1000, 1300])
@@ -108,6 +154,18 @@ class TestDeltaStats:
         merged = a.merge(DeltaStats())
         assert merged.count == 1
         assert merged.first_ns == 0
+
+    def test_merge_preserves_carried_event_accounting(self):
+        a = DeltaStats.from_timestamps([0, 100, 200])
+        a.reset_window()
+        a.add_timestamp(300)
+        a.add_timestamp(400)  # carried window: 2 events, 2 deltas
+        b = DeltaStats.from_timestamps([1000, 1100])
+        b.reset_window()
+        b.add_timestamp(1250)  # carried window: 1 event, 1 delta
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert merged.events == a.events + b.events == 3
 
     @given(st.lists(st.integers(min_value=1, max_value=10 * SEC), min_size=2, max_size=60))
     @settings(max_examples=80)

@@ -106,6 +106,102 @@ def test_periodic_draining_prevents_drops():
     assert collector.snapshot().events == 10
 
 
+def _two_sender_server(kernel, sends=5, period_ms=2):
+    """One process, two worker threads with their own connections.
+
+    The driver alternates between the connections, so consecutive sendmsg
+    events come from different tids — and, with ``cpus=2``, land in
+    different per-CPU perf buffers.
+    """
+    env = kernel.env
+    proc = kernel.create_process("srv")
+    clients = []
+
+    def make_worker(server):
+        def worker(task):
+            ep = yield from task.sys_epoll_create1()
+            yield from task.sys_epoll_ctl(ep, server)
+            for _ in range(sends):
+                yield from task.sys_epoll_wait(ep)
+                msg = yield from task.sys_read(server)
+                yield from task.sys_sendmsg(server, Message(size=msg.size))
+        return worker
+
+    for _ in range(2):
+        client, server = kernel.open_connection()
+        clients.append(client)
+        proc.spawn_thread(make_worker(server))
+
+    def driver():
+        for _ in range(sends):
+            for client in clients:
+                yield env.timeout(period_ms * MSEC)
+                client.send(Message(size=64))
+
+    env.process(driver())
+    return proc
+
+
+def test_multi_cpu_streaming_preserves_timestamp_order():
+    """Regression: with records spread over multiple per-CPU buffers, the
+    old sequential drain returned all of CPU 0 before CPU 1, so the
+    timestamp-ordered accumulator blew up on the out-of-order stream."""
+    kernel = _kernel()
+    proc = _two_sender_server(kernel, sends=5, period_ms=2)
+    collector = StreamingDeltaCollector(
+        kernel, proc.pid, [Sys.SENDMSG], cpus=2
+    ).attach()
+    kernel.env.run()
+    records = collector.drain()  # raised "backwards" before the fix
+    assert len(records) == 10
+    timestamps = [t for t, _nr in records]
+    assert timestamps == sorted(timestamps)
+
+
+def test_multi_cpu_statistics_match_in_kernel_collector():
+    def run(streaming):
+        kernel = _kernel()
+        proc = _two_sender_server(kernel, sends=6, period_ms=3)
+        if streaming:
+            collector = StreamingDeltaCollector(
+                kernel, proc.pid, [Sys.SENDMSG], cpus=2
+            ).attach()
+        else:
+            collector = DeltaCollector(
+                kernel, proc.pid, [Sys.SENDMSG], mode="vm"
+            ).attach()
+        kernel.env.run()
+        return collector.snapshot()
+
+    assert run(streaming=True) == run(streaming=False)
+
+
+def test_reset_window_surfaces_undrained_tail():
+    """Records buffered but not yet drained at the window boundary belong
+    to the closing window; reset_window() must hand them back instead of
+    silently zeroing them away."""
+    kernel = _kernel()
+    proc = _echo_server(kernel, sends=6, period_ms=2)
+    collector = StreamingDeltaCollector(kernel, proc.pid, [Sys.SENDMSG]).attach()
+    kernel.env.run(until=7 * MSEC)  # 3 sends buffered, nothing drained
+    tail = collector.reset_window()
+    assert len(tail) == 3
+    assert [nr for _t, nr in tail] == [Sys.SENDMSG] * 3
+    kernel.env.run()
+    second = collector.snapshot()
+    assert second.events == 3  # only the post-boundary sends
+    assert second.count == 3  # incl. the boundary-spanning delta
+
+
+def test_reset_window_tail_empty_when_pre_drained():
+    kernel = _kernel()
+    proc = _echo_server(kernel, sends=6, period_ms=2)
+    collector = StreamingDeltaCollector(kernel, proc.pid, [Sys.SENDMSG]).attach()
+    kernel.env.run(until=7 * MSEC)
+    collector.drain()
+    assert collector.reset_window() == []
+
+
 def test_reset_window_continuity():
     kernel = _kernel()
     proc = _echo_server(kernel, sends=6, period_ms=2)

@@ -142,6 +142,34 @@ class TestPerfEventArray:
         assert sorted(events) == [b"a", b"b", b"c"]
         assert perf.poll() == []
 
+    def test_poll_merges_cross_cpu_arrival_order(self):
+        """Regression: poll() used to drain buffer-by-buffer (all of CPU 0,
+        then all of CPU 1, ...), so interleaved emissions came back out of
+        order and order-sensitive consumers saw time run backwards."""
+        perf = PerfEventArray(cpus=3)
+        for cpu, data in [(0, b"a"), (1, b"b"), (0, b"c"),
+                          (2, b"d"), (1, b"e"), (0, b"f")]:
+            perf.output(cpu, data)
+        assert perf.poll() == [b"a", b"b", b"c", b"d", b"e", b"f"]
+
+    def test_poll_order_preserved_across_polls(self):
+        perf = PerfEventArray(cpus=2)
+        perf.output(1, b"a")
+        perf.output(0, b"b")
+        assert perf.poll() == [b"a", b"b"]
+        perf.output(0, b"c")
+        perf.output(1, b"d")
+        assert perf.poll() == [b"c", b"d"]
+
+    def test_dropped_record_leaves_no_sequence_gap_effect(self):
+        """A lost record (full buffer) must not disturb merge order."""
+        perf = PerfEventArray(cpus=2, per_cpu_capacity=1)
+        perf.output(0, b"a")
+        perf.output(0, b"dropped")
+        perf.output(1, b"b")
+        assert perf.lost == 1
+        assert perf.poll() == [b"a", b"b"]
+
     def test_lost_accounting(self):
         perf = PerfEventArray(cpus=1, per_cpu_capacity=1)
         perf.output(0, b"a")
