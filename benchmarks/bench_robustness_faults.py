@@ -1,0 +1,381 @@
+"""BENCH-RF — metric robustness under injected faults.
+
+The paper's Table II asks how far the syscall-derived metrics survive a
+degraded *network*; this benchmark extends the question to every fault
+class the repro can now inject:
+
+* tc-netem packet mangling beyond the paper's delay+loss column —
+  reordering, duplication, corruption, and bursty Gilbert–Elliott loss;
+* a degraded *collection path*: stream-mode monitoring with a small perf
+  buffer and a pausing userspace consumer, where records genuinely drop
+  and the monitor reports lost-record confidence;
+* server-side faults: a stop-the-world stall, a worker crash with
+  restart, and connection resets absorbed by the client's retry watchdog.
+
+Estimators (matching the rest of the suite): the per-level observed rate
+is the *median per-window* RPS_obsv (robust to the RTO stragglers that
+bursty loss injects into the whole-run telescoped rate), except in the
+stream-drop sweep where the raw rate is deliberately the lossy streamed
+statistic.  The saturation knee uses the rate-independent dispersion
+index var/mean² of the send deltas (``send_delta_cov2``), exactly as
+EXP-F3 does — raw delta variance scales as 1/rate² at low load, so it
+has no usable low-load baseline across a level sweep.
+
+Documented bounds asserted here (per workload: data-caching, triton-grpc):
+
+* clean and per-netem-fault sweeps keep RPS_obsv linear in RPS_real
+  (R² > 0.5, within 0.3 of the clean sweep); the dispersion knee stays
+  detectable under reorder/duplicate/corrupt, but *not* under bursty
+  Gilbert–Elliott loss, whose RTO retransmission stalls flood Δt_send
+  with network variance — a characterization result this bench records;
+* collection-path drops make the raw streamed rate visibly under-report
+  (fit slope < 0.9) while the reported confidence drops below 1, and the
+  drop-aware corrected rate restores the one-to-one line (slope ≈ 1,
+  R² within 0.1 of clean) — degradation is *known*, not silent;
+* the poll-slack signal (native-side durations) keeps its low-vs-high
+  load contrast under collection-path drops;
+* the stall inflates client p99 by >= 3x; crash-restart and resets still
+  complete every request (retries/abandons accounted, never hung).
+  Server-fault times are fractions of the expected run so the same
+  schedule is meaningful at memcached and Triton rates alike.
+
+Runs two ways:
+
+* under pytest-benchmark with the rest of the suite
+  (``pytest benchmarks/bench_robustness_faults.py --benchmark-only``);
+* standalone for CI smoke (``python benchmarks/bench_robustness_faults.py
+  --smoke``), a scaled-down sweep with the same qualitative assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from statistics import median
+from typing import Dict, List, Optional
+
+from repro.analysis import ExperimentSpec, default_levels, execute_cell, save_record
+from repro.core import detect_knee, fit_linear
+from repro.faults import (
+    ConnectionReset,
+    ConsumerSchedule,
+    WorkerCrash,
+    WorkerStall,
+    run_faulted_cell,
+)
+from repro.net import NetemConfig
+from repro.sim import MSEC, SEC
+from repro.workloads import get_workload
+
+WORKLOADS = ("data-caching", "triton-grpc")
+
+#: Minimum offered-load span per cell.  Short cells make the netem fault
+#: overheads (fixed RTT, one-off retransmission stalls) a large fraction
+#: of the run and bend the RPS_obsv-vs-RPS_real line for reasons that
+#: have nothing to do with observability.
+MIN_CELL_NS = 80 * MSEC
+
+#: The netem fault classes swept against each workload (both directions).
+NETEM_FAULTS: Dict[str, Optional[NetemConfig]] = {
+    "clean": None,
+    "reorder": NetemConfig(delay_ns=2 * MSEC, reorder=0.25),
+    "duplicate": NetemConfig(duplicate=0.3, rate_bps=100_000_000),
+    "corrupt": NetemConfig(corrupt=0.01),
+    "ge-loss": NetemConfig(ge_p=0.005, ge_r=0.5),  # 1% stationary, bursty
+}
+
+def _requests_for(rate: float, base: int) -> int:
+    """Per-level request count: at least ``base``, and at least
+    ``MIN_CELL_NS`` worth of offered load."""
+    return max(base, int(rate * MIN_CELL_NS / SEC))
+
+
+def _stream_fault_plan(rate: float):
+    """Collection-path degradation scaled to the event rate.
+
+    A fixed buffer + fixed pause only overflows at memcached rates; at
+    Triton's tens of RPS a 30 ms outage holds under one record.  Scale the
+    pause so each one covers ~32 send events and size the per-CPU buffer
+    to ~1/8 of a pause, so every workload genuinely drops records while
+    the awake half of the duty cycle still brackets each outage with
+    drains (the precondition for the telescoped-rate correction).
+    """
+    pause = max(30 * MSEC, int(32 * SEC / rate))
+    capacity = max(4, int(rate * pause / SEC) // 8)
+    schedule = ConsumerSchedule(
+        drain_interval_ns=max(MSEC, pause // 8),
+        pause_every_ns=pause,
+        pause_for_ns=pause,
+    )
+    return capacity, schedule
+
+
+def _levels(key: str, count: int) -> List[float]:
+    # Past the knee on purpose (high_frac > 1) so saturation is in-sweep.
+    return default_levels(get_workload(key), count=count,
+                          low_frac=0.25, high_frac=1.1)
+
+
+def _raw_rate(level, streamed: bool) -> float:
+    if streamed or not level.window_rps:
+        # The streamed statistic is exactly the signal under test in the
+        # stream-drop sweep: report it raw, drops and all.
+        return level.rps_obsv
+    return median(level.window_rps)
+
+
+def _sweep_stats(levels: List, streamed: bool = False) -> dict:
+    """R², knee, and slack contrast for one completed level sweep."""
+    achieved = [l.achieved_rps for l in levels]
+    raw = [_raw_rate(l, streamed) for l in levels]
+    # observed ≈ slope * achieved: the slope is the (under-)reporting
+    # factor — ~confidence for a lossy stream, ~1 when healthy/corrected.
+    fit_raw = fit_linear(achieved, raw)
+    fit_corr = fit_linear(
+        achieved, [l.rps_obsv_corrected or r for l, r in zip(levels, raw)])
+    # Rate-independent dispersion (var/mean², as in EXP-F3): raw delta
+    # variance falls as 1/rate² with load and has no cross-level baseline.
+    knee = detect_knee([l.offered_rps for l in levels],
+                       [l.send_delta_cov2 for l in levels],
+                       baseline_fraction=0.4, threshold_factor=3.0)
+    polls = [l.poll_mean_duration_ns for l in levels]
+    lost = sum(l.lost_records for l in levels)
+    return {
+        "r2": fit_raw.r_squared,
+        "r2_corrected": fit_corr.r_squared,
+        "slope": fit_raw.slope,
+        "slope_corrected": fit_corr.slope,
+        "knee_rps": None if knee is None else knee.x,
+        "poll_slack_ratio": polls[0] / polls[-1] if polls[-1] > 0 else None,
+        "lost_records": lost,
+        "mean_confidence": (
+            sum(l.confidence for l in levels) / len(levels) if levels else 1.0
+        ),
+        "levels": [
+            {"offered": l.offered_rps, "achieved": l.achieved_rps,
+             "requests": l.completed,
+             "rate_raw": r, "rps_obsv": l.rps_obsv,
+             "rps_obsv_corrected": l.rps_obsv_corrected,
+             "confidence": l.confidence, "lost": l.lost_records,
+             "cov2": l.send_delta_cov2,
+             "poll_ns": l.poll_mean_duration_ns}
+            for l, r in zip(levels, raw)
+        ],
+    }
+
+
+def _netem_sweeps(key: str, level_count: int, requests: int) -> dict:
+    sweeps = {}
+    for fault, netem in NETEM_FAULTS.items():
+        results = [
+            execute_cell(ExperimentSpec(
+                workload=key, offered_rps=rate,
+                requests=_requests_for(rate, requests),
+                client_to_server=netem, server_to_client=netem,
+            ))
+            for rate in _levels(key, level_count)
+        ]
+        sweeps[fault] = _sweep_stats(results)
+    return sweeps
+
+
+def _stream_drop_sweep(key: str, level_count: int, requests: int) -> dict:
+    results = []
+    for rate in _levels(key, level_count):
+        capacity, schedule = _stream_fault_plan(rate)
+        level, _report = run_faulted_cell(
+            ExperimentSpec(workload=key, offered_rps=rate,
+                           requests=_requests_for(rate, requests),
+                           monitor_mode="stream",
+                           stream_capacity=capacity),
+            consumer=schedule,
+        )
+        results.append(level)
+    return _sweep_stats(results, streamed=True)
+
+
+def _server_faults(key: str, requests: int) -> dict:
+    definition = get_workload(key)
+    rate = 0.6 * definition.paper_fail_rps
+    n = max(requests, 400)
+    run_ns = int(n * SEC / rate)  # expected offered-load span
+    spec = ExperimentSpec(workload=key, offered_rps=rate, requests=n)
+    baseline = execute_cell(spec)
+
+    stalled, stall_rep = run_faulted_cell(
+        spec, faults=[WorkerStall(at_ns=run_ns // 4,
+                                  duration_ns=int(0.4 * run_ns))]
+    )
+    # Serving threads are "<name>/w<i>" on thread-per-connection apps but
+    # "<name>/exec<i>" on the dispatch-pool inference servers.
+    match = "/exec" if key.startswith("triton") else "/w"
+    crashed, crash_rep = run_faulted_cell(
+        spec, faults=[WorkerCrash(at_ns=run_ns // 4,
+                                  restart_after_ns=int(0.15 * run_ns),
+                                  match=match)],
+        retry_timeout_ns=run_ns // 2,
+    )
+    reset_netem = NetemConfig(delay_ns=max(100_000, run_ns // 50))
+    resetted, reset_rep = run_faulted_cell(
+        spec.replace(client_to_server=reset_netem, server_to_client=reset_netem),
+        faults=[ConnectionReset(at_ns=int(0.3 * run_ns), connections=4)],
+        retry_timeout_ns=int(0.3 * run_ns),
+    )
+    return {
+        "baseline_p99_ns": baseline.p99_ns,
+        "stall": {
+            "p99_ratio": stalled.p99_ns / baseline.p99_ns if baseline.p99_ns else None,
+            "completed": stalled.completed, "applied": stall_rep.stalls,
+        },
+        "crash-restart": {
+            "killed": crash_rep.killed, "respawned": crash_rep.respawned,
+            "completed": crashed.completed,
+            "p99_ratio": crashed.p99_ns / baseline.p99_ns if baseline.p99_ns else None,
+        },
+        "conn-reset": {
+            "resets": reset_rep.resets,
+            "discarded": reset_rep.discarded_messages,
+            "completed": resetted.completed,
+        },
+        "requests": n,
+    }
+
+
+def run_robustness(level_count: int, requests: int) -> dict:
+    record = {"bench": "robustness_faults", "workloads": {}}
+    for key in WORKLOADS:
+        sweeps = _netem_sweeps(key, level_count, requests)
+        sweeps["stream-drops"] = _stream_drop_sweep(key, level_count, requests)
+        record["workloads"][key] = {
+            "sweeps": sweeps,
+            "server_faults": _server_faults(key, requests),
+        }
+    return record
+
+
+def check_bounds(record: dict) -> List[str]:
+    """The documented robustness bounds; returns human-readable violations."""
+    problems = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    for key, data in record["workloads"].items():
+        sweeps = data["sweeps"]
+        clean = sweeps["clean"]
+        expect(clean["r2"] > 0.8, f"{key}: clean R² {clean['r2']:.3f} <= 0.8")
+        expect(clean["knee_rps"] is not None, f"{key}: clean sweep has no knee")
+        expect(clean["poll_slack_ratio"] and clean["poll_slack_ratio"] > 1.5,
+               f"{key}: poll slack contrast {clean['poll_slack_ratio']} <= 1.5")
+
+        for fault in ("reorder", "duplicate", "corrupt", "ge-loss"):
+            s = sweeps[fault]
+            expect(s["r2"] > 0.5, f"{key}/{fault}: R² {s['r2']:.3f} <= 0.5")
+            expect(abs(s["r2"] - clean["r2"]) < 0.3,
+                   f"{key}/{fault}: R² moved {clean['r2']:.3f} -> {s['r2']:.3f}")
+            if fault != "ge-loss":
+                # Bursty loss is exempt: RTO retransmission stalls flood
+                # Δt_send with network variance orders of magnitude above
+                # the contention signal, so the dispersion knee is not
+                # reliable there (a finding, not a tolerance).
+                expect(s["knee_rps"] is not None, f"{key}/{fault}: knee lost")
+            expect(s["lost_records"] == 0,
+                   f"{key}/{fault}: in-kernel collectors lost records")
+
+        degraded = sweeps["stream-drops"]
+        expect(degraded["lost_records"] > 0,
+               f"{key}/stream-drops: no records dropped (fault not exercised)")
+        expect(degraded["mean_confidence"] < 0.995,
+               f"{key}/stream-drops: confidence {degraded['mean_confidence']:.3f} "
+               "not visibly degraded")
+        # Dropping a near-constant fraction keeps the fit linear, so the
+        # degradation shows up in the slope (the reporting factor), not in
+        # R²: the raw streamed rate visibly under-reports while the
+        # drop-aware correction restores the one-to-one line.
+        expect(degraded["slope"] < 0.9,
+               f"{key}/stream-drops: raw slope {degraded['slope']:.3f} does not "
+               "under-report despite drops")
+        expect(abs(degraded["slope_corrected"] - 1.0) < 0.15,
+               f"{key}/stream-drops: corrected slope "
+               f"{degraded['slope_corrected']:.3f} not ~1")
+        expect(abs(degraded["r2_corrected"] - clean["r2"]) < 0.1,
+               f"{key}/stream-drops: corrected R² {degraded['r2_corrected']:.3f} "
+               f"not within 0.1 of clean {clean['r2']:.3f}")
+        # No knee bound here: merged deltas around each drop gap poison the
+        # dispersion signal; the surviving saturation signal under
+        # collection drops is the poll-slack contrast asserted below.
+        if clean["poll_slack_ratio"] and degraded["poll_slack_ratio"]:
+            ratio = degraded["poll_slack_ratio"] / clean["poll_slack_ratio"]
+            expect(0.5 < ratio < 2.0,
+                   f"{key}/stream-drops: poll slack contrast moved {ratio:.2f}x")
+
+        faults = data["server_faults"]
+        expect(faults["stall"]["p99_ratio"] and faults["stall"]["p99_ratio"] > 3.0,
+               f"{key}: stall p99 ratio {faults['stall']['p99_ratio']} <= 3")
+        expect(faults["stall"]["completed"] == faults["requests"],
+               f"{key}: stall run incomplete")
+        expect(faults["crash-restart"]["killed"] == 1
+               and faults["crash-restart"]["respawned"] == 1,
+               f"{key}: crash-restart did not kill+respawn exactly once")
+        expect(faults["crash-restart"]["completed"] == faults["requests"],
+               f"{key}: crash-restart run incomplete")
+        expect(faults["conn-reset"]["completed"] == faults["requests"],
+               f"{key}: conn-reset run incomplete")
+    return problems
+
+
+def _summarize(record: dict, emit) -> None:
+    for key, data in record["workloads"].items():
+        emit(f"{key}:")
+        for fault, s in data["sweeps"].items():
+            knee = f"{s['knee_rps']:.0f}" if s["knee_rps"] else "-"
+            extra = ""
+            if fault == "stream-drops":
+                extra = (f"  lost={s['lost_records']}"
+                         f" conf={s['mean_confidence']:.3f}"
+                         f" R2corr={s['r2_corrected']:.4f}")
+            emit(f"  {fault:<13} R2={s['r2']:.4f} knee@{knee}{extra}")
+        faults = data["server_faults"]
+        emit(f"  stall p99 x{faults['stall']['p99_ratio']:.1f}, "
+             f"crash-restart completed {faults['crash-restart']['completed']}, "
+             f"resets {faults['conn-reset']['resets']}")
+
+
+def test_robustness_faults(benchmark):
+    from conftest import emit, scaled
+
+    record = benchmark.pedantic(
+        lambda: run_robustness(level_count=8, requests=scaled(600, minimum=250)),
+        rounds=1, iterations=1)
+    save_record(record, "robustness_faults")
+
+    emit("BENCH-RF — metric robustness under injected faults")
+    _summarize(record, emit)
+
+    problems = check_bounds(record)
+    assert not problems, "\n".join(problems)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down sweep with the same assertions")
+    parser.add_argument("--levels", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    args = parser.parse_args(argv)
+    level_count = args.levels or (5 if args.smoke else 8)
+    requests = args.requests or (250 if args.smoke else 600)
+
+    record = run_robustness(level_count=level_count, requests=requests)
+    save_record(record, "robustness_faults")
+    _summarize(record, print)
+
+    problems = check_bounds(record)
+    for problem in problems:
+        print(f"BOUND VIOLATED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,14 @@ stack:
 * :mod:`repro.loadgen` — open-loop clients and latency accounting;
 * :mod:`repro.core` — the paper's contribution: syscall-statistics
   observability of RPS, saturation and saturation slack;
+* :mod:`repro.faults` — scripted fault injection (degraded collection
+  path, server stalls/crashes, connection resets) for the robustness
+  experiments;
 * :mod:`repro.analysis` — experiment harness regenerating every table and
   figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .analysis import (
     ExperimentSpec,
@@ -31,6 +34,13 @@ from .analysis import (
     sweep,
 )
 from .core import MetricsSnapshot, RequestMetricsMonitor
+from .faults import (
+    ConnectionReset,
+    ConsumerSchedule,
+    WorkerCrash,
+    WorkerStall,
+    run_faulted_cell,
+)
 from .kernel import AMD_EPYC_7302, INTEL_XEON_E5_2620, Kernel, MachineSpec
 from .loadgen import OpenLoopClient
 from .net import NetemConfig
@@ -60,4 +70,9 @@ __all__ = [
     "SweepResult",
     "ResultCache",
     "run_cells",
+    "ConnectionReset",
+    "ConsumerSchedule",
+    "WorkerCrash",
+    "WorkerStall",
+    "run_faulted_cell",
 ]

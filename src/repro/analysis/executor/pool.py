@@ -30,6 +30,7 @@ from .cache import ResultCache
 from .spec import ExperimentSpec, LevelResult
 
 __all__ = [
+    "CellHandles",
     "CellProgress",
     "ExecutorStats",
     "ProgressCallback",
@@ -58,8 +59,34 @@ class _SendTimestampProbe:
         return self
 
 
-def execute_cell(spec: ExperimentSpec) -> LevelResult:
-    """Run one experiment cell to completion and collect all signals."""
+@dataclass
+class CellHandles:
+    """Live simulation objects of one running cell, handed to ``setup``
+    hooks (fault orchestration, extra probes) before the clock starts."""
+
+    env: "Environment"
+    kernel: Kernel
+    app: object
+    monitor: RequestMetricsMonitor
+    client: OpenLoopClient
+
+
+def execute_cell(
+    spec: ExperimentSpec,
+    *,
+    setup: Optional[Callable[[CellHandles], None]] = None,
+    retry_timeout_ns: Optional[int] = None,
+) -> LevelResult:
+    """Run one experiment cell to completion and collect all signals.
+
+    ``setup``, if given, is called with the cell's live objects after the
+    client is constructed but before the simulation runs — the hook point
+    for fault injectors.  ``retry_timeout_ns`` arms the client's
+    retransmission watchdog (needed when faults can swallow requests
+    outright, e.g. connection resets).  Cells run with either knob are
+    *not* pure functions of the spec, so callers must bypass the result
+    cache — :func:`repro.faults.run_faulted_cell` does exactly that.
+    """
     definition = spec.definition
     config = definition.config
     machine = spec.machine.with_cores(config.cores)
@@ -81,7 +108,7 @@ def execute_cell(spec: ExperimentSpec) -> LevelResult:
     app = definition.build(kernel, spec.client_to_server, spec.server_to_client)
     monitor = RequestMetricsMonitor(
         kernel, app.tgid, spec=config.syscalls, mode=spec.monitor_mode,
-        charge_cost=spec.charge_cost,
+        charge_cost=spec.charge_cost, stream_capacity=spec.stream_capacity,
     ).attach()
     send_probe = _SendTimestampProbe(kernel, app.tgid, (config.syscalls.send_nr,)).attach()
 
@@ -94,7 +121,11 @@ def execute_cell(spec: ExperimentSpec) -> LevelResult:
         request_size=config.request_size,
         qos_latency_ns=config.qos_latency_ns,
         arrival=spec.arrival,
+        retry_timeout_ns=retry_timeout_ns,
     )
+    if setup is not None:
+        setup(CellHandles(env=env, kernel=kernel, app=app,
+                          monitor=monitor, client=client))
     client.start()
     report: ClientReport = env.run(until=client.done)
     snapshot: MetricsSnapshot = monitor.snapshot()
@@ -123,6 +154,9 @@ def execute_cell(spec: ExperimentSpec) -> LevelResult:
         poll_mean_duration_ns=float(snapshot.poll_mean_duration_ns),
         poll_count=snapshot.poll.count,
         window_rps=window_estimates(send_times, spec.estimate_windows),
+        lost_records=snapshot.lost_records,
+        confidence=snapshot.confidence,
+        rps_obsv_corrected=snapshot.rps_obsv_corrected,
         machine=machine.name,
         netem_label=c2s.label(),
         utilization=kernel.cpu.utilization(),

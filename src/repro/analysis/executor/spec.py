@@ -26,7 +26,7 @@ __all__ = ["DEFAULT_SEED", "ExperimentSpec", "LevelResult", "SweepResult"]
 DEFAULT_SEED = 1317
 
 #: Monitor implementations understood by :class:`~repro.core.RequestMetricsMonitor`.
-MONITOR_MODES = ("native", "vm")
+MONITOR_MODES = ("native", "vm", "stream")
 
 #: Arrival processes understood by :class:`~repro.loadgen.OpenLoopClient`.
 ARRIVAL_PROCESSES = ("uniform", "poisson")
@@ -91,8 +91,11 @@ class ExperimentSpec:
     client_to_server: Optional[NetemConfig] = None
     #: Impairment on the server -> client direction (``None`` = ideal).
     server_to_client: Optional[NetemConfig] = None
-    #: Monitor implementation: ``"native"`` twin or the eBPF ``"vm"``.
+    #: Monitor implementation: ``"native"`` twin, the eBPF ``"vm"``, or
+    #: per-event perf ``"stream"`` (the only mode that can drop records).
     monitor_mode: str = "native"
+    #: Per-CPU perf buffer capacity for ``monitor_mode="stream"``.
+    stream_capacity: int = 65536
     #: Charge the probe's execution cost to the traced syscalls.
     charge_cost: bool = False
     #: Number of per-window Eq. 1 estimates to compute.
@@ -116,6 +119,8 @@ class ExperimentSpec:
             raise ValueError(
                 f"monitor_mode must be one of {MONITOR_MODES}, got {self.monitor_mode!r}"
             )
+        if self.stream_capacity < 1:
+            raise ValueError("stream_capacity must be >= 1")
         if self.estimate_windows < 1:
             raise ValueError("estimate_windows must be >= 1")
         if self.arrival not in ARRIVAL_PROCESSES:
@@ -159,6 +164,7 @@ class ExperimentSpec:
                 asdict(self.server_to_client) if self.server_to_client else None
             ),
             "monitor_mode": self.monitor_mode,
+            "stream_capacity": self.stream_capacity,
             "charge_cost": self.charge_cost,
             "estimate_windows": self.estimate_windows,
             "interference": self.interference,
@@ -246,6 +252,10 @@ class LevelResult:
     poll_count: int
     # per-window Eq.1 estimates (Fig. 2 green dots)
     window_rps: List[float] = field(default_factory=list)
+    # degraded-collection accounting (stream mode; 0 / 1.0 otherwise)
+    lost_records: int = 0
+    confidence: float = 1.0
+    rps_obsv_corrected: float = 0.0
     # run metadata
     machine: str = ""
     netem_label: str = ""

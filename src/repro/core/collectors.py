@@ -275,7 +275,7 @@ class DeltaCollector:
             s = self._stats
             return DeltaStats(count=s.count, sum=s.sum, sumsq=s.sumsq,
                               first_ns=s.first_ns, last_ns=s.last_ns,
-                              carried=s.carried)
+                              carried=s.carried, events=s.events)
         entry = self._map.lookup(self._map.key_of(0))
         events = _read_u64(entry, _EVENTS)
         if events == 0:
@@ -283,7 +283,8 @@ class DeltaCollector:
         count = _read_u64(entry, _COUNT)
         # While no event has landed since reset, the entry still holds the
         # carried anchor only; once events grow past the anchor the window
-        # is carried iff it was reset with an anchor.
+        # is carried iff it was reset with an anchor.  The in-kernel slot
+        # counts the anchor, so the window's own event count excludes it.
         return DeltaStats(
             count=count,
             sum=_read_u64(entry, _SUM),
@@ -291,6 +292,7 @@ class DeltaCollector:
             first_ns=_read_u64(entry, _FIRST),
             last_ns=_read_u64(entry, _LAST),
             carried=self._carried,
+            events=events - 1 if self._carried else events,
         )
 
     def reset_window(self) -> None:

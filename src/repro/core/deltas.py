@@ -58,6 +58,10 @@ class DeltaStats:
     #: timestamp anchors the boundary-spanning delta but is not an event
     #: of this window.
     carried: bool = False
+    #: Number of events observed in this window.  Tracked explicitly: it
+    #: cannot be recovered from ``count`` + ``carried`` once windows are
+    #: merged (two uncarried 3-event windows hold 4 deltas but 6 events).
+    events: int = 0
 
     # -- kernel-side updates ----------------------------------------------
     def add_timestamp(self, ts_ns: int) -> None:
@@ -72,6 +76,7 @@ class DeltaStats:
         else:
             self.first_ns = ts_ns
         self.last_ns = ts_ns
+        self.events += 1
 
     def add_delta(self, delta_ns: int) -> None:
         """Feed a pre-computed delta (used when merging partial traces)."""
@@ -93,20 +98,9 @@ class DeltaStats:
         self.sumsq = 0
         self.first_ns = self.last_ns
         self.carried = self.last_ns is not None
+        self.events = 0
 
     # -- Eq. 1 / Eq. 2 ---------------------------------------------------
-    @property
-    def events(self) -> int:
-        """Number of events observed in this window.
-
-        ``count`` deltas come from ``count + 1`` timestamps, but when the
-        anchoring timestamp was carried over a ``reset_window()`` boundary
-        it belongs to the previous window, so only ``count`` of those
-        events are this window's."""
-        if self.last_ns is None:
-            return 0
-        return self.count if self.carried else self.count + 1
-
     def mean_delta_ns(self) -> int:
         """Integer mean inter-event time (0 when under two events)."""
         return self.sum // self.count if self.count else 0
@@ -156,11 +150,10 @@ class DeltaStats:
         lasts = [l for l in (self.last_ns, other.last_ns) if l is not None]
         merged.first_ns = min(firsts) if firsts else None
         merged.last_ns = max(lasts) if lasts else None
-        # Preserve the combined event count where representable: if the
-        # parts observed exactly ``merged.count`` events, the merged
-        # window's anchor must be treated as carried.
-        total_events = self.events + other.events
-        merged.carried = merged.last_ns is not None and total_events <= merged.count
+        merged.events = self.events + other.events
+        # The merged anchor is carried iff no part contributed an
+        # uncarried anchor of its own (all events are interior).
+        merged.carried = merged.last_ns is not None and merged.events <= merged.count
         return merged
 
     @classmethod

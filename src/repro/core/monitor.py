@@ -17,6 +17,7 @@ from ..kernel.syscalls import POLL_FAMILY, RECV_FAMILY, SEND_FAMILY, SyscallSpec
 from ..sim.timebase import SEC
 from .collectors import DeltaCollector, DurationCollector, DurationStats
 from .deltas import DeltaStats
+from .streaming import StreamingDeltaCollector
 
 __all__ = ["RequestMetricsMonitor", "MetricsSnapshot"]
 
@@ -30,6 +31,10 @@ class MetricsSnapshot:
     send: DeltaStats
     recv: DeltaStats
     poll: DurationStats
+    #: Collection-path records dropped in this window (stream mode only:
+    #: the in-kernel collectors never lose events, so these stay 0).
+    send_lost: int = 0
+    recv_lost: int = 0
 
     @property
     def duration_ns(self) -> int:
@@ -64,12 +69,50 @@ class MetricsSnapshot:
         """Mean poll-family syscall duration — the idleness signal."""
         return self.poll.mean_ns()
 
+    # -- degraded-collection accounting ---------------------------------
+    @property
+    def lost_records(self) -> int:
+        """Total collection-path drops charged to this window."""
+        return self.send_lost + self.recv_lost
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of send-family events that actually reached the
+        statistics (1.0 = nothing dropped).  Consumers should treat
+        windows with low confidence as known-degraded rather than
+        trusting the raw Eq. 1/Eq. 2 values."""
+        seen = self.send.events
+        total = seen + self.send_lost
+        return seen / total if total else 1.0
+
+    @property
+    def recv_confidence(self) -> float:
+        seen = self.recv.events
+        total = seen + self.recv_lost
+        return seen / total if total else 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any collection-path drop degraded this window."""
+        return self.lost_records > 0
+
+    @property
+    def rps_obsv_corrected(self) -> float:
+        """Eq. 1 corrected for known drops.  The send-delta sum telescopes
+        to ``last_seen - first_seen`` no matter how many interior events
+        were dropped, so re-crediting the lost count to the numerator
+        recovers the true rate (up to edge effects at the window rim)."""
+        if self.send.sum <= 0:
+            return self.rps_obsv
+        return SEC * (self.send.count + self.send_lost) / self.send.sum
+
     def __repr__(self) -> str:
         return (
             f"<MetricsSnapshot rps={self.rps_obsv:.1f} "
-            f"var={self.send_delta_variance} poll={self.poll_mean_duration_ns}ns>"
+            f"var={self.send_delta_variance} poll={self.poll_mean_duration_ns}ns"
+            + (f" lost={self.lost_records}" if self.degraded else "")
+            + ">"
         )
-
 
 class RequestMetricsMonitor:
     """Attach/observe/window the paper's three signals for one process.
@@ -84,9 +127,17 @@ class RequestMetricsMonitor:
         configuration — no per-app knowledge needed).
     mode:
         ``"vm"`` for interpreted eBPF collectors, ``"native"`` for the fast
-        equivalent path.
+        equivalent path, ``"stream"`` for the paper's first methodology —
+        per-event perf streaming with userspace aggregation.  Stream mode
+        is the only one that can *lose* events (slow consumer, full perf
+        buffer); losses surface as ``MetricsSnapshot.send_lost``/
+        ``recv_lost`` so downstream consumers see degraded confidence
+        instead of silently wrong rates.
     charge_cost:
         Charge probe execution cost to traced syscalls (overhead study).
+    stream_capacity:
+        Per-CPU perf buffer capacity (records) for ``mode="stream"``;
+        ignored otherwise.
     """
 
     def __init__(
@@ -96,20 +147,37 @@ class RequestMetricsMonitor:
         spec: Optional[SyscallSpec] = None,
         mode: str = "native",
         charge_cost: bool = False,
+        stream_capacity: int = 65536,
     ) -> None:
         self.kernel = kernel
         self.tgid = tgid
+        self.mode = mode
         send_nrs = (spec.send_nr,) if spec else tuple(sorted(SEND_FAMILY))
         recv_nrs = (spec.recv_nr,) if spec else tuple(sorted(RECV_FAMILY))
         poll_nrs = (spec.poll_nr,) if spec else tuple(sorted(POLL_FAMILY))
-        self.send_collector = DeltaCollector(
-            kernel, tgid, send_nrs, mode=mode, charge_cost=charge_cost, name="send"
-        )
-        self.recv_collector = DeltaCollector(
-            kernel, tgid, recv_nrs, mode=mode, charge_cost=charge_cost, name="recv"
-        )
+        if mode == "stream":
+            self.send_collector = StreamingDeltaCollector(
+                kernel, tgid, send_nrs, per_cpu_capacity=stream_capacity,
+                charge_cost=charge_cost, name="send",
+            )
+            self.recv_collector = StreamingDeltaCollector(
+                kernel, tgid, recv_nrs, per_cpu_capacity=stream_capacity,
+                charge_cost=charge_cost, name="recv",
+            )
+            # Poll durations need syscall entry *and* exit pairing, which
+            # the streamed record format does not carry; the paper's first
+            # methodology measured durations in-kernel too.
+            poll_mode = "native"
+        else:
+            self.send_collector = DeltaCollector(
+                kernel, tgid, send_nrs, mode=mode, charge_cost=charge_cost, name="send"
+            )
+            self.recv_collector = DeltaCollector(
+                kernel, tgid, recv_nrs, mode=mode, charge_cost=charge_cost, name="recv"
+            )
+            poll_mode = mode
         self.poll_collector = DurationCollector(
-            kernel, tgid, poll_nrs, mode=mode, charge_cost=charge_cost, name="poll"
+            kernel, tgid, poll_nrs, mode=poll_mode, charge_cost=charge_cost, name="poll"
         )
         self._window_start: Optional[int] = None
         self._attached = False
@@ -146,6 +214,8 @@ class RequestMetricsMonitor:
             send=self.send_collector.snapshot(),
             recv=self.recv_collector.snapshot(),
             poll=self.poll_collector.snapshot(),
+            send_lost=getattr(self.send_collector, "lost_in_window", 0),
+            recv_lost=getattr(self.recv_collector, "lost_in_window", 0),
         )
         if reset:
             self.reset_window()

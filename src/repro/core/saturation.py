@@ -99,20 +99,34 @@ class OnlineSaturationDetector:
         self._baseline: Optional[float] = None
         self._windows_seen = 0
         self._healthy_streak = 0
+        self._warmup_variances: List[float] = []
         self.saturated = False
         self.history: List[bool] = []
 
     def observe(self, variance: float) -> bool:
         """Feed one window's variance; returns the current saturated flag."""
         self._windows_seen += 1
-        if self._baseline is None:
+        if self._windows_seen <= self.warmup_windows:
+            # Warmup: suppress flags and keep the EWMA untouched — a stream
+            # that starts saturated must not absorb those windows into the
+            # baseline.  Seed from the warmup median once warmup completes
+            # (the median rejects a minority of saturated windows).
+            self._warmup_variances.append(float(variance))
+            if self._windows_seen == self.warmup_windows:
+                ordered = sorted(self._warmup_variances)
+                mid = len(ordered) // 2
+                if len(ordered) % 2:
+                    self._baseline = ordered[mid]
+                else:
+                    self._baseline = (ordered[mid - 1] + ordered[mid]) / 2
+            self._healthy_streak += 1
+            self.history.append(False)
+            return False
+
+        if self._baseline is None:  # warmup_windows == 0
             self._baseline = float(variance)
         floor = max(self._baseline, 1e-30)
-
-        if self._windows_seen <= self.warmup_windows:
-            over = False
-        else:
-            over = variance >= self.threshold_factor * floor
+        over = variance >= self.threshold_factor * floor
 
         if over:
             self.saturated = True

@@ -83,8 +83,17 @@ class SlackEstimator:
         )
         if len(points) < 2:
             raise ValueError("need at least two calibration points")
-        self._points = points
-        self._saturation_load = points[-1].load
+        # Durations must decline with load for bracket interpolation to be
+        # well-defined; a noisy tail rising again would make in-range
+        # queries miss every bracket and fall through to the saturation
+        # load (slack 0).  Monotonize with a running minimum.
+        monotone: List[CalibrationPoint] = []
+        ceiling = float("inf")
+        for point in points:
+            ceiling = min(ceiling, point.poll_duration_ns)
+            monotone.append(CalibrationPoint(point.load, ceiling))
+        self._points = monotone
+        self._saturation_load = monotone[-1].load
 
     @property
     def saturation_load(self) -> float:

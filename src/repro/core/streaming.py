@@ -102,6 +102,9 @@ class StreamingDeltaCollector:
         self._attached = False
         #: Total record bytes shipped to userspace (the ablation's metric).
         self.bytes_streamed = 0
+        #: ``events.lost`` at the last window boundary, so per-window loss
+        #: can be attributed to the window it degraded.
+        self._window_lost_base = 0
 
     # -- lifecycle ---------------------------------------------------------
     def attach(self) -> "StreamingDeltaCollector":
@@ -133,13 +136,18 @@ class StreamingDeltaCollector:
         """Records dropped because userspace drained too slowly."""
         return self.events.lost
 
+    @property
+    def lost_in_window(self) -> int:
+        """Records dropped since the current window opened."""
+        return self.events.lost - self._window_lost_base
+
     def snapshot(self) -> DeltaStats:
         """Drain, then return a copy of the accumulated statistics."""
         self.drain()
         s = self._stats
         return DeltaStats(count=s.count, sum=s.sum, sumsq=s.sumsq,
                           first_ns=s.first_ns, last_ns=s.last_ns,
-                          carried=s.carried)
+                          carried=s.carried, events=s.events)
 
     def reset_window(self) -> List[Tuple[int, int]]:
         """Close the current window at the drain point.
@@ -154,4 +162,5 @@ class StreamingDeltaCollector:
         """
         tail = self.drain()
         self._stats.reset_window()
+        self._window_lost_base = self.events.lost
         return tail

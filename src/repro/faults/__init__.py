@@ -1,0 +1,38 @@
+"""Scripted fault injection for degraded-observability experiments.
+
+The paper's methodology assumes a healthy collection path and a healthy
+server; this package breaks both on purpose, so the robustness experiments
+can measure how far the in-kernel metrics (Eq. 1 / Eq. 2, poll slack) stay
+usable when reality degrades:
+
+* :mod:`~repro.faults.collection` — a slow or pausing userspace consumer
+  that drives perf-buffer streaming into its drop path (stream mode), the
+  operational hazard the paper's in-kernel computation exists to avoid;
+* :mod:`~repro.faults.orchestrator` — server-side faults on a schedule:
+  whole-machine compute stalls, worker crash (with optional restart), and
+  connection resets that discard in-flight data;
+* :mod:`~repro.faults.runner` — glue running one experiment cell with
+  faults armed, bypassing the result cache (faulted cells are not pure
+  functions of their spec).
+"""
+
+from .collection import ConsumerSchedule, SlowConsumer
+from .orchestrator import (
+    ConnectionReset,
+    FaultOrchestrator,
+    FaultReport,
+    WorkerCrash,
+    WorkerStall,
+)
+from .runner import run_faulted_cell
+
+__all__ = [
+    "ConnectionReset",
+    "ConsumerSchedule",
+    "FaultOrchestrator",
+    "FaultReport",
+    "SlowConsumer",
+    "WorkerCrash",
+    "WorkerStall",
+    "run_faulted_cell",
+]

@@ -40,6 +40,10 @@ class CPU:
         self.busy_ns = 0
         #: Total ns of injected contention stalls.
         self.stall_ns = 0
+        #: Scripted fault-injection stall deadline: tasks acquiring a core
+        #: before this instant stall until it passes (models a machine-wide
+        #: freeze — GC pause, cgroup throttle, co-tenant burst).
+        self._stall_until = 0
         #: DVFS speed factor: 1.0 = nominal frequency.  Work demands are
         #: expressed in nominal-ns; wall time per slice is demand / speed.
         self._speed = 1.0
@@ -70,6 +74,16 @@ class CPU:
             raise ValueError(f"speed factor must be positive, got {factor}")
         self._speed = factor
 
+    def inject_stall(self, duration_ns: int) -> None:
+        """Freeze compute for ``duration_ns`` from now (fault injection).
+
+        Overlapping injections extend the freeze rather than stack: the
+        deadline is max-combined, like overlapping throttle intervals.
+        """
+        if duration_ns <= 0:
+            raise ValueError(f"stall duration must be positive, got {duration_ns}")
+        self._stall_until = max(self._stall_until, self.env.now + duration_ns)
+
     def utilization(self) -> float:
         """Fraction of total core time spent busy since boot."""
         elapsed = self.env.now - self._boot_time
@@ -95,6 +109,8 @@ class CPU:
             stall = self.interference.stall_ns(
                 self.run_queue_len, self.spec.cores, self.env.now
             )
+            if self._stall_until > self.env.now:
+                stall += self._stall_until - self.env.now
             # Uncontended tasks run to completion in one hold (nobody to
             # preempt for); under contention the round-robin quantum applies.
             slice_ns = remaining if self._cores.queue_len == 0 else min(quantum, remaining)

@@ -19,6 +19,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..net.packet import Message
 from ..sim.process import Process
+from ..sim.resources import Request
 from .objects import FdTable, FileDescriptor
 from .polling import EpollInstance, wait_for_readable
 from .sockets import ListenSocket, SocketEndpoint
@@ -41,8 +42,42 @@ class KProcess:
         """Create a task running ``fn(task)`` (a generator function)."""
         task = self.kernel._new_task(self, name or f"{self.name}/t{len(self.tasks)}")
         self.tasks.append(task)
+        task.body_fn = fn
         task.sim_process = self.kernel.env.process(fn(task), name=task.name)
         return task
+
+    def kill_thread(self, task: "KernelTask", cause: str = "killed") -> bool:
+        """Forcibly terminate a task at its current wait point (crash
+        injection).  Returns False if the task already finished.
+
+        The task's generator unwinds via :class:`Interrupt`, so ``finally``
+        blocks run (held CPU cores are released); a *queued* core claim is
+        withdrawn explicitly.  Anything the corpse was about to dequeue is
+        lost — exactly the in-flight request a real worker crash eats, which
+        is what the client's retry watchdog exists to absorb.
+        """
+        proc = task.sim_process
+        if proc is None or not proc.is_alive:
+            return False
+        target = proc.target
+        # The crash is deliberate: nobody joins the corpse, so stop its
+        # failure from crashing the engine.
+        proc.defuse()
+        if target is None:
+            # Spawned but never resumed: close the generator before it runs.
+            proc._generator.close()
+            return True
+        proc.interrupt(cause)
+        if isinstance(target, Request):
+            target.resource.release(target)
+        return True
+
+    def respawn_thread(self, task: "KernelTask") -> "KernelTask":
+        """Restart a killed worker: a fresh task (new tid, same name and
+        tgid) running the same body the original was spawned with."""
+        if task.body_fn is None:
+            raise ValueError(f"{task!r} was not spawned with a body function")
+        return self.spawn_thread(task.body_fn, name=task.name)
 
     def adopt_thread(self, name: Optional[str] = None) -> "KernelTask":
         """Create a task whose body is driven externally (tests)."""
@@ -64,6 +99,9 @@ class KernelTask:
         self.name = name
         self.env = kernel.env
         self.sim_process: Optional[Process] = None
+        #: The generator function this task was spawned with (None for
+        #: adopted tasks); kept so a crashed worker can be respawned.
+        self.body_fn = None
 
     @property
     def pid_tgid(self) -> int:

@@ -37,6 +37,10 @@ class ClientReport:
     #: post-arrival drain of retransmission stragglers is excluded).
     steady_completions: int = 0
     steady_span_ns: int = 0
+    #: Application-level retransmissions issued by the retry watchdog.
+    retried: int = 0
+    #: Requests given up on after exhausting retries (fault runs only).
+    abandoned: int = 0
 
     @property
     def achieved_rps(self) -> float:
@@ -76,9 +80,18 @@ class OpenLoopClient:
         arrival: str = "poisson",
         arrival_spread: float = 0.1,
         phases: Optional[Sequence] = None,
+        retry_timeout_ns: Optional[int] = None,
+        max_retries: int = 3,
     ) -> None:
         """``phases`` (optional): a sequence of ``(rate_rps, n_requests)``
-        tuples for ramp experiments; overrides ``rate_rps``/``total_requests``."""
+        tuples for ramp experiments; overrides ``rate_rps``/``total_requests``.
+
+        ``retry_timeout_ns`` (optional) arms an application-level retry
+        watchdog: a request unanswered for that long is re-sent on its
+        original connection (latency keeps counting from the *original*
+        send, like a real timeout-and-retry client library), and abandoned
+        after ``max_retries`` re-sends so ``done`` still fires when a fault
+        swallows requests outright (worker crash, connection reset)."""
         if phases is not None:
             phases = [(float(rate), int(count)) for rate, count in phases]
             if not phases or any(r <= 0 or c < 1 for r, c in phases):
@@ -101,6 +114,12 @@ class OpenLoopClient:
         self.qos_latency_ns = qos_latency_ns
         self.arrival = arrival
         self.arrival_spread = arrival_spread
+        if retry_timeout_ns is not None and retry_timeout_ns <= 0:
+            raise ValueError("retry_timeout_ns must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.retry_timeout_ns = retry_timeout_ns
+        self.max_retries = max_retries
 
         self.latency = LatencyTracker()
         self.offered = 0
@@ -110,6 +129,12 @@ class OpenLoopClient:
         #: Completion timestamps (for steady-state trimming at report time).
         self._completion_times: List[int] = []
         self._send_times: Dict[int, int] = {}
+        #: Last (re)transmission time per outstanding tag (watchdog state;
+        #: kept separate so latency always measures from the original send).
+        self._last_attempt: Dict[int, int] = {}
+        self._retries_of: Dict[int, int] = {}
+        self.retried = 0
+        self.abandoned = 0
         self._tags = itertools.count(1)
         self._first_completion: Optional[int] = None
         self._last_completion: Optional[int] = None
@@ -126,6 +151,8 @@ class OpenLoopClient:
         self.env.process(self._generator(), name="client:gen")
         for index, sock in enumerate(self.sockets):
             self.env.process(self._reader(sock), name=f"client:rd{index}")
+        if self.retry_timeout_ns is not None:
+            self.env.process(self._watchdog(), name="client:watchdog")
 
     # -- processes ---------------------------------------------------------
     def _gaps_for(self, rate_rps: float):
@@ -144,6 +171,7 @@ class OpenLoopClient:
                 yield self.env.timeout(next(gaps))
                 tag = next(self._tags)
                 self._send_times[tag] = self.env.now
+                self._last_attempt[tag] = self.env.now
                 self.offered += 1
                 self.last_offered_ns = self.env.now
                 sock = self.sockets[index % len(self.sockets)]
@@ -158,6 +186,8 @@ class OpenLoopClient:
             sent_at = self._send_times.pop(response.tag, None)
             if sent_at is None:
                 continue  # duplicate or unknown tag; ignore
+            self._last_attempt.pop(response.tag, None)
+            self._retries_of.pop(response.tag, None)
             now = self.env.now
             self.latency.record(now - sent_at)
             self.completed += 1
@@ -165,8 +195,40 @@ class OpenLoopClient:
             if self._first_completion is None:
                 self._first_completion = now
             self._last_completion = now
-            if self.completed >= self.total_requests and not self.done.triggered:
-                self.done.succeed(self.report())
+            self._maybe_finish()
+
+    def _watchdog(self):
+        """Re-send stale requests; abandon them after ``max_retries``."""
+        timeout = self.retry_timeout_ns
+        while not self.done.triggered:
+            yield self.env.timeout(timeout)
+            if self.done.triggered:
+                return
+            now = self.env.now
+            stale = [tag for tag, last in self._last_attempt.items()
+                     if now - last >= timeout]
+            for tag in stale:
+                attempts = self._retries_of.get(tag, 0)
+                if attempts >= self.max_retries:
+                    # Give up: the request is lost to the fault.  Counting
+                    # it lets ``done`` fire even when responses never come.
+                    self._send_times.pop(tag, None)
+                    self._last_attempt.pop(tag, None)
+                    self._retries_of.pop(tag, None)
+                    self.abandoned += 1
+                    continue
+                self._retries_of[tag] = attempts + 1
+                self._last_attempt[tag] = now
+                self.retried += 1
+                sock = self.sockets[(tag - 1) % len(self.sockets)]
+                sock.send(Message(payload="request", size=self.request_size,
+                                  tag=tag))
+            self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if (self.completed + self.abandoned >= self.total_requests
+                and not self.done.triggered):
+            self.done.succeed(self.report())
 
     # -- results ---------------------------------------------------------
     def report(self) -> ClientReport:
@@ -190,4 +252,6 @@ class OpenLoopClient:
             qos_latency_ns=self.qos_latency_ns,
             steady_completions=steady_completions,
             steady_span_ns=steady_span,
+            retried=self.retried,
+            abandoned=self.abandoned,
         )

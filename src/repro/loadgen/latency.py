@@ -14,13 +14,18 @@ from typing import List, Optional, Sequence
 __all__ = ["LatencyTracker", "percentile"]
 
 
-def percentile(samples: Sequence[float], p: float) -> float:
-    """Exact percentile with linear interpolation (numpy 'linear' method)."""
+def percentile(samples: Sequence[float], p: float, *, presorted: bool = False) -> float:
+    """Exact percentile with linear interpolation (numpy 'linear' method).
+
+    ``presorted=True`` skips the O(n log n) sort for callers that already
+    hold an ascending sequence (e.g. a cached sorted copy queried for
+    several percentiles).
+    """
     if not samples:
         raise ValueError("no samples")
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
-    ordered = sorted(samples)
+    ordered = samples if presorted else sorted(samples)
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (p / 100.0) * (len(ordered) - 1)
@@ -59,7 +64,7 @@ class LatencyTracker:
             return 0.0
         if self._sorted is None:
             self._sorted = sorted(self._samples)
-        return percentile(self._sorted, p)
+        return percentile(self._sorted, p, presorted=True)
 
     def p50_ns(self) -> float:
         return self.percentile_ns(50.0)

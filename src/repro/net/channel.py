@@ -46,9 +46,13 @@ class Channel:
         #: flows hit tail losses and eat the full RTO.
         self._last_send_ns: Optional[int] = None
         self._gap_ewma_ns: Optional[float] = None
+        #: Messages sent strictly before this time are dropped at arrival
+        #: (connection reset discards in-flight data).
+        self._drop_sent_before = 0
         #: Diagnostics.
         self.sent = 0
         self.delivered = 0
+        self.reset_drops = 0
 
     def connect(self, deliver: Callable[[Message], None]) -> None:
         """Late-bind the delivery callback (used when wiring socket pairs)."""
@@ -70,6 +74,11 @@ class Channel:
             self._last_arrival + max(MIN_SPACING_NS, serialization),
         )
         self._last_arrival = arrival
+        if self.path.duplicate_draw(message.size):
+            # tc-netem 'duplicate': the receiver's TCP discards the copy,
+            # but it still clocks out behind the original and delays
+            # whatever is sent next on this direction.
+            self._last_arrival = arrival + max(MIN_SPACING_NS, serialization)
         self.sent += 1
 
         event = self.env.event()
@@ -97,7 +106,17 @@ class Channel:
         fast = int(3 * self._gap_ewma_ns + 3 * self.path.config.delay_ns) + 1
         return fast
 
+    def reset(self) -> None:
+        """Model a connection reset on this direction: every message
+        already in flight (sent before now) is discarded instead of
+        delivered, like data queued on a connection that receives an RST.
+        Messages sent from this instant on flow normally."""
+        self._drop_sent_before = self.env.now
+
     def _arrive(self, message: Message) -> None:
+        if message.sent_at is not None and message.sent_at < self._drop_sent_before:
+            self.reset_drops += 1
+            return
         message.delivered_at = self.env.now
         self.delivered += 1
         self._deliver(message)

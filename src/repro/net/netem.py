@@ -1,12 +1,25 @@
-"""tc-netem model: deterministic delay, uniform jitter, iid packet loss.
+"""tc-netem model: the full impairment knob set over one direction.
 
 The paper injects network impairments with Linux ``tc-netem`` on the
 loopback interface (client and server share a machine).  This module models
-the two knobs the paper turns — fixed delay (with optional jitter) and iid
-loss probability — plus the TCP behaviour that makes loss matter:
-retransmission after a retransmission timeout (RTO) with exponential
-backoff.  Linux clamps the minimum TCP RTO at 200 ms, which is exactly why
-1 % loss devastates millisecond-scale tail latency (Fig. 5).
+the knobs the paper turns — fixed delay (with optional jitter) and iid loss
+probability — plus the rest of tc-netem's packet-mangling repertoire, so
+robustness experiments can sweep realistic fault classes:
+
+* ``reorder`` (with ``gap``): a fraction of packets jump the delay queue
+  and are sent immediately; TCP's in-order delivery (the channel's FIFO
+  watermark) holds them at the receiver until the gap fills.
+* ``duplicate``: the copy is discarded by the receiver's TCP but consumes
+  link capacity (an extra serialization slot on rate-limited links).
+* ``corrupt``: a corrupted segment fails its checksum, so the transport
+  treats it exactly like a loss (retransmission after recovery).
+* Gilbert–Elliott (``gemodel``) bursty loss: a two-state good/bad Markov
+  chain advanced per segment, replacing the iid loss model.
+
+Loss matters because of the TCP behaviour layered on top: retransmission
+after a retransmission timeout (RTO) with exponential backoff.  Linux
+clamps the minimum TCP RTO at 200 ms, which is exactly why 1 % loss
+devastates millisecond-scale tail latency (Fig. 5).
 """
 
 from __future__ import annotations
@@ -44,18 +57,61 @@ class NetemConfig:
     #: Adds per-message serialization delay and queueing behind earlier
     #: messages on the same direction.
     rate_bps: int = 0
+    #: Probability a delay-eligible packet is instead transmitted
+    #: immediately (tc ``reorder PERCENT``).  Requires ``delay_ns > 0``,
+    #: as in tc ("reordering not possible without specifying some delay").
+    reorder: float = 0.0
+    #: tc ``gap N``: only every Nth packet is a reorder candidate
+    #: (0 or 1 = every packet).
+    reorder_gap: int = 0
+    #: Per-segment duplication probability (tc ``duplicate PERCENT``).
+    duplicate: float = 0.0
+    #: Per-segment corruption probability (tc ``corrupt PERCENT``); a
+    #: corrupted segment fails its checksum and behaves as a loss.
+    corrupt: float = 0.0
+    #: Gilbert–Elliott ``loss gemodel``: good->bad transition probability
+    #: per segment.  > 0 enables the bursty model (exclusive with ``loss``).
+    ge_p: float = 0.0
+    #: Gilbert–Elliott bad->good transition probability per segment
+    #: (mean burst length = 1/ge_r segments).
+    ge_r: float = 0.0
+    #: Loss probability while in the bad state (tc's ``1-h``).
+    ge_loss_bad: float = 1.0
+    #: Loss probability while in the good state (tc's ``1-k``).
+    ge_loss_good: float = 0.0
 
     def __post_init__(self) -> None:
         if self.delay_ns < 0 or self.jitter_ns < 0:
             raise ValueError("delay and jitter must be non-negative")
+        # Note: jitter_ns > delay_ns is legal, exactly as in tc-netem —
+        # the sampled delay simply clamps at zero.
         if not 0.0 <= self.loss < 1.0:
             raise ValueError(f"loss must be in [0, 1), got {self.loss}")
-        if self.jitter_ns > self.delay_ns:
-            raise ValueError("jitter larger than delay would allow negative delays")
         if self.rto_ns <= 0:
             raise ValueError("rto must be positive")
         if self.rate_bps < 0:
             raise ValueError("rate must be non-negative (0 = unlimited)")
+        if not 0.0 <= self.reorder <= 1.0:
+            raise ValueError(f"reorder must be in [0, 1], got {self.reorder}")
+        if self.reorder > 0.0 and self.delay_ns <= 0:
+            raise ValueError("reordering not possible without specifying some delay")
+        if self.reorder_gap < 0:
+            raise ValueError("reorder_gap must be non-negative")
+        if not 0.0 <= self.duplicate < 1.0:
+            raise ValueError(f"duplicate must be in [0, 1), got {self.duplicate}")
+        if not 0.0 <= self.corrupt < 1.0:
+            raise ValueError(f"corrupt must be in [0, 1), got {self.corrupt}")
+        for name in ("ge_p", "ge_r", "ge_loss_bad", "ge_loss_good"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.ge_p > 0.0:
+            if self.ge_r <= 0.0:
+                raise ValueError("gemodel needs ge_r > 0 (bad state must be escapable)")
+            if self.loss > 0.0:
+                raise ValueError("iid loss and gemodel loss are mutually exclusive")
+            if self.ge_loss_good >= 1.0:
+                raise ValueError("ge_loss_good must stay below 1")
 
     def serialization_ns(self, size_bytes: int) -> int:
         """Time to clock ``size_bytes`` onto the link (0 when unlimited)."""
@@ -74,7 +130,18 @@ class NetemConfig:
         return cls(delay_ns=10 * MSEC, loss=0.01)
 
     def label(self) -> str:
-        return f"{self.delay_ns / MSEC:g}ms delay / {self.loss * 100:g}% loss"
+        base = f"{self.delay_ns / MSEC:g}ms delay / {self.loss * 100:g}% loss"
+        extras = []
+        if self.ge_p > 0.0:
+            extras.append(f"GE(p={self.ge_p:g}, r={self.ge_r:g})")
+        if self.reorder > 0.0:
+            gap = f" gap {self.reorder_gap}" if self.reorder_gap > 1 else ""
+            extras.append(f"{self.reorder * 100:g}% reorder{gap}")
+        if self.duplicate > 0.0:
+            extras.append(f"{self.duplicate * 100:g}% duplicate")
+        if self.corrupt > 0.0:
+            extras.append(f"{self.corrupt * 100:g}% corrupt")
+        return " / ".join([base] + extras)
 
 
 class NetemPath:
@@ -88,12 +155,64 @@ class NetemPath:
     def __init__(self, config: NetemConfig, stream: Stream) -> None:
         self.config = config
         self._stream = stream
+        #: Gilbert–Elliott channel state (bad = bursty-loss regime).
+        self._ge_bad = False
+        #: Reorder-candidate counter (tc ``gap``).
+        self._reorder_counter = 0
         #: Diagnostics: transmission attempts lost so far.
         self.losses = 0
+        #: Diagnostics: transmission attempts dropped to checksum failure.
+        self.corrupted = 0
+        #: Diagnostics: packets that jumped the delay queue.
+        self.reordered = 0
+        #: Diagnostics: messages duplicated on the wire.
+        self.duplicated = 0
         #: Diagnostics: messages carried.
         self.carried = 0
 
     MSS_BYTES = 1460
+
+    def _segments(self, size_bytes: int) -> int:
+        return max(1, -(-size_bytes // self.MSS_BYTES)) if size_bytes else 1
+
+    def _attempt_lost(self, segments: int) -> Optional[str]:
+        """One transmission attempt: ``None`` (delivered), ``"loss"`` or
+        ``"corrupt"``.  Gilbert–Elliott advances per segment; iid mechanisms
+        aggregate into one draw so legacy loss-only configs consume the RNG
+        stream identically to earlier versions.
+        """
+        cfg = self.config
+        if cfg.ge_p > 0.0:
+            for _ in range(segments):
+                if self._ge_bad:
+                    if self._stream.bernoulli(cfg.ge_r):
+                        self._ge_bad = False
+                elif self._stream.bernoulli(cfg.ge_p):
+                    self._ge_bad = True
+                p_loss = cfg.ge_loss_bad if self._ge_bad else cfg.ge_loss_good
+                if p_loss > 0.0 and self._stream.bernoulli(p_loss):
+                    return "loss"
+                if cfg.corrupt > 0.0 and self._stream.bernoulli(cfg.corrupt):
+                    return "corrupt"
+            return None
+        p_ok = ((1.0 - cfg.loss) * (1.0 - cfg.corrupt)) ** segments
+        p_fail = 1.0 - p_ok
+        if p_fail <= 0.0 or not self._stream.bernoulli(p_fail):
+            return None
+        if cfg.corrupt <= 0.0:
+            return "loss"
+        if cfg.loss <= 0.0:
+            return "corrupt"
+        # Both mechanisms active: attribute the failure proportionally.
+        share = cfg.loss / (cfg.loss + cfg.corrupt)
+        return "loss" if self._stream.bernoulli(share) else "corrupt"
+
+    def _reorder_candidate(self) -> bool:
+        gap = self.config.reorder_gap
+        self._reorder_counter += 1
+        if gap <= 1:
+            return True
+        return self._reorder_counter % gap == 0
 
     def transit_ns(self, recovery_ns: Optional[int] = None, size_bytes: int = 0) -> int:
         """Latency of one message: retransmission backoffs + one-way delay.
@@ -105,30 +224,59 @@ class NetemPath:
         consecutive losses either way.
 
         ``size_bytes``: netem drops *segments*; a message spanning several
-        MSS-sized segments is exposed to loss once per segment.
+        MSS-sized segments is exposed to loss/corruption once per segment.
         """
         cfg = self.config
         total = 0
         recovery = cfg.rto_ns if recovery_ns is None else min(cfg.rto_ns, recovery_ns)
         recovery = max(1, recovery)
-        segments = max(1, -(-size_bytes // self.MSS_BYTES)) if size_bytes else 1
-        loss = 1.0 - (1.0 - cfg.loss) ** segments if cfg.loss > 0.0 else 0.0
+        segments = self._segments(size_bytes)
         retries = 0
-        while loss > 0.0 and self._stream.bernoulli(loss):
-            self.losses += 1
+        while retries < MAX_RETRANSMISSIONS:
+            reason = self._attempt_lost(segments)
+            if reason is None:
+                break
+            if reason == "corrupt":
+                self.corrupted += 1
+            else:
+                self.losses += 1
             retries += 1
             total += recovery
             recovery *= 2
-            if retries >= MAX_RETRANSMISSIONS:
-                break
+        self.carried += 1
+        if (cfg.reorder > 0.0 and self._reorder_candidate()
+                and self._stream.bernoulli(cfg.reorder)):
+            # tc-netem reorder: the packet jumps the delay queue and is
+            # transmitted immediately.  The channel's FIFO watermark models
+            # TCP holding the early segment until the gap fills, so the
+            # observable effect is arrival-spacing collapse, not actual
+            # out-of-order delivery to the application.
+            self.reordered += 1
+            return total
         delay = cfg.delay_ns
         if cfg.jitter_ns:
             delay += int(self._stream.uniform(-cfg.jitter_ns, cfg.jitter_ns))
-        self.carried += 1
         return total + max(0, delay)
+
+    def duplicate_draw(self, size_bytes: int = 0) -> bool:
+        """Whether this message gets duplicated on the wire (tc
+        ``duplicate``).  The receiver's TCP discards the copy, so the only
+        observable cost is the link capacity it consumes — the channel
+        charges an extra serialization slot when this returns True.
+        """
+        cfg = self.config
+        if cfg.duplicate <= 0.0:
+            return False
+        p_dup = 1.0 - (1.0 - cfg.duplicate) ** self._segments(size_bytes)
+        if self._stream.bernoulli(p_dup):
+            self.duplicated += 1
+            return True
+        return False
 
     @property
     def loss_fraction(self) -> float:
-        """Observed fraction of transmission attempts lost (diagnostics)."""
-        attempts = self.carried + self.losses
-        return self.losses / attempts if attempts else 0.0
+        """Observed fraction of transmission attempts dropped, by either
+        mechanism (diagnostics)."""
+        dropped = self.losses + self.corrupted
+        attempts = self.carried + dropped
+        return dropped / attempts if attempts else 0.0

@@ -126,6 +126,7 @@ class ServerApp:
         self.process = kernel.create_process(config.name)
         self.client_sockets: List[SocketEndpoint] = []
         self._server_sockets: List[SocketEndpoint] = []
+        self._accepted_sockets: Optional[List[SocketEndpoint]] = None
         self._service_stream = kernel.seeds.stream(f"{config.name}:service")
         self._noise_stream = kernel.seeds.stream(f"{config.name}:noise")
         self._started = False
@@ -177,7 +178,14 @@ class ServerApp:
             self._server_sockets.append(server)
 
     def _setup_phase(self, task: KernelTask, conns: int):
-        """Generator: the accept-loop setup syscalls of Fig. 1(b)."""
+        """Generator: the accept-loop setup syscalls of Fig. 1(b).
+
+        Runs once per app: a worker *respawned* after a crash re-enters its
+        body, but the process's fds survived, so the replacement inherits the
+        already-accepted sockets instead of blocking on an empty listener.
+        """
+        if self._accepted_sockets is not None:
+            return self._accepted_sockets
         yield from task.sys_socket()
         yield from task.sys_bind()
         yield from task.sys_listen()
@@ -185,6 +193,7 @@ class ServerApp:
         for _ in range(conns):
             sock = yield from task.sys_accept(self._listener)
             accepted.append(sock)
+        self._accepted_sockets = accepted
         return accepted
 
     def _chunks_for_response(self) -> int:

@@ -230,3 +230,28 @@ class TestSweepIntegration:
         result = sweep("silo", levels=[400], requests=100)
         assert result.workload == "silo"
         assert result.telemetry["total"] == 1
+
+
+class TestStreamModeSpec:
+    def test_round_trip_and_cache_key(self):
+        spec = ExperimentSpec(workload="silo", offered_rps=100,
+                              monitor_mode="stream", stream_capacity=128)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        # capacity shapes the outcome in stream mode -> must shape the key
+        assert spec.cache_key() != spec.replace(stream_capacity=256).cache_key()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(workload="silo", offered_rps=100, stream_capacity=0)
+        with pytest.raises(ValueError):
+            ExperimentSpec(workload="silo", offered_rps=100, monitor_mode="bogus")
+
+    def test_stream_cell_populates_loss_fields(self):
+        result = execute_cell(ExperimentSpec(
+            workload="silo", offered_rps=200, requests=120,
+            monitor_mode="stream",
+        ))
+        # Healthy consumer (drain-at-snapshot), ample buffer: no loss.
+        assert result.lost_records == 0
+        assert result.confidence == 1.0
+        assert result.rps_obsv_corrected == pytest.approx(result.rps_obsv)

@@ -155,6 +155,16 @@ class TestDeltaStats:
         assert merged.count == 1
         assert merged.first_ns == 0
 
+    def test_merge_counts_events_of_uncarried_windows(self):
+        # Two fresh traces of 3 timestamps each carry 6 events total; the
+        # merged window must not lose one to carried-flag inference.
+        a = DeltaStats.from_timestamps([0, 100, 200])
+        b = DeltaStats.from_timestamps([1000, 1100, 1300])
+        assert a.events == b.events == 3
+        merged = a.merge(b)
+        assert merged.count == 4
+        assert merged.events == 6
+
     def test_merge_preserves_carried_event_accounting(self):
         a = DeltaStats.from_timestamps([0, 100, 200])
         a.reset_window()

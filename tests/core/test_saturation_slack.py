@@ -90,6 +90,17 @@ class TestOnlineSaturationDetector:
         det.observe(1000.0)  # spike; baseline must not absorb it
         assert det.baseline < 10.0
 
+    def test_saturated_start_does_not_poison_baseline(self):
+        # A stream that begins saturated used to absorb the saturated
+        # windows into the EWMA during warmup, inflating the baseline and
+        # masking saturation forever.  The baseline must instead seed from
+        # the warmup-window median.
+        det = OnlineSaturationDetector(threshold_factor=5.0, warmup_windows=5)
+        for variance in [100.0, 1.0, 1.0, 1.0, 1.0]:
+            assert not det.observe(variance)  # warmup: flags suppressed
+        assert det.baseline == pytest.approx(1.0)
+        assert det.observe(20.0)  # 20 >= 5 x median(warmup) -> saturated
+
     def test_history_recorded(self):
         det = OnlineSaturationDetector(warmup_windows=1)
         det.observe(1.0)
@@ -156,6 +167,15 @@ class TestSlackEstimator:
     def test_unsorted_calibration_accepted(self):
         est = SlackEstimator(list(reversed(self.CAL)))
         assert est.saturation_load == 1000
+
+    def test_non_monotone_calibration_does_not_collapse_to_saturation(self):
+        # A noisy calibration tail (duration rising again past the knee)
+        # used to make in-range queries fall through to the saturation load
+        # (slack 0).  Durations are monotonized at construction instead.
+        est = SlackEstimator([(100, 90 * MSEC), (500, 20 * MSEC), (1000, 40 * MSEC)])
+        load = est.implied_load(30 * MSEC)
+        assert load == pytest.approx(100 + (500 - 100) * (90 - 30) / (90 - 20), rel=0.01)
+        assert est.slack(30 * MSEC) > 0.4
 
     def test_needs_two_points(self):
         with pytest.raises(ValueError):

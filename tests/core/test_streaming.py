@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DeltaCollector, StreamingDeltaCollector
+from repro.core import DeltaCollector, RequestMetricsMonitor, StreamingDeltaCollector
 from repro.core.streaming import RECORD_SIZE
 from repro.kernel import Kernel, MachineSpec, Sys
 from repro.net import Message
@@ -226,3 +226,76 @@ def test_requires_syscalls():
     kernel = _kernel()
     with pytest.raises(ValueError):
         StreamingDeltaCollector(kernel, 1, [])
+
+
+class TestWindowedLoss:
+    def test_lost_records_attributed_to_window(self):
+        kernel = _kernel()
+        proc = _echo_server(kernel, sends=10, period_ms=1)
+        collector = StreamingDeltaCollector(
+            kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+        ).attach()
+        kernel.env.run()  # nothing drained: 6 of 10 records drop
+        assert collector.lost_in_window == 6
+        collector.reset_window()
+        # The new window starts clean even though the lifetime total stays.
+        assert collector.lost_in_window == 0
+        assert collector.lost_records == 6
+
+
+class TestStreamMonitor:
+    def test_stream_monitor_matches_native_when_healthy(self):
+        def run(mode):
+            kernel = _kernel()
+            proc = _echo_server(kernel, sends=10, period_ms=2)
+            monitor = RequestMetricsMonitor(kernel, proc.pid, mode=mode).attach()
+            kernel.env.run()
+            return monitor.snapshot()
+
+        native = run("native")
+        stream = run("stream")
+        assert stream.send == native.send
+        assert stream.recv == native.recv
+        assert not stream.degraded
+        assert stream.confidence == 1.0
+        assert stream.lost_records == 0
+
+    def test_stream_monitor_surfaces_drops_as_confidence(self):
+        kernel = _kernel()
+        proc = _echo_server(kernel, sends=10, period_ms=1)
+        monitor = RequestMetricsMonitor(
+            kernel, proc.pid, mode="stream", stream_capacity=4
+        ).attach()
+        kernel.env.run()  # no consumer: both buffers overflow
+        snap = monitor.snapshot()
+        assert snap.send_lost == 6  # 10 sendmsg events, 4-record buffer
+        assert snap.recv_lost == 6  # 10 read events likewise
+        assert snap.degraded
+        assert snap.confidence == pytest.approx(0.4)
+        assert snap.lost_records == 12
+        assert "lost=12" in repr(snap)
+
+    def test_corrected_rate_recredits_interior_drops(self):
+        # Drain before and after an outage so the retained events span the
+        # window: the telescoped delta sum then makes the corrected rate
+        # exact despite the interior loss.
+        kernel = _kernel()
+        proc = _echo_server(kernel, sends=20, period_ms=1)
+        monitor = RequestMetricsMonitor(
+            kernel, proc.pid, mode="stream", stream_capacity=4
+        ).attach()
+
+        def drainer():
+            while True:
+                yield kernel.env.timeout(3 * MSEC)
+                if not 5 * MSEC < kernel.env.now < 16 * MSEC:  # outage window
+                    monitor.send_collector.drain()
+                    monitor.recv_collector.drain()
+
+        kernel.env.process(drainer())
+        kernel.env.run(until=30 * MSEC)
+        snap = monitor.snapshot()
+        assert snap.send_lost > 0
+        true_rate = 1000.0 * MSEC / MSEC  # 1 send per ms -> 1000/s
+        assert snap.rps_obsv < 0.8 * true_rate  # raw visibly under-reports
+        assert snap.rps_obsv_corrected == pytest.approx(true_rate, rel=0.06)

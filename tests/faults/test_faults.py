@@ -1,0 +1,294 @@
+"""Tests for the fault-injection subsystem (collection + server faults)."""
+
+import pytest
+
+from repro.analysis.executor import ExperimentSpec, execute_cell
+from repro.core import StreamingDeltaCollector
+from repro.faults import (
+    ConnectionReset,
+    ConsumerSchedule,
+    FaultOrchestrator,
+    SlowConsumer,
+    WorkerCrash,
+    WorkerStall,
+    run_faulted_cell,
+)
+from repro.kernel import CPU, Kernel, MachineSpec, Sys
+from repro.net import Message, NetemConfig
+from repro.sim import MSEC, Environment, SeedSequence
+
+
+def _kernel():
+    spec = MachineSpec(name="t", cores=4, ctx_switch_ns=0, syscall_overhead_ns=0)
+    return Kernel(Environment(), spec, SeedSequence(1), interference=False)
+
+
+def _echo_server(kernel, sends=8, period_ms=2):
+    env = kernel.env
+    proc = kernel.create_process("srv")
+    client, server = kernel.open_connection()
+
+    def worker(task):
+        ep = yield from task.sys_epoll_create1()
+        yield from task.sys_epoll_ctl(ep, server)
+        for _ in range(sends):
+            yield from task.sys_epoll_wait(ep)
+            msg = yield from task.sys_read(server)
+            yield from task.sys_sendmsg(server, Message(size=msg.size))
+
+    proc.spawn_thread(worker)
+
+    def driver():
+        for _ in range(sends):
+            yield env.timeout(period_ms * MSEC)
+            client.send(Message(size=64))
+
+    env.process(driver())
+    return proc
+
+
+class TestConsumerSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsumerSchedule(drain_interval_ns=0)
+        with pytest.raises(ValueError):
+            ConsumerSchedule(pause_every_ns=-1)
+        with pytest.raises(ValueError):
+            ConsumerSchedule(pause_every_ns=5 * MSEC)  # pause_for missing
+        ConsumerSchedule(pause_every_ns=5 * MSEC, pause_for_ns=1 * MSEC)
+
+
+class TestSlowConsumer:
+    def test_fast_consumer_prevents_drops(self):
+        kernel = _kernel()
+        proc = _echo_server(kernel, sends=10, period_ms=1)
+        collector = StreamingDeltaCollector(
+            kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+        ).attach()
+        consumer = SlowConsumer(
+            kernel.env, [collector], ConsumerSchedule(drain_interval_ns=2 * MSEC)
+        ).start()
+        kernel.env.run(until=30 * MSEC)
+        assert collector.lost_records == 0
+        assert collector.snapshot().events == 10
+        assert consumer.drains > 0
+
+    def test_paused_consumer_drives_drops(self):
+        kernel = _kernel()
+        proc = _echo_server(kernel, sends=20, period_ms=1)
+        collector = StreamingDeltaCollector(
+            kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+        ).attach()
+        # Pause for 10 ms every 5 ms: the 4-record buffer overflows during
+        # each outage.
+        consumer = SlowConsumer(
+            kernel.env,
+            [collector],
+            ConsumerSchedule(drain_interval_ns=1 * MSEC,
+                             pause_every_ns=5 * MSEC, pause_for_ns=10 * MSEC),
+        ).start()
+        kernel.env.run(until=40 * MSEC)
+        assert consumer.pauses >= 1
+        assert collector.lost_records > 0
+        assert collector.snapshot().events + collector.lost_records == 20
+
+    def test_double_start_rejected(self):
+        kernel = _kernel()
+        consumer = SlowConsumer(kernel.env, [], ConsumerSchedule()).start()
+        with pytest.raises(RuntimeError):
+            consumer.start()
+
+
+class TestInjectStall:
+    def test_stall_delays_execution(self):
+        env = Environment()
+        cpu = CPU(env, MachineSpec(name="t", cores=1, ctx_switch_ns=0))
+        cpu.inject_stall(5 * MSEC)
+
+        def job():
+            yield from cpu.execute(1 * MSEC)
+            return env.now
+
+        p = env.process(job())
+        assert env.run(until=p) == 6 * MSEC
+
+    def test_overlapping_stalls_extend_not_stack(self):
+        env = Environment()
+        cpu = CPU(env, MachineSpec(name="t", cores=1, ctx_switch_ns=0))
+        cpu.inject_stall(5 * MSEC)
+        cpu.inject_stall(3 * MSEC)  # already covered by the first
+
+        def job():
+            yield from cpu.execute(1 * MSEC)
+            return env.now
+
+        p = env.process(job())
+        assert env.run(until=p) == 6 * MSEC
+
+    def test_expired_stall_costs_nothing(self):
+        env = Environment()
+        cpu = CPU(env, MachineSpec(name="t", cores=1, ctx_switch_ns=0))
+        cpu.inject_stall(2 * MSEC)
+
+        def job():
+            yield env.timeout(10 * MSEC)  # stall window long gone
+            yield from cpu.execute(1 * MSEC)
+            return env.now
+
+        p = env.process(job())
+        assert env.run(until=p) == 11 * MSEC
+
+    def test_validation(self):
+        env = Environment()
+        cpu = CPU(env, MachineSpec(name="t", cores=1))
+        with pytest.raises(ValueError):
+            cpu.inject_stall(0)
+
+
+class TestKillRespawn:
+    def test_kill_waiting_worker_and_respawn(self):
+        kernel = _kernel()
+        env = kernel.env
+        proc = kernel.create_process("srv")
+        client, server = kernel.open_connection()
+        served = []
+
+        def worker(task):
+            while True:
+                msg = yield from task.sys_read(server)
+                served.append(msg.tag)
+                yield from task.sys_sendmsg(server, Message(size=8, tag=msg.tag))
+
+        task = proc.spawn_thread(worker, name="srv/w0")
+
+        def script():
+            client.send(Message(size=8, tag=1))
+            yield env.timeout(1 * MSEC)
+            assert proc.kill_thread(task)
+            # While dead, requests pile up unanswered.
+            client.send(Message(size=8, tag=2))
+            yield env.timeout(1 * MSEC)
+            proc.respawn_thread(task)
+            yield env.timeout(1 * MSEC)
+
+        p = env.process(script())
+        env.run(until=p)
+        assert served == [1, 2]  # tag 2 served by the replacement
+        assert not task.sim_process.is_alive
+
+    def test_kill_dead_task_returns_false(self):
+        kernel = _kernel()
+        proc = _echo_server(kernel, sends=1, period_ms=1)
+        kernel.env.run()
+        task = proc.tasks[0]
+        assert not proc.kill_thread(task)
+
+    def test_kill_releases_queued_core_claim(self):
+        env = Environment()
+        kernel = Kernel(env, MachineSpec(name="t", cores=1, ctx_switch_ns=0),
+                        SeedSequence(1), interference=False)
+        proc = kernel.create_process("p")
+
+        def hog(task):
+            yield from task.compute(10 * MSEC)
+
+        def victim(task):
+            yield from task.compute(10 * MSEC)
+
+        proc.spawn_thread(hog, name="p/hog")
+        victim_task = proc.spawn_thread(victim, name="p/victim")
+
+        def script():
+            yield env.timeout(1 * MSEC)  # victim is queued behind the hog
+            assert kernel.cpu.run_queue_len == 1
+            assert proc.kill_thread(victim_task)
+            assert kernel.cpu.run_queue_len == 0
+            yield env.timeout(1 * MSEC)
+
+        p = env.process(script())
+        env.run(until=p)
+        env.run()  # the hog finishes; engine must not crash on the corpse
+
+    def test_respawn_requires_body(self):
+        kernel = _kernel()
+        proc = kernel.create_process("p")
+        task = proc.adopt_thread()
+        with pytest.raises(ValueError):
+            proc.respawn_thread(task)
+
+
+def _spec(**overrides):
+    defaults = dict(workload="data-caching", offered_rps=2000, requests=300)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestFaultedCells:
+    def test_stall_inflates_tail_latency(self):
+        baseline = execute_cell(_spec())
+        stalled, report = run_faulted_cell(
+            _spec(), faults=[WorkerStall(at_ns=50 * MSEC, duration_ns=40 * MSEC)]
+        )
+        assert report.stalls == 1
+        assert stalled.p99_ns > 5 * baseline.p99_ns
+        assert stalled.completed == 300
+
+    def test_crash_with_restart_recovers(self):
+        result, report = run_faulted_cell(
+            _spec(),
+            faults=[WorkerCrash(at_ns=50 * MSEC, restart_after_ns=20 * MSEC)],
+            retry_timeout_ns=500 * MSEC,
+        )
+        assert report.killed == 1 and report.respawned == 1
+        assert result.completed == 300
+
+    def test_connection_reset_run_still_finishes(self):
+        netem = NetemConfig(delay_ns=5 * MSEC)
+        result, report = run_faulted_cell(
+            _spec(client_to_server=netem, server_to_client=netem),
+            faults=[ConnectionReset(at_ns=60 * MSEC, connections=4)],
+            retry_timeout_ns=300 * MSEC,
+        )
+        assert report.resets == 4
+        # Every request is either answered or explicitly abandoned — the
+        # cell terminates instead of hanging on swallowed requests.
+        assert result.completed == 300
+
+    def test_degraded_consumer_reports_low_confidence(self):
+        spec = _spec(monitor_mode="stream", stream_capacity=64)
+        result, _report = run_faulted_cell(
+            spec,
+            consumer=ConsumerSchedule(drain_interval_ns=5 * MSEC,
+                                      pause_every_ns=40 * MSEC,
+                                      pause_for_ns=30 * MSEC),
+        )
+        baseline = execute_cell(_spec())
+        assert result.lost_records > 0
+        assert result.confidence < 1.0
+        # The raw rate visibly under-reports; the drop-aware correction
+        # recovers the native collector's answer.
+        assert result.rps_obsv < 0.97 * baseline.rps_obsv
+        assert result.rps_obsv_corrected == pytest.approx(baseline.rps_obsv, rel=0.02)
+
+    def test_orchestrator_rejects_double_start(self):
+        env = Environment()
+        orch = FaultOrchestrator(env, None, None, [])
+        orch.start()
+        with pytest.raises(RuntimeError):
+            orch.start()
+
+
+class TestFaultValidation:
+    def test_worker_stall(self):
+        with pytest.raises(ValueError):
+            WorkerStall(at_ns=-1, duration_ns=1)
+        with pytest.raises(ValueError):
+            WorkerStall(at_ns=0, duration_ns=0)
+
+    def test_worker_crash(self):
+        with pytest.raises(ValueError):
+            WorkerCrash(at_ns=0, count=0)
+
+    def test_connection_reset(self):
+        with pytest.raises(ValueError):
+            ConnectionReset(at_ns=0, connections=0)

@@ -135,3 +135,75 @@ def test_report_before_any_completion():
     report = client.report()
     assert report.completed == 0
     assert report.achieved_rps == 0.0
+
+
+def _lossy_kernel_and_sockets(drop_tags, drop_forever=False):
+    """Echo server that swallows requests with tags in ``drop_tags`` (the
+    first time only, unless ``drop_forever``)."""
+    spec = MachineSpec(name="t", cores=4, ctx_switch_ns=0, syscall_overhead_ns=0)
+    kernel = Kernel(Environment(), spec, SeedSequence(2), interference=False)
+    proc = kernel.create_process("echo")
+    client, server = kernel.open_connection()
+    dropped = set()
+
+    def worker(task):
+        while True:
+            msg = yield from task.sys_read(server)
+            if msg.tag in drop_tags and (drop_forever or msg.tag not in dropped):
+                dropped.add(msg.tag)
+                continue  # swallow: no response
+            yield from task.sys_sendmsg(
+                server, Message(payload="r", size=msg.size, tag=msg.tag)
+            )
+
+    proc.spawn_thread(worker)
+    return kernel, [client]
+
+
+class TestRetryWatchdog:
+    def test_retry_recovers_swallowed_request(self):
+        kernel, sockets = _lossy_kernel_and_sockets(drop_tags={1})
+        client = OpenLoopClient(
+            kernel.env, sockets, SeedSequence(3).stream("cl"), rate_rps=1000,
+            total_requests=20, retry_timeout_ns=50 * MSEC,
+        )
+        client.start()
+        report = kernel.env.run(until=client.done)
+        assert report.completed == 20
+        assert report.retried >= 1
+        assert report.abandoned == 0
+        # The retried request's latency counts from the ORIGINAL send.
+        assert report.latency.max_ns() >= 50 * MSEC
+
+    def test_abandon_after_max_retries(self):
+        kernel, sockets = _lossy_kernel_and_sockets(drop_tags={1}, drop_forever=True)
+        client = OpenLoopClient(
+            kernel.env, sockets, SeedSequence(3).stream("cl"), rate_rps=1000,
+            total_requests=20, retry_timeout_ns=20 * MSEC, max_retries=2,
+        )
+        client.start()
+        report = kernel.env.run(until=client.done)
+        # done still fires: the unanswerable request is given up on.
+        assert report.abandoned == 1
+        assert report.completed == 19
+        assert report.retried == 2
+
+    def test_no_watchdog_no_retries(self):
+        kernel, sockets = _lossy_kernel_and_sockets(drop_tags=set())
+        client = OpenLoopClient(
+            kernel.env, sockets, SeedSequence(3).stream("cl"), rate_rps=1000,
+            total_requests=10,
+        )
+        client.start()
+        report = kernel.env.run(until=client.done)
+        assert report.retried == 0 and report.abandoned == 0
+
+    def test_validation(self):
+        kernel, sockets = _lossy_kernel_and_sockets(drop_tags=set())
+        stream = SeedSequence(3).stream("cl")
+        with pytest.raises(ValueError):
+            OpenLoopClient(kernel.env, sockets, stream, rate_rps=10,
+                           total_requests=1, retry_timeout_ns=0)
+        with pytest.raises(ValueError):
+            OpenLoopClient(kernel.env, sockets, stream, rate_rps=10,
+                           total_requests=1, max_retries=-1)

@@ -77,6 +77,29 @@ class TestLatencyTracker:
         samples.append(6)
         assert tracker.count == 1
 
+    def test_percentile_ns_sorts_once_across_queries(self, monkeypatch):
+        # percentile_ns caches a sorted copy; the percentile() helper must
+        # honour it instead of re-sorting on every windowed p50/p99 query.
+        import repro.loadgen.latency as latency_mod
+
+        tracker = LatencyTracker()
+        for value in [5, 3, 9, 1, 7]:
+            tracker.record(value)
+        calls = {"n": 0}
+
+        def counting_sorted(seq, *args, **kwargs):
+            # ``sorted`` here resolves in the test module, not the patched one.
+            calls["n"] += 1
+            return sorted(seq, *args, **kwargs)
+
+        monkeypatch.setattr(latency_mod, "sorted", counting_sorted, raising=False)
+        try:
+            assert tracker.p50_ns() == 5.0
+            assert tracker.p99_ns() == pytest.approx(8.92)
+        finally:
+            monkeypatch.delattr(latency_mod, "sorted")
+        assert calls["n"] == 1
+
     def test_cache_invalidation(self):
         tracker = LatencyTracker()
         tracker.record(10)

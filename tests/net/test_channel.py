@@ -108,3 +108,34 @@ def test_late_connect():
     chan.send(Message(payload=1))
     env.run()
     assert len(got) == 1
+
+
+def test_duplicate_consumes_link_capacity():
+    # 1 Mbit/s: a 1000-byte message serializes in 8 ms.  A duplicated first
+    # message occupies a second serialization slot, so the next message
+    # queues behind original + copy (24 ms) instead of just the original.
+    env = Environment()
+    chan, received = _channel(env, NetemConfig(rate_bps=1_000_000, duplicate=0.99))
+    chan.send(Message(size=1000))
+    chan.send(Message(size=1000))
+    env.run()
+    assert chan.path.duplicated >= 1
+    first, second = received[0][0], received[1][0]
+    assert first == 8 * MSEC
+    assert second == 24 * MSEC
+
+
+def test_reset_drops_in_flight_messages():
+    env = Environment()
+    chan, received = _channel(env, NetemConfig(delay_ns=5 * MSEC))
+    chan.send(Message(tag=1))
+
+    def resetter():
+        yield env.timeout(1 * MSEC)
+        chan.reset()
+        chan.send(Message(tag=2))
+
+    env.process(resetter())
+    env.run()
+    assert [msg.tag for _, msg in received] == [2]
+    assert chan.reset_drops == 1

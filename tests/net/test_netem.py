@@ -32,13 +32,21 @@ class TestNetemConfig:
             {"jitter_ns": -1},
             {"loss": 1.0},
             {"loss": -0.1},
-            {"delay_ns": 5, "jitter_ns": 10},
             {"rto_ns": 0},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             NetemConfig(**kwargs)
+
+    def test_jitter_may_exceed_delay(self):
+        # Real tc-netem accepts jitter > delay (the sampled delay clamps at
+        # zero, which transit_ns already does); the config must not reject it.
+        cfg = NetemConfig(delay_ns=1 * MSEC, jitter_ns=3 * MSEC)
+        path = _path(cfg)
+        draws = [path.transit_ns() for _ in range(1000)]
+        assert min(draws) == 0  # clamped, never negative
+        assert max(draws) <= 4 * MSEC
 
 
 class TestNetemPath:
@@ -100,3 +108,120 @@ class TestNetemPath:
     def test_transit_never_negative(self, delay, loss):
         path = _path(NetemConfig(delay_ns=delay, loss=loss))
         assert all(path.transit_ns() >= 0 for _ in range(20))
+
+
+class TestReorder:
+    def test_reorder_skips_delay(self):
+        # ~25% of packets jump the delay queue (transit 0); the rest pay
+        # the configured delay.
+        path = _path(NetemConfig(delay_ns=10 * MSEC, reorder=0.25))
+        draws = [path.transit_ns() for _ in range(2000)]
+        immediate = sum(1 for d in draws if d == 0)
+        assert immediate / len(draws) == pytest.approx(0.25, abs=0.04)
+        assert all(d in (0, 10 * MSEC) for d in draws)
+        assert path.reordered == immediate
+
+    def test_reorder_gap_limits_candidates(self):
+        # gap=4: only every 4th packet may reorder; the rest always pay
+        # the delay even at reorder=1.0.
+        path = _path(NetemConfig(delay_ns=10 * MSEC, reorder=1.0, reorder_gap=4))
+        draws = [path.transit_ns() for _ in range(400)]
+        for index, transit in enumerate(draws, start=1):
+            if index % 4 == 0:
+                assert transit == 0
+            else:
+                assert transit == 10 * MSEC
+
+    def test_reorder_requires_delay(self):
+        with pytest.raises(ValueError):
+            NetemConfig(reorder=0.1)
+
+
+class TestCorrupt:
+    def test_corruption_behaves_as_loss(self):
+        # A corrupted segment fails its checksum: the transport retransmits
+        # after a recovery interval, exactly like a loss.
+        path = _path(NetemConfig(corrupt=0.5))
+        draws = [path.transit_ns() for _ in range(1000)]
+        assert sum(1 for d in draws if d >= TCP_MIN_RTO_NS) / 1000 == pytest.approx(
+            0.5, abs=0.06)
+        assert path.losses == 0
+        assert path.corrupted > 300
+        assert path.loss_fraction == pytest.approx(0.5, abs=0.06)
+
+    def test_corruption_per_segment(self):
+        # A 5-segment message is exposed to corruption once per segment.
+        path = _path(NetemConfig(corrupt=0.1))
+        n = 2000
+        hit = sum(
+            1 for _ in range(n)
+            if path.transit_ns(size_bytes=5 * NetemPath.MSS_BYTES) > 0
+        )
+        expected = 1 - (1 - 0.1) ** 5
+        assert hit / n == pytest.approx(expected, abs=0.05)
+
+    def test_mixed_loss_and_corruption_attribution(self):
+        path = _path(NetemConfig(loss=0.2, corrupt=0.2))
+        for _ in range(2000):
+            path.transit_ns()
+        dropped = path.losses + path.corrupted
+        assert path.loss_fraction == pytest.approx(1 - 0.8 * 0.8, abs=0.05)
+        # proportional attribution: roughly half each
+        assert path.losses / dropped == pytest.approx(0.5, abs=0.1)
+
+
+class TestGilbertElliott:
+    def test_stationary_loss_rate(self):
+        # pi_bad = p / (p + r); with loss_bad=1, loss_good=0 the long-run
+        # attempt loss rate equals pi_bad.
+        cfg = NetemConfig(ge_p=0.02, ge_r=0.18)
+        path = _path(cfg, seed=7)
+        for _ in range(4000):
+            path.transit_ns()
+        assert path.loss_fraction == pytest.approx(0.02 / 0.20, abs=0.04)
+
+    def test_losses_are_bursty(self):
+        # Same stationary rate as iid 10% loss, but mean burst length
+        # 1/r = 5 attempts: consecutive-loss runs must be far longer.
+        # Attempt outcomes are sampled directly (a transit retries until
+        # success, swallowing an entire burst per call).
+        def mean_run(path):
+            runs, run = [], 0
+            for _ in range(20000):
+                lost = path._attempt_lost(1) is not None
+                if lost:
+                    run += 1
+                elif run:
+                    runs.append(run)
+                    run = 0
+            return sum(runs) / len(runs) if runs else 0.0
+
+        ge = mean_run(_path(NetemConfig(ge_p=0.0222, ge_r=0.2), seed=11))
+        iid = mean_run(_path(NetemConfig(loss=0.1), seed=11))
+        assert ge == pytest.approx(5.0, rel=0.25)  # geometric, mean 1/r
+        assert iid == pytest.approx(1.11, rel=0.15)
+        assert ge > 2.5 * iid
+
+    def test_exclusive_with_iid_loss(self):
+        with pytest.raises(ValueError):
+            NetemConfig(loss=0.1, ge_p=0.1, ge_r=0.5)
+        with pytest.raises(ValueError):
+            NetemConfig(ge_p=0.1)  # bad state must be escapable
+
+    def test_label_mentions_gemodel(self):
+        cfg = NetemConfig(ge_p=0.01, ge_r=0.3)
+        assert "GE(p=0.01, r=0.3)" in cfg.label()
+
+
+class TestDuplicate:
+    def test_duplicate_draw_counts(self):
+        path = _path(NetemConfig(duplicate=0.3))
+        hits = sum(path.duplicate_draw() for _ in range(2000))
+        assert hits / 2000 == pytest.approx(0.3, abs=0.04)
+        assert path.duplicated == hits
+
+    def test_duplicate_disabled_draws_nothing(self):
+        # No RNG consumption when the knob is off: legacy streams unchanged.
+        path = _path(NetemConfig.ideal())
+        assert not path.duplicate_draw()
+        assert path.duplicated == 0

@@ -14,12 +14,13 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.loadgen",
     "repro.core",
+    "repro.faults",
     "repro.analysis",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_top_level_all_resolvable():
