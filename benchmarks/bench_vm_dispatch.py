@@ -1,12 +1,13 @@
-"""BENCH-VM-DISPATCH — reference interpreter vs pre-decoded fast path.
+"""BENCH-VM-DISPATCH — the three VM tiers head to head.
 
 Executes the delta-collector program (the hot probe behind every EXP-OVH
-configuration) through both interpreter tiers over the same firing
+configuration) through all three tiers — reference interpreter,
+pre-decoded fast path, whole-program compilation — over the same firing
 sequence, asserting bit-identical ``(r0, steps, cost_ns)`` per firing and
-identical final map state, then reports the dispatch speedup.  The fast
-path must win by >= 2x; any divergence is a hard failure, because the
-cost model it produces is the simulated probe overhead the paper's
-experiments charge to syscalls.
+identical final map state, then reports the dispatch speedups.  The fast
+path must win by >= 2x and the compiled tier by >= 3x; any divergence is
+a hard failure, because the cost model they produce is the simulated
+probe overhead the paper's experiments charge to syscalls.
 
 Runs two ways:
 
@@ -27,6 +28,7 @@ import time
 from repro.core.collectors import _DELTA_VALUE_SIZE, build_delta_program
 from repro.ebpf import (
     ArrayMap,
+    CompiledVm,
     FastVm,
     HelperRuntime,
     TranslationCache,
@@ -34,6 +36,13 @@ from repro.ebpf import (
     pack_sys_enter,
 )
 from repro.kernel.tracepoints import SysEnterCtx
+
+#: Fresh VM per tier (private caches: runs never share translations).
+TIER_FACTORIES = {
+    "reference": lambda: Vm(),
+    "fast": lambda: FastVm(cache=TranslationCache()),
+    "compiled": lambda: CompiledVm(cache=TranslationCache()),
+}
 
 TGID = 7
 PID_TGID = (TGID << 32) | TGID
@@ -76,24 +85,41 @@ def _run_tier(vm, count: int):
     return wall, results, bytes(state.lookup(state.key_of(0)))
 
 
-def run_comparison(count: int) -> dict:
-    ref_wall, ref_results, ref_state = _run_tier(Vm(), count)
-    fast_wall, fast_results, fast_state = _run_tier(
-        FastVm(cache=TranslationCache()), count)
+def run_comparison(count: int, reps: int = 3) -> dict:
+    """Time every tier (min of ``reps`` to shed scheduler noise) and
+    cross-check each firing and the final map state against reference."""
+    walls, results, states = {}, {}, {}
+    for tier, factory in TIER_FACTORIES.items():
+        vm = factory()
+        best = None
+        for _ in range(reps):
+            wall, tier_results, tier_state = _run_tier(vm, count)
+            best = wall if best is None else min(best, wall)
+        walls[tier] = best
+        results[tier] = tier_results
+        states[tier] = tier_state
 
     diverged = None
-    for i, (a, b) in enumerate(zip(ref_results, fast_results)):
-        if a != b:
-            diverged = f"firing {i}: reference {a} != fast {b}"
+    for tier in ("fast", "compiled"):
+        for i, (a, b) in enumerate(zip(results["reference"], results[tier])):
+            if a != b:
+                diverged = f"firing {i}: reference {a} != {tier} {b}"
+                break
+        if diverged is None and states["reference"] != states[tier]:
+            diverged = (f"map state: reference {states['reference']!r} "
+                        f"!= {tier} {states[tier]!r}")
+        if diverged:
             break
-    if diverged is None and ref_state != fast_state:
-        diverged = f"map state: reference {ref_state!r} != fast {fast_state!r}"
 
+    ref_wall = walls["reference"]
     return {
         "executions": count,
         "reference_us_per_exec": ref_wall / count * 1e6,
-        "fast_us_per_exec": fast_wall / count * 1e6,
-        "speedup": ref_wall / fast_wall if fast_wall else float("inf"),
+        "fast_us_per_exec": walls["fast"] / count * 1e6,
+        "compiled_us_per_exec": walls["compiled"] / count * 1e6,
+        "speedup": ref_wall / walls["fast"] if walls["fast"] else float("inf"),
+        "compiled_speedup": (ref_wall / walls["compiled"]
+                             if walls["compiled"] else float("inf")),
         "diverged": diverged,
     }
 
@@ -107,13 +133,17 @@ def test_fast_dispatch_speedup(benchmark):
         lambda: run_comparison(scaled(4000, minimum=1000)), rounds=1, iterations=1)
     save_record({"ablation": "vm_dispatch", **data}, "bench_vm_dispatch")
 
-    emit("BENCH-VM-DISPATCH — reference interpreter vs pre-decoded fast path")
+    emit("BENCH-VM-DISPATCH — the three VM tiers head to head")
     emit(f"  reference: {data['reference_us_per_exec']:.1f} us/exec")
     emit(f"  fast path: {data['fast_us_per_exec']:.1f} us/exec")
-    emit(f"  speedup:   {data['speedup']:.2f}x over {data['executions']} firings")
+    emit(f"  compiled:  {data['compiled_us_per_exec']:.1f} us/exec")
+    emit(f"  speedups:  fast {data['speedup']:.2f}x, compiled "
+         f"{data['compiled_speedup']:.2f}x over {data['executions']} firings")
 
     assert data["diverged"] is None, data["diverged"]
     assert data["speedup"] >= 2.0, f"fast path only {data['speedup']:.2f}x"
+    assert data["compiled_speedup"] >= 3.0, \
+        f"compiled tier only {data['compiled_speedup']:.2f}x"
 
 
 def main(argv=None) -> int:
@@ -128,13 +158,19 @@ def main(argv=None) -> int:
     data = run_comparison(count)
     print(f"reference: {data['reference_us_per_exec']:.1f} us/exec")
     print(f"fast path: {data['fast_us_per_exec']:.1f} us/exec")
-    print(f"speedup:   {data['speedup']:.2f}x over {count} firings")
+    print(f"compiled:  {data['compiled_us_per_exec']:.1f} us/exec")
+    print(f"speedups:  fast {data['speedup']:.2f}x, compiled "
+          f"{data['compiled_speedup']:.2f}x over {count} firings")
 
     if data["diverged"] is not None:
         print(f"DIVERGENCE: {data['diverged']}", file=sys.stderr)
         return 1
     if not args.smoke and data["speedup"] < 2.0:
         print(f"speedup {data['speedup']:.2f}x below the 2x floor", file=sys.stderr)
+        return 1
+    if not args.smoke and data["compiled_speedup"] < 3.0:
+        print(f"compiled speedup {data['compiled_speedup']:.2f}x below the "
+              "3x floor", file=sys.stderr)
         return 1
     return 0
 

@@ -20,6 +20,11 @@ Environment knobs:
 * ``REPRO_BENCH_CACHE=1`` — reuse the on-disk result cache under
   ``results/.cache/`` across benchmark runs (off by default so fresh code
   is always re-measured).
+
+Profiling: pass ``--profile`` to wrap every benchmark in :mod:`cProfile`
+and print its top-20 functions by cumulative time — the tool that found
+both compiled-tier hot spots (per-execute importlib re-entry, helper-call
+dominance), kept on hand for the next regression hunt.
 """
 
 from __future__ import annotations
@@ -107,6 +112,38 @@ class SweepCache:
                 progress=_progress,
             )
         return self._cache[cache_key]
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="wrap each benchmark in cProfile and print the top-20 "
+             "functions by cumulative time",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _profile_benchmark(request):
+    """When ``--profile`` is given, profile the test body and print the
+    top-20 cumulative entries to stderr (survives pytest capture)."""
+    if not request.config.getoption("--profile"):
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        print(f"\n--- profile: {request.node.nodeid} (top 20 cumulative) ---",
+              file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
 
 
 @pytest.fixture(scope="session")

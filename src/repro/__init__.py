@@ -21,7 +21,7 @@ stack:
   figure.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .analysis import (
     ExperimentSpec,

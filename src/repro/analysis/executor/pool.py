@@ -109,6 +109,7 @@ def execute_cell(
     monitor = RequestMetricsMonitor(
         kernel, app.tgid, spec=config.syscalls, mode=spec.monitor_mode,
         charge_cost=spec.charge_cost, stream_capacity=spec.stream_capacity,
+        vm_tier=spec.vm_tier,
     ).attach()
     send_probe = _SendTimestampProbe(kernel, app.tgid, (config.syscalls.send_nr,)).attach()
 

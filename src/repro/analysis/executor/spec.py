@@ -28,6 +28,9 @@ DEFAULT_SEED = 1317
 #: Monitor implementations understood by :class:`~repro.core.RequestMetricsMonitor`.
 MONITOR_MODES = ("native", "vm", "stream")
 
+#: eBPF VM tiers (see :mod:`repro.ebpf.compiled`); all bit-for-bit equal.
+VM_TIERS = ("reference", "fast", "compiled")
+
 #: Arrival processes understood by :class:`~repro.loadgen.OpenLoopClient`.
 ARRIVAL_PROCESSES = ("uniform", "poisson")
 
@@ -96,6 +99,11 @@ class ExperimentSpec:
     monitor_mode: str = "native"
     #: Per-CPU perf buffer capacity for ``monitor_mode="stream"``.
     stream_capacity: int = 65536
+    #: eBPF VM tier for vm/stream monitor modes (``"reference"``,
+    #: ``"fast"``, or ``"compiled"``).  Every tier produces bit-for-bit
+    #: identical metrics; the field is part of the cache key so cached
+    #: results record which tier computed them.
+    vm_tier: str = "compiled"
     #: Charge the probe's execution cost to the traced syscalls.
     charge_cost: bool = False
     #: Number of per-window Eq. 1 estimates to compute.
@@ -121,6 +129,10 @@ class ExperimentSpec:
             )
         if self.stream_capacity < 1:
             raise ValueError("stream_capacity must be >= 1")
+        if self.vm_tier not in VM_TIERS:
+            raise ValueError(
+                f"vm_tier must be one of {VM_TIERS}, got {self.vm_tier!r}"
+            )
         if self.estimate_windows < 1:
             raise ValueError("estimate_windows must be >= 1")
         if self.arrival not in ARRIVAL_PROCESSES:
@@ -165,6 +177,7 @@ class ExperimentSpec:
             ),
             "monitor_mode": self.monitor_mode,
             "stream_capacity": self.stream_capacity,
+            "vm_tier": self.vm_tier,
             "charge_cost": self.charge_cost,
             "estimate_windows": self.estimate_windows,
             "interference": self.interference,

@@ -208,6 +208,7 @@ class DeltaCollector:
         mode: str = "native",
         charge_cost: bool = False,
         name: str = "delta",
+        vm_tier: Optional[str] = None,
     ) -> None:
         if mode not in ("native", "vm"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -224,7 +225,8 @@ class DeltaCollector:
             program = build_delta_program(f"{name}_state", tgid, self.syscall_nrs,
                                           prog_name=f"{name}_enter")
             self._bpf = BPF(kernel, maps={f"{name}_state": self._map},
-                            programs=[program], charge_cost=charge_cost)
+                            programs=[program], charge_cost=charge_cost,
+                            vm_tier=vm_tier)
             # The in-kernel _EVENTS slot doubles as the "have an anchor
             # timestamp" flag, so after reset_window() it reads 1 even
             # though the anchor belongs to the previous window; userspace
@@ -340,6 +342,7 @@ class DurationCollector:
         mode: str = "native",
         charge_cost: bool = False,
         name: str = "dur",
+        vm_tier: Optional[str] = None,
     ) -> None:
         if mode not in ("native", "vm"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -365,6 +368,7 @@ class DurationCollector:
                 maps={f"{name}_start": self._start, f"{name}_state": self._state},
                 programs=[enter, exit_],
                 charge_cost=charge_cost,
+                vm_tier=vm_tier,
             )
         else:
             self._bpf = None

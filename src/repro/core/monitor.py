@@ -138,6 +138,10 @@ class RequestMetricsMonitor:
     stream_capacity:
         Per-CPU perf buffer capacity (records) for ``mode="stream"``;
         ignored otherwise.
+    vm_tier:
+        eBPF VM tier for the vm/stream collectors (``"reference"``,
+        ``"fast"``, or ``"compiled"``); ``None`` picks the highest tier.
+        All tiers produce bit-for-bit identical metrics.
     """
 
     def __init__(
@@ -148,21 +152,23 @@ class RequestMetricsMonitor:
         mode: str = "native",
         charge_cost: bool = False,
         stream_capacity: int = 65536,
+        vm_tier: Optional[str] = None,
     ) -> None:
         self.kernel = kernel
         self.tgid = tgid
         self.mode = mode
+        self.vm_tier = vm_tier
         send_nrs = (spec.send_nr,) if spec else tuple(sorted(SEND_FAMILY))
         recv_nrs = (spec.recv_nr,) if spec else tuple(sorted(RECV_FAMILY))
         poll_nrs = (spec.poll_nr,) if spec else tuple(sorted(POLL_FAMILY))
         if mode == "stream":
             self.send_collector = StreamingDeltaCollector(
                 kernel, tgid, send_nrs, per_cpu_capacity=stream_capacity,
-                charge_cost=charge_cost, name="send",
+                charge_cost=charge_cost, name="send", vm_tier=vm_tier,
             )
             self.recv_collector = StreamingDeltaCollector(
                 kernel, tgid, recv_nrs, per_cpu_capacity=stream_capacity,
-                charge_cost=charge_cost, name="recv",
+                charge_cost=charge_cost, name="recv", vm_tier=vm_tier,
             )
             # Poll durations need syscall entry *and* exit pairing, which
             # the streamed record format does not carry; the paper's first
@@ -170,14 +176,17 @@ class RequestMetricsMonitor:
             poll_mode = "native"
         else:
             self.send_collector = DeltaCollector(
-                kernel, tgid, send_nrs, mode=mode, charge_cost=charge_cost, name="send"
+                kernel, tgid, send_nrs, mode=mode, charge_cost=charge_cost,
+                name="send", vm_tier=vm_tier,
             )
             self.recv_collector = DeltaCollector(
-                kernel, tgid, recv_nrs, mode=mode, charge_cost=charge_cost, name="recv"
+                kernel, tgid, recv_nrs, mode=mode, charge_cost=charge_cost,
+                name="recv", vm_tier=vm_tier,
             )
             poll_mode = mode
         self.poll_collector = DurationCollector(
-            kernel, tgid, poll_nrs, mode=poll_mode, charge_cost=charge_cost, name="poll"
+            kernel, tgid, poll_nrs, mode=poll_mode, charge_cost=charge_cost,
+            name="poll", vm_tier=vm_tier,
         )
         self._window_start: Optional[int] = None
         self._attached = False

@@ -17,7 +17,7 @@ collector's state is 48 bytes flat.
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..ebpf.asm import Asm
 from ..ebpf.bcc import BPF
@@ -81,6 +81,7 @@ class StreamingDeltaCollector:
         charge_cost: bool = False,
         name: str = "stream",
         cpus: int = 1,
+        vm_tier: Optional[str] = None,
     ) -> None:
         self.kernel = kernel
         self.tgid = tgid
@@ -97,7 +98,7 @@ class StreamingDeltaCollector:
         # a multi-core host spreads them.
         self._bpf = BPF(kernel, maps={f"{name}_events": self.events},
                         programs=[program], charge_cost=charge_cost,
-                        cpu_of=lambda ctx: ctx.tid % cpus)
+                        cpu_of=lambda ctx: ctx.tid % cpus, vm_tier=vm_tier)
         self._stats = DeltaStats()
         self._attached = False
         #: Total record bytes shipped to userspace (the ablation's metric).

@@ -3,6 +3,14 @@
 from .asm import Asm
 from .bcc import BPF
 from .bpfc import CompileError, compile_source, load_c
+from .compiled import (
+    DEFAULT_VM_TIER,
+    VM_TIERS,
+    CompiledProgram,
+    CompiledVm,
+    compile_insns,
+    make_vm,
+)
 from .context import (
     SYS_ENTER_ARGS_OFF,
     SYS_ENTER_CTX_SIZE,
@@ -40,6 +48,12 @@ __all__ = [
     "Vm",
     "VmResult",
     "FastVm",
+    "CompiledVm",
+    "CompiledProgram",
+    "compile_insns",
+    "make_vm",
+    "VM_TIERS",
+    "DEFAULT_VM_TIER",
     "DecodedProgram",
     "TranslationCache",
     "decode_program",

@@ -21,9 +21,9 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from ..kernel.kernel import Kernel
 from ..kernel.tracepoints import SysEnterCtx, SysExitCtx, Tracepoint
+from .compiled import DEFAULT_VM_TIER, make_vm
 from .context import ProgType, pack_sys_enter, pack_sys_exit
 from .errors import BpfError
-from .fastvm import FastVm
 from .helpers import HelperRuntime
 from .maps import BpfMap, PerfEventArray, RingBuf
 from .program import Program
@@ -37,9 +37,11 @@ MapLike = Union[BpfMap, RingBuf, PerfEventArray]
 class BPF:
     """Loads programs against a kernel and manages attachments.
 
-    Programs run on the pre-decoded :class:`~repro.ebpf.fastvm.FastVm`
-    by default (pass ``vm=Vm()`` for the reference interpreter; both are
-    bit-for-bit identical).  ``cpu_of`` maps a tracepoint context to the
+    Programs run on the highest VM tier by default (the compiled tier,
+    falling back per program where its code generator bails).  Pass
+    ``vm_tier`` (``"reference"``/``"fast"``/``"compiled"``) to pin a
+    tier, or ``vm`` for a pre-built interpreter instance; all tiers are
+    bit-for-bit identical.  ``cpu_of`` maps a tracepoint context to the
     CPU the probe observes itself on (``bpf_get_smp_processor_id`` and
     the per-CPU ``perf_event_output`` buffer index); the default pins
     everything to CPU 0.
@@ -53,14 +55,20 @@ class BPF:
         charge_cost: bool = False,
         vm: Optional[Vm] = None,
         cpu_of: Optional[Callable[[object], int]] = None,
+        vm_tier: Optional[str] = None,
     ) -> None:
+        if vm is not None and vm_tier is not None:
+            raise BpfError("pass either vm or vm_tier, not both")
         self.kernel = kernel
         self.maps: Dict[str, MapLike] = dict(maps or {})
         for name, bpf_map in self.maps.items():
             if getattr(bpf_map, "name", None) in (None, "", bpf_map.map_type):
                 bpf_map.name = name
         self.charge_cost = charge_cost
-        self.vm = vm or FastVm()
+        #: Tier name the interpreter was built from (None for a custom vm).
+        self.vm_tier = (vm_tier if vm_tier is not None
+                        else None if vm is not None else DEFAULT_VM_TIER)
+        self.vm = vm if vm is not None else make_vm(self.vm_tier)
         self.cpu_of = cpu_of
         self._programs: Dict[str, Program] = {}
         self._attached: List[tuple] = []
@@ -129,26 +137,36 @@ class BPF:
         )
         prandom_stream = self.kernel.seeds.stream(f"bpf:{program.name}:prandom")
         # Bind the per-firing hot state into locals: the probe runs once
-        # per traced syscall, millions of times per experiment.
-        vm = self.vm
-        insns = program.insns
+        # per traced syscall, millions of times per experiment.  The
+        # program's translation is resolved once here (``prepare``), and
+        # one HelperRuntime is reused across firings — only its per-firing
+        # fields change, so allocation stays off the hot path.
+        run = self.vm.prepare(program.insns)
         name = program.name
         cpu_of = self.cpu_of
+        charge_cost = self.charge_cost
         invocations = self.invocations
         insns_executed = self.insns_executed
         prandom = lambda: prandom_stream.randint(0, (1 << 32) - 1)  # noqa: E731
+        runtime = HelperRuntime(prandom=prandom)
 
-        def probe(ctx) -> int:
-            runtime = HelperRuntime(
-                ktime_ns=ctx.ktime_ns,
-                pid_tgid=ctx.pid_tgid,
-                cpu_id=cpu_of(ctx) if cpu_of is not None else 0,
-                prandom=prandom,
-            )
-            result = vm.execute(insns, pack(ctx), runtime)
-            invocations[name] += 1
-            insns_executed[name] += result.steps
-            return result.cost_ns if self.charge_cost else 0
+        if cpu_of is None:
+            def probe(ctx) -> int:
+                runtime.ktime_ns = ctx.ktime_ns
+                runtime.pid_tgid = ctx.pid_tgid
+                result = run(pack(ctx), runtime)
+                invocations[name] += 1
+                insns_executed[name] += result.steps
+                return result.cost_ns if charge_cost else 0
+        else:
+            def probe(ctx) -> int:
+                runtime.ktime_ns = ctx.ktime_ns
+                runtime.pid_tgid = ctx.pid_tgid
+                runtime.cpu_id = cpu_of(ctx)
+                result = run(pack(ctx), runtime)
+                invocations[name] += 1
+                insns_executed[name] += result.steps
+                return result.cost_ns if charge_cost else 0
 
         return probe
 

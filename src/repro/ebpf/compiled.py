@@ -1,0 +1,659 @@
+"""The compiled eBPF tier: whole-program translation to one Python function.
+
+The three VM tiers share one bit-for-bit semantics contract:
+
+* :class:`~repro.ebpf.vm.Vm` — the reference interpreter, re-deriving
+  everything per step;
+* :class:`~repro.ebpf.fastvm.FastVm` — pre-decoded micro-op closures,
+  one Python call per instruction;
+* :class:`CompiledVm` (this module) — the whole program translated
+  **once** into a single Python source function and compiled with
+  ``compile()``/``exec``, so the steady state pays no per-instruction
+  Python call at all.
+
+The code generator linearizes the program into basic blocks.  Verified
+programs are loop-free (the verifier rejects back-edges), so every jump
+is forward and control flow can be emitted as straight-line blocks with
+cheap *forward-goto* guards: block ``k`` is wrapped in ``if _skip <= k:``
+and a taken jump simply sets ``_skip`` to the target block id.  A not
+taken branch falls through with ``_skip`` unchanged.  Registers live in
+local variables ``r0``..``r10``; constants, masked immediates, helper
+signatures, map references, and pre-encoded store blobs are bound into
+the function's namespace at translation time.
+
+Semantics contract: identical ``(r0, steps, cost_ns)``, identical map
+effects, and identical fault messages to the reference interpreter.
+Every emitted instruction handles the common case (plain integers,
+in-bounds stack/ctx/map-value pointers) inline and falls back to the
+*reference* routines (``Vm._alu``, ``Vm._branch``, ``mem_load``,
+``mem_store``, ``call_helper``) for anything exotic — uninitialized
+registers, pointer arithmetic oddities, out-of-bounds accesses — so
+faults reproduce the reference messages verbatim.  Instruction steps are
+accumulated per block (each executed slot counts exactly once, a fused
+``ld_imm64`` counts one step, exactly as both interpreters count), and
+the cost model is ``helper_cost + steps * insn_cost_ns``, shared with
+the interpreters through :func:`~repro.ebpf.vm.call_helper`.
+
+Programs the generator does not support — backward jumps (unverified
+input), jumps into the second slot of an ``ld_imm64`` pair, unresolved
+map references, unknown helpers or opcodes, non-imm64 LD forms —
+**fall back to FastVm**, which replicates reference faults exactly;
+:meth:`CompiledVm.execute` is therefore total over the same input space
+as the interpreters.  Translations are cached in the process-wide
+:class:`~repro.ebpf.fastvm.TranslationCache` under the ``"compiled"``
+tier, sharing blob-keyed entries with the fast tier so attaching one
+program under two tiers never double-translates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .errors import VmFault
+from .helpers import HELPER_SIGS, Helper, HelperRuntime
+from .insn import Insn
+from .maps import BpfMap, PerfEventArray, RingBuf
+from .opcodes import AluOp, InsnClass, JmpOp, MemSize
+from .vm import (
+    DEFAULT_INSN_COST_NS,
+    MAX_STEPS,
+    STACK_SIZE,
+    MapRef,
+    MemRegion,
+    Pointer,
+    Vm,
+    VmResult,
+    _to_signed,
+    call_helper,
+    mem_load,
+    mem_store,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "CompiledVm",
+    "VM_TIERS",
+    "DEFAULT_VM_TIER",
+    "compile_insns",
+    "make_vm",
+]
+
+_MASK32 = (1 << 32) - 1
+_MASK64 = (1 << 64) - 1
+_SIGN32 = 1 << 31
+_SIGN64 = 1 << 63
+
+#: Reference interpreter whose ``_alu``/``_branch`` the slow paths reuse
+#: (stateless, so one shared instance is safe).
+_REF = Vm()
+
+#: The VM tiers, lowest to highest.  ``make_vm`` accepts any of these.
+VM_TIERS = ("reference", "fast", "compiled")
+
+#: Tier picked by attach sites when the caller does not choose one.
+DEFAULT_VM_TIER = "compiled"
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+
+class _Unsupported(Exception):
+    """Internal: construct the generator cannot translate (-> FastVm)."""
+
+
+class _Emitter:
+    """Accumulates generated source lines at a given indent level."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 1
+
+    def put(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def putall(self, lines: Sequence[str]) -> None:
+        for line in lines:
+            self.put(line)
+
+
+def _find_leaders(insns: Sequence[Insn]) -> tuple:
+    """Basic-block leaders + the set of ld_imm64 second slots.
+
+    Raises :class:`_Unsupported` for control flow the generator cannot
+    express (backward jumps, jumps into a fused pair, targets outside
+    ``[0, n]``).
+    """
+    n = len(insns)
+    leaders = {0}
+    skip_slots = set()
+    pc = 0
+    while pc < n:
+        insn = insns[pc]
+        klass = insn.opcode & 0x07
+        if klass == InsnClass.LD:
+            if not insn.is_ld_imm64 or pc + 1 >= n:
+                raise _Unsupported(f"unsupported LD at pc {pc}")
+            skip_slots.add(pc + 1)
+            pc += 2
+            continue
+        if klass in (InsnClass.JMP, InsnClass.JMP32):
+            op = insn.opcode & 0xF0
+            if op == JmpOp.CALL:
+                pc += 1
+                continue
+            if op == JmpOp.EXIT:
+                leaders.add(pc + 1)
+                pc += 1
+                continue
+            target = pc + 1 + insn.off
+            if target <= pc:
+                raise _Unsupported(f"backward jump at pc {pc}")
+            if not 0 <= target <= n:
+                raise _Unsupported(f"jump target {target} outside program")
+            if target < n:
+                leaders.add(target)
+            leaders.add(pc + 1)
+        pc += 1
+    if leaders & skip_slots:
+        raise _Unsupported("jump into the second slot of an ld_imm64 pair")
+    leaders.discard(n)
+    return sorted(leaders), skip_slots
+
+
+def _sx_expr(var: str, bits: int) -> str:
+    sign = _SIGN64 if bits == 64 else _SIGN32
+    return f"({var} - (({var} & {sign}) << 1))"
+
+
+class _Codegen:
+    def __init__(self, insns: Sequence[Insn]) -> None:
+        self.insns = insns
+        self.n = len(insns)
+        self.ns: dict = {
+            "VmFault": VmFault,
+            "Pointer": Pointer,
+            "MapRef": MapRef,
+            "MemRegion": MemRegion,
+            "_alu": _REF._alu,
+            "_branch": _REF._branch,
+            "_load": mem_load,
+            "_store": mem_store,
+            "_call": call_helper,
+            "_ifb": int.from_bytes,
+        }
+        self.emitter = _Emitter()
+        leaders, self.skip_slots = _find_leaders(insns)
+        self.block_of = {pc: index for index, pc in enumerate(leaders)}
+        self.leaders = leaders
+        self.nblocks = len(leaders)
+
+    # -- namespace helpers ------------------------------------------------
+    def _bind(self, prefix: str, pc: int, value) -> str:
+        name = f"{prefix}{pc}"
+        self.ns[name] = value
+        return name
+
+    def _target_block(self, target: int) -> int:
+        """Block id for a jump target; ``n`` maps past the last block."""
+        return self.nblocks if target == self.n else self.block_of[target]
+
+    # -- instruction emission ---------------------------------------------
+    def _emit_alu(self, insn: Insn, pc: int, is64: bool) -> None:
+        put = self.emitter.put
+        op = insn.opcode & 0xF0
+        mask = _MASK64 if is64 else _MASK32
+        bits = 64 if is64 else 32
+        dst = f"r{insn.dst}"
+
+        if op == AluOp.MOV:
+            if not insn.uses_reg_source:
+                put(f"{dst} = {insn.imm & mask}")
+                return
+            src = f"r{insn.src}"
+            if is64:
+                # Ints copy unmasked (the register invariant keeps every
+                # int in [0, 2**64)) and pointers copy by reference, so
+                # only the uninitialized case needs a guard.
+                put(f"if {src} is None:")
+                put(f"    raise VmFault('mov from uninitialized r{insn.src}')")
+                put(f"{dst} = {src}")
+            else:
+                put(f"if type({src}) is int:")
+                put(f"    {dst} = {src} & {_MASK32}")
+                put(f"elif {src} is None:")
+                put(f"    raise VmFault('mov from uninitialized r{insn.src}')")
+                put("else:")
+                put(f"    {dst} = {src}")
+            return
+
+        if op not in _ALU_OPS:
+            raise _Unsupported(f"unknown ALU op {op:#x} at pc {pc}")
+        iname = self._bind("I", pc, insn)
+        a_expr = dst if is64 else f"({dst} & {_MASK32})"
+        fallback = [
+            f"    scratch[{insn.dst}] = {dst}",
+            f"    _alu({iname}, scratch, {is64})",
+            f"    {dst} = scratch[{insn.dst}]",
+        ]
+
+        if not insn.uses_reg_source:
+            b = insn.imm & mask
+            expr = self._alu_expr(op, a_expr, str(b), is64,
+                                  shift_const=b & (bits - 1))
+            put(f"if type({dst}) is int:")
+            put(f"    {dst} = {expr}")
+            if op in (AluOp.ADD, AluOp.SUB):
+                # Pointer bumps (r2 = r10; r2 += -8) fire on every probe
+                # invocation: give them an inline case, as FastVm does.
+                delta = _to_signed(b, 64)
+                if op == AluOp.SUB:
+                    delta = -delta
+                put(f"elif {dst}.__class__ is Pointer:")
+                put(f"    {dst} = Pointer({dst}.region, {dst}.offset + {delta})")
+            put("else:")
+            self.emitter.putall(fallback)
+            return
+
+        src = f"r{insn.src}"
+        b_expr = src if is64 else f"({src} & {_MASK32})"
+        put(f"if type({dst}) is int and type({src}) is int:")
+        put(f"    {dst} = {self._alu_expr(op, a_expr, b_expr, is64)}")
+        put("else:")
+        put(f"    scratch[{insn.src}] = {src}")
+        self.emitter.putall(fallback)
+
+    def _alu_expr(self, op: int, a: str, b: str, is64: bool,
+                  shift_const: Optional[int] = None) -> str:
+        """The int/int result expression.
+
+        ``a``/``b`` arrive as pre-masked expressions: immediates are
+        masked at translation time, 32-bit register operands get an
+        inline ``& 0xFFFFFFFF``, and 64-bit register operands need no
+        mask at all because every write path keeps int registers in
+        ``[0, 2**64)``.  Outputs are masked only where the operation can
+        leave that domain.
+        """
+        mask = _MASK64 if is64 else _MASK32
+        bits = 64 if is64 else 32
+        shift = (f"{shift_const}" if shift_const is not None
+                 else f"({b} & {bits - 1})")
+        if op == AluOp.ADD:
+            return f"({a} + {b}) & {mask}"
+        if op == AluOp.SUB:
+            return f"({a} - {b}) & {mask}"
+        if op == AluOp.MUL:
+            return f"({a} * {b}) & {mask}"
+        if op == AluOp.DIV:
+            if b.isdigit():
+                return f"{a} // {b}" if int(b) else "0"
+            return f"({a} // {b}) if {b} else 0"
+        if op == AluOp.MOD:
+            if b.isdigit():
+                return f"{a} % {b}" if int(b) else a
+            return f"({a} % {b}) if {b} else {a}"
+        if op == AluOp.OR:
+            return f"{a} | {b}"
+        if op == AluOp.AND:
+            return f"{a} & {b}"
+        if op == AluOp.XOR:
+            return f"{a} ^ {b}"
+        if op == AluOp.LSH:
+            return f"({a} << {shift}) & {mask}"
+        if op == AluOp.RSH:
+            return f"{a} >> {shift}"
+        if op == AluOp.ARSH:
+            return f"({_sx_expr(a, bits)} >> {shift}) & {mask}"
+        if op == AluOp.NEG:
+            return f"(-{a}) & {mask}"
+        raise _Unsupported(f"unknown ALU op {op:#x}")
+
+    def _emit_jmp(self, insn: Insn, pc: int, is32: bool) -> None:
+        put = self.emitter.put
+        op = insn.opcode & 0xF0
+        if op == JmpOp.CALL:
+            sig = HELPER_SIGS.get(insn.imm)
+            if sig is None:
+                raise _Unsupported(f"unknown helper id {insn.imm}")
+            # Register-only helpers (no memory, no map side effects) are
+            # inlined: the same runtime method call_helper would make,
+            # the same masking, the same R1-R5 clobber, the same cost.
+            pure = _PURE_HELPER_EXPRS.get(sig.helper)
+            if pure is not None:
+                put(f"r0 = {pure}")
+                put("r1 = r2 = r3 = r4 = r5 = None")
+                put(f"C += {sig.cost_ns}")
+                return
+            gname = self._bind("G", pc, sig)
+            put("scratch[1] = r1")
+            put("scratch[2] = r2")
+            put("scratch[3] = r3")
+            put("scratch[4] = r4")
+            put("scratch[5] = r5")
+            put(f"C += _call({gname}, scratch, runtime)")
+            put("r0 = scratch[0]")
+            put("r1 = r2 = r3 = r4 = r5 = None")
+            return
+        if op == JmpOp.EXIT:
+            put("if type(r0) is int:")
+            put("    return r0, S, C + S * insn_cost_ns")
+            put("raise VmFault('exit with non-scalar r0 ' + repr(r0))")
+            return
+
+        target = self._target_block(pc + 1 + insn.off)
+        if op == JmpOp.JA:
+            put(f"_skip = {target}")
+            return
+
+        if op not in _JMP_OPS:
+            raise _Unsupported(f"unknown jump op {op:#x} at pc {pc}")
+        mask = _MASK32 if is32 else _MASK64
+        bits = 32 if is32 else 64
+        dst = f"r{insn.dst}"
+        iname = self._bind("I", pc, insn)
+
+        a_expr = f"({dst} & {_MASK32})" if is32 else dst
+        if not insn.uses_reg_source:
+            b = insn.imm & mask
+            put(f"if type({dst}) is int:")
+            put(f"    if {self._jmp_expr(op, a_expr, b, bits)}:")
+            put(f"        _skip = {target}")
+            if b == 0 and op in (JmpOp.JEQ, JmpOp.JNE):
+                # The null check after map_lookup_elem: a pointer never
+                # equals scalar 0, so answer it without the fallback.
+                put(f"elif {dst}.__class__ is Pointer or {dst}.__class__ is MapRef:")
+                if op == JmpOp.JNE:
+                    put(f"    _skip = {target}")
+                else:
+                    put("    pass")
+            put("else:")
+            put(f"    scratch[{insn.dst}] = {dst}")
+            put(f"    if _branch({iname}, scratch, {is32}):")
+            put(f"        _skip = {target}")
+        else:
+            src = f"r{insn.src}"
+            b_expr = f"({src} & {_MASK32})" if is32 else src
+            put(f"if type({dst}) is int and type({src}) is int:")
+            put(f"    if {self._jmp_expr(op, a_expr, b_expr, bits)}:")
+            put(f"        _skip = {target}")
+            put("else:")
+            put(f"    scratch[{insn.dst}] = {dst}")
+            put(f"    scratch[{insn.src}] = {src}")
+            put(f"    if _branch({iname}, scratch, {is32}):")
+            put(f"        _skip = {target}")
+
+    def _jmp_expr(self, op: int, a: str, b, bits: int) -> str:
+        if op in (JmpOp.JSGT, JmpOp.JSGE, JmpOp.JSLT, JmpOp.JSLE):
+            sa = _sx_expr(a, bits)
+            sb = _to_signed(b, bits) if isinstance(b, int) else _sx_expr(b, bits)
+            relation = {JmpOp.JSGT: ">", JmpOp.JSGE: ">=",
+                        JmpOp.JSLT: "<", JmpOp.JSLE: "<="}[op]
+            return f"{sa} {relation} {sb}"
+        if op == JmpOp.JSET:
+            return f"{a} & {b}"
+        relation = {JmpOp.JEQ: "==", JmpOp.JNE: "!=", JmpOp.JGT: ">",
+                    JmpOp.JGE: ">=", JmpOp.JLT: "<", JmpOp.JLE: "<="}[op]
+        return f"{a} {relation} {b}"
+
+    def _emit_ldx(self, insn: Insn, pc: int) -> None:
+        put = self.emitter.put
+        size = MemSize(insn.opcode & 0x18)
+        nb = size.nbytes
+        zname = self._bind("Z", pc, size)
+        dst, src, off = f"r{insn.dst}", f"r{insn.src}", insn.off
+        put(f"if {src}.__class__ is Pointer:")
+        put(f"    _d = {src}.region.data")
+        put(f"    _o = {src}.offset + {off}")
+        put(f"    if 0 <= _o and _o + {nb} <= len(_d):")
+        put(f"        {dst} = _ifb(_d[_o:_o + {nb}], 'little')")
+        put("    else:")
+        put(f"        {dst} = _load({src}, {off}, {zname})")
+        put("else:")
+        put(f"    {dst} = _load({src}, {off}, {zname})")
+
+    def _emit_stx(self, insn: Insn, pc: int) -> None:
+        put = self.emitter.put
+        size = MemSize(insn.opcode & 0x18)
+        nb = size.nbytes
+        vmask = (1 << (8 * nb)) - 1
+        zname = self._bind("Z", pc, size)
+        dst, src, off = f"r{insn.dst}", f"r{insn.src}", insn.off
+        # 8-byte stores skip the value mask: the register invariant keeps
+        # every int register inside [0, 2**64) already.
+        value = src if nb == 8 else f"({src} & {vmask})"
+        put(f"if type({src}) is int:")
+        put(f"    if {dst}.__class__ is Pointer and {dst}.region.writable:")
+        put(f"        _d = {dst}.region.data")
+        put(f"        _o = {dst}.offset + {off}")
+        put(f"        if 0 <= _o and _o + {nb} <= len(_d):")
+        put(f"            _d[_o:_o + {nb}] = {value}.to_bytes({nb}, 'little')")
+        put("        else:")
+        put(f"            _store({dst}, {off}, {zname}, {src})")
+        put("    else:")
+        put(f"        _store({dst}, {off}, {zname}, {src})")
+        put("else:")
+        put(f"    raise VmFault('store of non-scalar ' + repr({src}))")
+
+    def _emit_st(self, insn: Insn, pc: int) -> None:
+        put = self.emitter.put
+        size = MemSize(insn.opcode & 0x18)
+        nb = size.nbytes
+        value = insn.imm & _MASK64
+        blob = (value & ((1 << (8 * nb)) - 1)).to_bytes(nb, "little")
+        zname = self._bind("Z", pc, size)
+        bname = self._bind("B", pc, blob)
+        dst, off = f"r{insn.dst}", insn.off
+        put(f"if {dst}.__class__ is Pointer and {dst}.region.writable:")
+        put(f"    _d = {dst}.region.data")
+        put(f"    _o = {dst}.offset + {off}")
+        put(f"    if 0 <= _o and _o + {nb} <= len(_d):")
+        put(f"        _d[_o:_o + {nb}] = {bname}")
+        put("    else:")
+        put(f"        _store({dst}, {off}, {zname}, {value})")
+        put("else:")
+        put(f"    _store({dst}, {off}, {zname}, {value})")
+
+    def _emit_ld(self, insn: Insn, pc: int) -> None:
+        put = self.emitter.put
+        dst = f"r{insn.dst}"
+        if insn.is_map_load:
+            ref = insn.map_ref
+            if not isinstance(ref, (BpfMap, RingBuf, PerfEventArray)):
+                raise _Unsupported(f"unresolved map reference {ref!r}")
+            # MapRef is immutable and only ever null-checked, so one shared
+            # instance per translation matches the reference observably.
+            mname = self._bind("M", pc, MapRef(ref))
+            put(f"{dst} = {mname}")
+            return
+        value = ((self.insns[pc + 1].imm & _MASK32) << 32) | (insn.imm & _MASK32)
+        put(f"{dst} = {value}")
+
+    def _emit_insn(self, insn: Insn, pc: int) -> None:
+        klass = insn.opcode & 0x07
+        if klass in (InsnClass.ALU, InsnClass.ALU64):
+            self._emit_alu(insn, pc, klass == InsnClass.ALU64)
+        elif klass == InsnClass.LDX:
+            self._emit_ldx(insn, pc)
+        elif klass == InsnClass.STX:
+            self._emit_stx(insn, pc)
+        elif klass == InsnClass.ST:
+            self._emit_st(insn, pc)
+        elif klass == InsnClass.LD:
+            self._emit_ld(insn, pc)
+        elif klass in (InsnClass.JMP, InsnClass.JMP32):
+            self._emit_jmp(insn, pc, klass == InsnClass.JMP32)
+        else:
+            raise _Unsupported(f"unknown instruction class {klass}")
+
+    # -- whole-program emission -------------------------------------------
+    def generate(self) -> str:
+        em = self.emitter
+        em.put(f"stack = MemRegion('stack', bytearray({STACK_SIZE}), True)")
+        em.put("ctx_region = MemRegion('ctx', ctx, False)")
+        em.put("r0 = r2 = r3 = r4 = r5 = r6 = r7 = r8 = r9 = None")
+        em.put("r1 = Pointer(ctx_region, 0)")
+        em.put(f"r10 = Pointer(stack, {STACK_SIZE})")
+        em.put("_skip = 0")
+        em.put("S = 0")
+        em.put("C = 0")
+
+        boundaries = self.leaders + [self.n]
+        for index, start in enumerate(self.leaders):
+            end = boundaries[index + 1]
+            block_pcs = [pc for pc in range(start, end)
+                         if pc not in self.skip_slots]
+            if index > 0:
+                em.indent = 1
+                em.put(f"if _skip <= {index}:")
+                em.indent = 2
+            em.put(f"S += {len(block_pcs)}")
+            for pc in block_pcs:
+                self._emit_insn(self.insns[pc], pc)
+        em.indent = 1
+        em.put(f"raise VmFault('pc {self.n} out of program bounds')")
+
+        body = "\n".join(em.lines)
+        # Hot names ride in as default arguments so the generated code
+        # resolves them through fast locals instead of namespace globals.
+        header = (
+            "def _prog(ctx, runtime, insn_cost_ns, scratch, type=type,"
+            " len=len, VmFault=VmFault, Pointer=Pointer, MapRef=MapRef,"
+            " MemRegion=MemRegion, _alu=_alu, _branch=_branch,"
+            " _load=_load, _store=_store, _call=_call, _ifb=_ifb):\n"
+        )
+        return header + body + "\n"
+
+
+#: R0 expressions for helpers that touch only the register file — they
+#: mirror the corresponding :func:`~repro.ebpf.vm.call_helper` arms
+#: exactly (same runtime method, same masking).
+_PURE_HELPER_EXPRS = {
+    Helper.KTIME_GET_NS: f"runtime.ktime() & {_MASK64}",
+    Helper.GET_CURRENT_PID_TGID: f"runtime.current_pid_tgid() & {_MASK64}",
+    Helper.GET_SMP_PROCESSOR_ID: f"runtime.smp_processor_id() & {_MASK64}",
+    Helper.GET_PRANDOM_U32: "runtime.prandom_u32()",
+}
+
+_ALU_OPS = frozenset(
+    (AluOp.ADD, AluOp.SUB, AluOp.MUL, AluOp.DIV, AluOp.MOD, AluOp.OR,
+     AluOp.AND, AluOp.XOR, AluOp.LSH, AluOp.RSH, AluOp.ARSH, AluOp.NEG)
+)
+_JMP_OPS = frozenset(
+    (JmpOp.JEQ, JmpOp.JNE, JmpOp.JGT, JmpOp.JGE, JmpOp.JLT, JmpOp.JLE,
+     JmpOp.JSET, JmpOp.JSGT, JmpOp.JSGE, JmpOp.JSLT, JmpOp.JSLE)
+)
+
+
+class CompiledProgram:
+    """A program translated to one compiled Python function.
+
+    ``fn(ctx_bytes, runtime, insn_cost_ns, scratch)`` returns the
+    ``(r0, steps, cost_ns)`` triple; ``source`` keeps the generated text
+    for diagnostics and tests.
+    """
+
+    __slots__ = ("fn", "source", "n")
+
+    def __init__(self, fn, source: str, n: int) -> None:
+        self.fn = fn
+        self.source = source
+        self.n = n
+
+
+def compile_insns(insns: Sequence[Insn]) -> Optional[CompiledProgram]:
+    """Translate a program to a compiled function, or ``None`` if any
+    construct is outside the generator's supported subset (the caller
+    falls back to :class:`~repro.ebpf.fastvm.FastVm`)."""
+    if len(insns) >= MAX_STEPS:
+        # Loop-free execution could still exhaust the reference budget;
+        # leave that pathology to the interpreters.
+        return None
+    try:
+        codegen = _Codegen(insns)
+        source = codegen.generate()
+    except _Unsupported:
+        return None
+    namespace = codegen.ns
+    exec(compile(source, "<ebpf-compiled>", "exec"), namespace)  # noqa: S102
+    return CompiledProgram(namespace["_prog"], source, len(insns))
+
+
+# ----------------------------------------------------------------------
+# the compiled-tier VM
+# ----------------------------------------------------------------------
+
+class CompiledVm(Vm):
+    """Drop-in :class:`Vm` executing whole-program translations.
+
+    Bit-for-bit identical to the reference interpreter (enforced by the
+    differential suites in ``tests/ebpf/``); falls back to
+    :class:`FastVm` — sharing the same translation cache — for programs
+    the code generator does not support.
+    """
+
+    def __init__(self, insn_cost_ns: int = DEFAULT_INSN_COST_NS,
+                 cache=None) -> None:
+        super().__init__(insn_cost_ns)
+        from .fastvm import _GLOBAL_CACHE, FastVm
+
+        self.cache = cache if cache is not None else _GLOBAL_CACHE
+        self._fallback = FastVm(insn_cost_ns, cache=self.cache)
+        self._scratch: list = [None] * 11
+
+    def prepare(self, insns: Sequence[Insn]):
+        """Per-program executor with the compiled function bound directly:
+        the per-firing path is one Python call plus the VmResult wrap."""
+        compiled = self.cache.get_compiled(insns)
+        if compiled is None:
+            return self._fallback.prepare(insns)
+        fn = compiled.fn
+        insn_cost_ns = self.insn_cost_ns
+        scratch = self._scratch
+
+        def run(ctx: bytes, runtime: Optional[HelperRuntime] = None) -> VmResult:
+            if runtime is None:
+                runtime = HelperRuntime()
+            if type(ctx) is not bytes:
+                ctx = bytes(ctx)
+            r0, steps, cost = fn(ctx, runtime, insn_cost_ns, scratch)
+            return VmResult(r0=r0, steps=steps, cost_ns=cost)
+
+        return run
+
+    def execute(
+        self,
+        insns: Sequence[Insn],
+        ctx: bytes,
+        runtime: Optional[HelperRuntime] = None,
+    ) -> VmResult:
+        compiled = self.cache.get_compiled(insns)
+        if compiled is None:
+            return self._fallback.execute(insns, ctx, runtime)
+        if type(ctx) is not bytes:
+            ctx = bytes(ctx)
+        r0, steps, cost = compiled.fn(
+            ctx, runtime if runtime is not None else HelperRuntime(),
+            self.insn_cost_ns, self._scratch,
+        )
+        return VmResult(r0=r0, steps=steps, cost_ns=cost)
+
+
+def make_vm(tier: str = DEFAULT_VM_TIER,
+            insn_cost_ns: int = DEFAULT_INSN_COST_NS,
+            cache=None) -> Vm:
+    """Build the VM for a tier name (``reference``/``fast``/``compiled``).
+
+    All tiers are bit-for-bit identical; higher tiers are strictly
+    faster.  Attach sites (``BPF``, the collectors, ``ExperimentSpec``)
+    accept the tier name so cached experiment results record which tier
+    produced them.
+    """
+    if tier == "reference":
+        return Vm(insn_cost_ns)
+    if tier == "fast":
+        from .fastvm import FastVm
+
+        return FastVm(insn_cost_ns, cache=cache)
+    if tier == "compiled":
+        return CompiledVm(insn_cost_ns, cache=cache)
+    raise ValueError(f"unknown vm tier {tier!r}; available: {VM_TIERS}")

@@ -62,19 +62,35 @@ def _common_header(pid: int) -> bytes:
 
 
 def pack_sys_enter(ctx: SysEnterCtx) -> bytes:
-    """Serialize a sys_enter context into its tracepoint record bytes."""
-    args: Sequence[int] = tuple(ctx.args)[:6] + (0,) * max(0, 6 - len(ctx.args))
-    return (
-        _common_header(ctx.tid)
-        + struct.pack("<q", ctx.syscall_nr)
-        + struct.pack("<6Q", *[a & 0xFFFFFFFFFFFFFFFF for a in args])
-    )
+    """Serialize a sys_enter context into its tracepoint record bytes.
+
+    The record is memoized on the (frozen, hence immutable) context
+    object: one tracepoint firing is packed once even when several
+    attached programs — the monitor runs three collectors — read it.
+    """
+    blob = getattr(ctx, "_blob", None)
+    if blob is None:
+        args: Sequence[int] = tuple(ctx.args)[:6] + (0,) * max(0, 6 - len(ctx.args))
+        blob = (
+            _common_header(ctx.tid)
+            + struct.pack("<q", ctx.syscall_nr)
+            + struct.pack("<6Q", *[a & 0xFFFFFFFFFFFFFFFF for a in args])
+        )
+        object.__setattr__(ctx, "_blob", blob)
+    return blob
 
 
 def pack_sys_exit(ctx: SysExitCtx) -> bytes:
-    """Serialize a sys_exit context into its tracepoint record bytes."""
-    return (
-        _common_header(ctx.tid)
-        + struct.pack("<q", ctx.syscall_nr)
-        + struct.pack("<q", ctx.ret)
-    )
+    """Serialize a sys_exit context into its tracepoint record bytes.
+
+    Memoized on the frozen context object, like :func:`pack_sys_enter`.
+    """
+    blob = getattr(ctx, "_blob", None)
+    if blob is None:
+        blob = (
+            _common_header(ctx.tid)
+            + struct.pack("<q", ctx.syscall_nr)
+            + struct.pack("<q", ctx.ret)
+        )
+        object.__setattr__(ctx, "_blob", blob)
+    return blob

@@ -511,17 +511,33 @@ def translate(insns: Sequence[Insn]) -> DecodedProgram:
 # translation cache
 # ----------------------------------------------------------------------
 
+#: Cached marker for programs the compiled-tier generator rejected, so
+#: the (cheap but not free) unsupported-construct scan runs only once.
+_UNSUPPORTED = object()
+
+#: ``compile_insns`` resolved on first use (repro.ebpf.compiled imports
+#: this module, so a top-level import would be circular) and memoized so
+#: the hot path never re-enters importlib.
+_compile_insns = None
+
+
 class TranslationCache:
-    """Blob-keyed cache of :class:`DecodedProgram` translations.
+    """Blob-keyed cache of per-tier program translations.
 
-    Two layers:
+    One cache serves both accelerated tiers — ``"fast"`` entries hold
+    :class:`DecodedProgram` micro-op lists, ``"compiled"`` entries hold
+    whole-program functions from :mod:`repro.ebpf.compiled` — so
+    attaching the same program under two tiers never double-translates
+    the shared decode work and the two tiers' entries age in one LRU.
 
-    * an identity memo (``id(insns)`` → decoded) that makes the steady
-      state — the same ``Program.insns`` list executed millions of times
-      from an attach site — a single dict probe, and
-    * a content cache keyed on ``(wire encoding, map identities)`` so
-      distinct but identical instruction lists (e.g. per-level rebuilds
-      of the same collector) share one translation.
+    Two layers per tier:
+
+    * an identity memo (``id(insns)`` → per-tier entries) that makes the
+      steady state — the same ``Program.insns`` list executed millions
+      of times from an attach site — a single dict probe, and
+    * a content cache keyed on ``(wire encoding, map identities, tier)``
+      so distinct but identical instruction lists (e.g. per-level
+      rebuilds of the same collector) share one translation.
 
     Map identities are part of the key because translations bind map
     objects into closures; a cached entry keeps those maps alive, which
@@ -533,37 +549,65 @@ class TranslationCache:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self._by_blob: "OrderedDict[tuple, DecodedProgram]" = OrderedDict()
+        #: ``(blob, map identities, tier)`` → translation (or, for the
+        #: compiled tier, the ``_UNSUPPORTED`` marker).
+        self._by_blob: "OrderedDict[tuple, object]" = OrderedDict()
+        #: ``id(insns)`` → ``(insns, {tier: translation})``.
         self._by_seq: dict = {}
         self.hits = 0
         self.misses = 0
 
     @staticmethod
-    def _key(insns: Sequence[Insn]) -> tuple:
+    def _content_key(insns: Sequence[Insn]) -> tuple:
         return (
             encode(insns),
             tuple(id(i.map_ref) for i in insns if i.map_ref is not None),
         )
 
-    def get(self, insns: Sequence[Insn]) -> DecodedProgram:
+    def _lookup(self, insns: Sequence[Insn], tier: str, translate_fn):
         memo = self._by_seq.get(id(insns))
         if memo is not None and memo[0] is insns:
-            self.hits += 1
-            return memo[1]
-        key = self._key(insns)
-        decoded = self._by_blob.get(key)
-        if decoded is None:
+            entry = memo[1].get(tier)
+            if entry is not None:
+                self.hits += 1
+                return entry
+        else:
+            memo = None
+        key = self._content_key(insns) + (tier,)
+        entry = self._by_blob.get(key)
+        if entry is None:
             self.misses += 1
-            decoded = translate(insns)
-            self._by_blob[key] = decoded
+            entry = translate_fn(insns)
+            self._by_blob[key] = entry
             while len(self._by_blob) > self.max_entries:
                 self._by_blob.popitem(last=False)
         else:
             self.hits += 1
-        if len(self._by_seq) > 4 * self.max_entries:
-            self._by_seq.clear()
-        self._by_seq[id(insns)] = (insns, decoded)
-        return decoded
+        if memo is None:
+            if len(self._by_seq) > 4 * self.max_entries:
+                self._by_seq.clear()
+            memo = (insns, {})
+            self._by_seq[id(insns)] = memo
+        memo[1][tier] = entry
+        return entry
+
+    def get(self, insns: Sequence[Insn]) -> DecodedProgram:
+        """The fast-tier (micro-op) translation of ``insns``."""
+        return self._lookup(insns, "fast", translate)
+
+    def get_compiled(self, insns: Sequence[Insn]):
+        """The compiled-tier translation, or ``None`` when the program
+        is outside the code generator's subset (cached either way)."""
+        global _compile_insns
+        if _compile_insns is None:
+            from .compiled import compile_insns
+
+            _compile_insns = compile_insns
+        entry = self._lookup(
+            insns, "compiled",
+            lambda seq: _compile_insns(seq) or _UNSUPPORTED,
+        )
+        return None if entry is _UNSUPPORTED else entry
 
     def clear(self) -> None:
         self._by_blob.clear()
@@ -617,13 +661,31 @@ class FastVm(Vm):
         super().__init__(insn_cost_ns)
         self.cache = cache if cache is not None else _GLOBAL_CACHE
 
+    def prepare(self, insns: Sequence[Insn]):
+        """Per-program executor with the translation resolved up front, so
+        each firing skips the cache probe entirely."""
+        ops_holder = self.cache.get(insns)
+        run_decoded = self._run_decoded
+
+        def run(ctx: bytes, runtime: Optional[HelperRuntime] = None) -> VmResult:
+            return run_decoded(ops_holder, ctx, runtime)
+
+        return run
+
     def execute(
         self,
         insns: Sequence[Insn],
         ctx: bytes,
         runtime: Optional[HelperRuntime] = None,
     ) -> VmResult:
-        ops_holder = self.cache.get(insns)
+        return self._run_decoded(self.cache.get(insns), ctx, runtime)
+
+    def _run_decoded(
+        self,
+        ops_holder: DecodedProgram,
+        ctx: bytes,
+        runtime: Optional[HelperRuntime] = None,
+    ) -> VmResult:
         runtime = runtime or HelperRuntime()
         stack = MemRegion("stack", bytearray(STACK_SIZE), writable=True)
         ctx_region = MemRegion("ctx", bytes(ctx), writable=False)

@@ -105,6 +105,23 @@ class Vm:
         self.insn_cost_ns = insn_cost_ns
 
     # ------------------------------------------------------------------
+    def prepare(self, insns: Sequence[Insn]):
+        """Bind a per-program executor: ``run(ctx, runtime) -> VmResult``.
+
+        Attach sites that fire the same program millions of times (the
+        tracepoint probes in :mod:`repro.ebpf.bcc`) call this once per
+        program.  The faster tiers override it to resolve their
+        translation up front so the per-firing path skips every cache
+        probe; the reference interpreter simply curries :meth:`execute`.
+        """
+        execute = self.execute
+
+        def run(ctx: bytes, runtime: Optional[HelperRuntime] = None) -> VmResult:
+            return execute(insns, ctx, runtime)
+
+        return run
+
+    # ------------------------------------------------------------------
     def execute(
         self,
         insns: Sequence[Insn],

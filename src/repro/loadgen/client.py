@@ -140,6 +140,9 @@ class OpenLoopClient:
         self._last_completion: Optional[int] = None
         #: Fires when every offered request has been answered.
         self.done = env.event()
+        #: The watchdog's pending sleep, canceled when ``done`` fires so a
+        #: finished run does not keep a dead timer in the event queue.
+        self._watchdog_sleep = None
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -201,7 +204,9 @@ class OpenLoopClient:
         """Re-send stale requests; abandon them after ``max_retries``."""
         timeout = self.retry_timeout_ns
         while not self.done.triggered:
-            yield self.env.timeout(timeout)
+            self._watchdog_sleep = self.env.timeout(timeout)
+            yield self._watchdog_sleep
+            self._watchdog_sleep = None
             if self.done.triggered:
                 return
             now = self.env.now
@@ -229,6 +234,12 @@ class OpenLoopClient:
         if (self.completed + self.abandoned >= self.total_requests
                 and not self.done.triggered):
             self.done.succeed(self.report())
+            sleep = self._watchdog_sleep
+            if sleep is not None and sleep.callbacks is not None:
+                # Lazy-cancel the watchdog's pending timer: the run is
+                # over, so letting it fire would only pad the event queue.
+                self.env.cancel(sleep)
+                self._watchdog_sleep = None
 
     # -- results ---------------------------------------------------------
     def report(self) -> ClientReport:

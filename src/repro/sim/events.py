@@ -15,6 +15,7 @@ Events move through three states:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
@@ -94,7 +95,8 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._schedule(self, env._now)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -110,7 +112,8 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._schedule(self, env._now)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -131,18 +134,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` nanoseconds after creation."""
+    """An event that triggers ``delay`` nanoseconds after creation.
+
+    Timeouts are the simulator's most-created event (every inter-arrival
+    gap, service stint, and watchdog sleep is one), so construction takes
+    a dedicated schedule path: the state slots are assigned directly —
+    value and ok are decided at creation, skipping the generic
+    pending-then-trigger transition — and the heap entry is pushed inline
+    instead of going through :meth:`Environment.schedule`'s validation.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, 1, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {hex(id(self))}>"

@@ -42,7 +42,7 @@ class Process(Event):
         init._ok = True
         init._value = None
         init.callbacks.append(self._resume)
-        env.schedule(init)
+        env._schedule(init, env._now)
 
     @property
     def is_alive(self) -> bool:
@@ -76,7 +76,7 @@ class Process(Event):
             target.callbacks.remove(self._resume)
         self._target = None
         interrupt_event.callbacks.append(self._resume)
-        self.env.schedule(interrupt_event, priority=0)
+        self.env._schedule(interrupt_event, self.env._now, priority=0)
 
     # -- engine plumbing ---------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -115,7 +115,7 @@ class Process(Event):
                 next_target.defuse()
                 resume.defuse()
             resume.callbacks.append(self._resume)
-            self.env.schedule(resume)
+            self.env._schedule(resume, self.env._now)
         else:
             next_target.callbacks.append(self._resume)
 
