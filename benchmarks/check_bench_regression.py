@@ -1,0 +1,140 @@
+"""CI perf-regression gate over the e2e cell benchmark.
+
+Compares a fresh ``bench_e2e_cell`` run (typically the ``--smoke`` output
+in ``results/bench_e2e_smoke.json``) against the committed full-size
+baseline ``BENCH_e2e.json`` and fails when any cell's higher-tier cost
+regressed by more than the threshold.
+
+Absolute CPU seconds are not comparable between a smoke run and the
+full baseline (different request counts, different machines), so the
+gate compares **normalized** per-cell costs: each tier's ``cpu_s``
+divided by the same run's reference-tier ``cpu_s``.  That ratio is the
+quantity the optimisation work actually moves — how much cheaper the
+fast/compiled tiers are than the interpreter on the same cells — and it
+is scale- and machine-invariant to first order.  A fresh ratio more
+than ``threshold`` times the baseline ratio on any (cell, tier) fails
+the gate.
+
+Cells whose reference cost is below ``--min-cpu-s`` in either run are
+skipped: at sub-50ms totals the ratio is dominated by fixed per-cell
+setup, not the probe hot loop, and would flap.
+
+Exit codes: 0 pass, 1 regression (or identity failure in the fresh
+run), 2 usage errors (missing/corrupt input files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Tiers judged against the reference interpreter.
+JUDGED_TIERS = ("fast", "compiled")
+
+DEFAULT_THRESHOLD = 1.25
+DEFAULT_MIN_CPU_S = 0.05
+
+
+def _usage_error(message: str) -> SystemExit:
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_run(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise _usage_error(f"{path}: no such file (run the benchmark first)")
+    except json.JSONDecodeError as exc:
+        raise _usage_error(f"{path}: not valid JSON ({exc})")
+    if "cells" not in data:
+        raise _usage_error(f"{path}: not a bench_e2e_cell record (no 'cells')")
+    return data
+
+
+def normalized_ratios(cell: dict) -> dict:
+    """Per-tier cpu_s normalized by the run's own reference tier."""
+    cpu = cell["cpu_s"]
+    reference = cpu["reference"]
+    if not reference:
+        return {}
+    return {tier: cpu[tier] / reference for tier in JUDGED_TIERS if tier in cpu}
+
+
+def check(fresh: dict, baseline: dict, threshold: float, min_cpu_s: float, println=print) -> int:
+    """Compare runs; returns the number of failures (0 = gate passes)."""
+    failures = 0
+    if not fresh.get("all_identical", False):
+        println("FAIL identity: fresh run has cross-tier divergence")
+        failures += 1
+
+    shared = [name for name in baseline["cells"] if name in fresh["cells"]]
+    if not shared:
+        println("FAIL coverage: no cells shared between fresh run and baseline")
+        return failures + 1
+
+    for name in shared:
+        fresh_cell = fresh["cells"][name]
+        base_cell = baseline["cells"][name]
+        fresh_ref = fresh_cell["cpu_s"]["reference"]
+        base_ref = base_cell["cpu_s"]["reference"]
+        if fresh_ref < min_cpu_s or base_ref < min_cpu_s:
+            println(f"skip {name}: reference cpu_s below {min_cpu_s}s (setup-dominated)")
+            continue
+        fresh_ratios = normalized_ratios(fresh_cell)
+        base_ratios = normalized_ratios(base_cell)
+        for tier in JUDGED_TIERS:
+            if tier not in fresh_ratios or not base_ratios.get(tier):
+                continue
+            rel = fresh_ratios[tier] / base_ratios[tier]
+            verdict = "FAIL" if rel > threshold else "ok"
+            ratio = f"ratio {fresh_ratios[tier]:.3f} vs baseline {base_ratios[tier]:.3f}"
+            detail = f"{ratio} ({rel:.2f}x, limit {threshold}x)"
+            println(f"{verdict:>4} {name:<28} {tier:<9} {detail}")
+            if rel > threshold:
+                failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        default=str(REPO_ROOT / "results" / "bench_e2e_smoke.json"),
+        help="fresh benchmark record (default: the smoke output)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_e2e.json"),
+        help="committed baseline record",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"max allowed fresh/baseline normalized-cost ratio (default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--min-cpu-s",
+        type=float,
+        default=DEFAULT_MIN_CPU_S,
+        help=f"skip cells whose reference cpu_s is below this (default {DEFAULT_MIN_CPU_S})",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_run(Path(args.fresh))
+    baseline = load_run(Path(args.baseline))
+    failures = check(fresh, baseline, args.threshold, args.min_cpu_s)
+    if failures:
+        print(f"{failures} perf-regression check(s) failed", file=sys.stderr)
+        return 1
+    print("perf-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

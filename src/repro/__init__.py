@@ -21,7 +21,7 @@ stack:
   figure.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .analysis import (
     ExperimentSpec,

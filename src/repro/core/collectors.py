@@ -24,7 +24,7 @@ Equivalence of the two modes on identical traces is asserted by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ebpf.asm import Asm
 from ..ebpf.bcc import BPF
@@ -77,16 +77,31 @@ def _emit_epilogue(asm: Asm) -> None:
 
 
 def build_delta_program(map_name: str, tgid: int, syscall_nrs: Sequence[int],
-                        prog_name: str = "delta_enter") -> Program:
-    """sys_enter program accumulating inter-call delta statistics."""
+                        prog_name: str = "delta_enter", cpus: int = 1) -> Program:
+    """sys_enter program accumulating inter-call delta statistics.
+
+    With ``cpus == 1`` the state lives in a single array slot (key 0).
+    With ``cpus > 1`` the program keys the array by
+    ``bpf_get_smp_processor_id()`` — the real per-CPU-map discipline:
+    each CPU accumulates into its own slot with no cross-CPU write
+    sharing, and userspace merges the shards at window close.  A CPU id
+    outside ``[0, cpus)`` finds no slot (NULL lookup) and the event is
+    dropped, exactly as a per-CPU array sized below ``nr_cpus`` would.
+    """
     if not syscall_nrs:
         raise ValueError("need at least one syscall number")
+    if cpus < 1:
+        raise ValueError("need at least one CPU shard")
     asm = Asm()
     _emit_prologue(asm, tgid, syscall_nrs)
     asm.call(Helper.KTIME_GET_NS)
     asm.mov_reg(Reg.R7, Reg.R0)  # now
-    # state = lookup(map, key=0)
-    asm.st_imm(MemSize.W, Reg.R10, -4, 0)
+    # state = lookup(map, key = cpu shard)
+    if cpus == 1:
+        asm.st_imm(MemSize.W, Reg.R10, -4, 0)
+    else:
+        asm.call(Helper.GET_SMP_PROCESSOR_ID)
+        asm.stx(MemSize.W, Reg.R10, -4, Reg.R0)
     asm.ld_map_fd(Reg.R1, map_name)
     asm.mov_reg(Reg.R2, Reg.R10)
     asm.add_imm(Reg.R2, -4)
@@ -198,7 +213,17 @@ def _write_u64(entry: bytearray, offset: int, value: int) -> None:
 
 
 class DeltaCollector:
-    """Inter-syscall delta statistics for one syscall set of one process."""
+    """Inter-syscall delta statistics for one syscall set of one process.
+
+    ``cpus`` shards the delta state per simulated CPU, mirroring real
+    per-CPU maps: each shard accumulates its own {count, sum, sumsq,
+    last} with no cross-CPU write sharing, and :meth:`snapshot` merges
+    the shards in CPU order at the window boundary.  ``cpu_of`` maps a
+    tracepoint context to its CPU (default: ``tid % cpus``, the same
+    thread-pinning model the streaming collector uses).  With the
+    default ``cpus=1`` the behaviour — program bytes, steps, cost —
+    is exactly the unsharded collector's.
+    """
 
     def __init__(
         self,
@@ -209,9 +234,13 @@ class DeltaCollector:
         charge_cost: bool = False,
         name: str = "delta",
         vm_tier: Optional[str] = None,
+        cpus: int = 1,
+        cpu_of: Optional[Callable[[object], int]] = None,
     ) -> None:
         if mode not in ("native", "vm"):
             raise ValueError(f"unknown mode {mode!r}")
+        if cpus < 1:
+            raise ValueError("need at least one CPU shard")
         self.kernel = kernel
         self.tgid = tgid
         self.syscall_nrs = tuple(syscall_nrs)
@@ -219,22 +248,31 @@ class DeltaCollector:
             raise ValueError("need at least one syscall number")
         self.mode = mode
         self.name = name
+        self.cpus = cpus
+        self._cpu_of = (cpu_of if cpu_of is not None
+                        else (lambda ctx: ctx.tid % cpus))
         self._attached = False
         if mode == "vm":
-            self._map = ArrayMap(value_size=_DELTA_VALUE_SIZE, max_entries=1, name=f"{name}_state")
+            self._map = ArrayMap(value_size=_DELTA_VALUE_SIZE, max_entries=cpus,
+                                 name=f"{name}_state")
             program = build_delta_program(f"{name}_state", tgid, self.syscall_nrs,
-                                          prog_name=f"{name}_enter")
+                                          prog_name=f"{name}_enter", cpus=cpus)
             self._bpf = BPF(kernel, maps={f"{name}_state": self._map},
                             programs=[program], charge_cost=charge_cost,
-                            vm_tier=vm_tier)
+                            vm_tier=vm_tier,
+                            cpu_of=self._cpu_of if cpus > 1 else None)
             # The in-kernel _EVENTS slot doubles as the "have an anchor
             # timestamp" flag, so after reset_window() it reads 1 even
             # though the anchor belongs to the previous window; userspace
-            # tracks carried-ness so snapshots report true event counts.
-            self._carried = False
+            # tracks carried-ness per shard so snapshots report true
+            # event counts.
+            self._carried: List[bool] = [False] * cpus
         else:
             self._bpf = None
             self._stats = DeltaStats()
+            self._shards: List[DeltaStats] = (
+                [self._stats] if cpus == 1
+                else [DeltaStats() for _ in range(cpus)])
             self._nr_set = frozenset(self.syscall_nrs)
 
     @property
@@ -267,50 +305,76 @@ class DeltaCollector:
             return 0
         if ctx.syscall_nr not in self._nr_set:
             return 0
-        self._stats.add_timestamp(ctx.ktime_ns)
+        if self.cpus == 1:
+            self._stats.add_timestamp(ctx.ktime_ns)
+            return 0
+        # Mirror the sharded program exactly: the 4-byte array key wraps
+        # the CPU id, and an id outside [0, cpus) finds no slot.
+        cpu = self._cpu_of(ctx) & 0xFFFFFFFF
+        if cpu < self.cpus:
+            self._shards[cpu].add_timestamp(ctx.ktime_ns)
         return 0
 
     # -- window access -----------------------------------------------------
-    def snapshot(self) -> DeltaStats:
-        """Current window's statistics (a copy; window keeps accumulating)."""
+    def _shard_snapshot(self, cpu: int) -> Optional[DeltaStats]:
+        """One shard's window statistics, or ``None`` for an untouched shard."""
         if self.mode == "native":
-            s = self._stats
+            s = self._shards[cpu]
+            if s.events == 0 and not s.carried:
+                return None
             return DeltaStats(count=s.count, sum=s.sum, sumsq=s.sumsq,
                               first_ns=s.first_ns, last_ns=s.last_ns,
                               carried=s.carried, events=s.events)
-        entry = self._map.lookup(self._map.key_of(0))
+        entry = self._map.lookup(self._map.key_of(cpu))
         events = _read_u64(entry, _EVENTS)
         if events == 0:
-            return DeltaStats()
-        count = _read_u64(entry, _COUNT)
+            return None
         # While no event has landed since reset, the entry still holds the
         # carried anchor only; once events grow past the anchor the window
         # is carried iff it was reset with an anchor.  The in-kernel slot
         # counts the anchor, so the window's own event count excludes it.
         return DeltaStats(
-            count=count,
+            count=_read_u64(entry, _COUNT),
             sum=_read_u64(entry, _SUM),
             sumsq=_read_u64(entry, _SUMSQ),
             first_ns=_read_u64(entry, _FIRST),
             last_ns=_read_u64(entry, _LAST),
-            carried=self._carried,
-            events=events - 1 if self._carried else events,
+            carried=self._carried[cpu],
+            events=events - 1 if self._carried[cpu] else events,
         )
+
+    def snapshot(self) -> DeltaStats:
+        """Current window's statistics (a copy; window keeps accumulating).
+
+        With ``cpus > 1`` the per-CPU shards are merged in CPU order —
+        the userspace half of the per-CPU-map discipline.  A single
+        active shard (and any ``cpus == 1`` configuration) passes
+        through unmerged, preserving the unsharded carried semantics.
+        """
+        merged: Optional[DeltaStats] = None
+        for cpu in range(self.cpus):
+            shard = self._shard_snapshot(cpu)
+            if shard is None:
+                continue
+            merged = shard if merged is None else merged.merge(shard)
+        return merged if merged is not None else DeltaStats()
 
     def reset_window(self) -> None:
         """Zero the accumulators; the next delta spans the boundary."""
         if self.mode == "native":
-            self._stats.reset_window()
+            for shard in self._shards:
+                shard.reset_window()
             return
-        entry = self._map.lookup(self._map.key_of(0))
-        events = _read_u64(entry, _EVENTS)
-        _write_u64(entry, _COUNT, 0)
-        _write_u64(entry, _SUM, 0)
-        _write_u64(entry, _SUMSQ, 0)
-        if events > 0:
-            _write_u64(entry, _FIRST, _read_u64(entry, _LAST))
-            _write_u64(entry, _EVENTS, 1)
-            self._carried = True
+        for cpu in range(self.cpus):
+            entry = self._map.lookup(self._map.key_of(cpu))
+            events = _read_u64(entry, _EVENTS)
+            _write_u64(entry, _COUNT, 0)
+            _write_u64(entry, _SUM, 0)
+            _write_u64(entry, _SUMSQ, 0)
+            if events > 0:
+                _write_u64(entry, _FIRST, _read_u64(entry, _LAST))
+                _write_u64(entry, _EVENTS, 1)
+                self._carried[cpu] = True
 
 
 @dataclass

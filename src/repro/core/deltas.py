@@ -78,6 +78,39 @@ class DeltaStats:
         self.last_ns = ts_ns
         self.events += 1
 
+    def add_timestamps(self, timestamps: Iterable[int]) -> None:
+        """Feed a monotone batch of event timestamps in one call.
+
+        Bit-identical arithmetic to calling :meth:`add_timestamp` per
+        element, but the accumulation runs over locals so a whole drained
+        perf window costs one method call instead of one per record (the
+        batched stream-collection path).
+        """
+        last = self.last_ns
+        count = 0
+        total = 0
+        sumsq = 0
+        events = 0
+        for ts_ns in timestamps:
+            if last is not None:
+                delta = ts_ns - last
+                if delta < 0:
+                    raise ValueError(
+                        f"timestamps went backwards ({last} -> {ts_ns})")
+                count += 1
+                total += delta
+                sumsq += delta * delta
+            else:
+                self.first_ns = ts_ns
+            last = ts_ns
+            events += 1
+        if events:
+            self.count += count
+            self.sum += total
+            self.sumsq += sumsq
+            self.last_ns = last
+            self.events += events
+
     def add_delta(self, delta_ns: int) -> None:
         """Feed a pre-computed delta (used when merging partial traces)."""
         if delta_ns < 0:

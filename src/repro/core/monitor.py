@@ -142,6 +142,13 @@ class RequestMetricsMonitor:
         eBPF VM tier for the vm/stream collectors (``"reference"``,
         ``"fast"``, or ``"compiled"``); ``None`` picks the highest tier.
         All tiers produce bit-for-bit identical metrics.
+    cpus:
+        Number of simulated CPUs the collection state is sharded over.
+        In stream mode this is the perf buffer's per-CPU fan-out (as
+        before); in vm/native mode the delta collectors shard their
+        state per CPU — real per-CPU-map discipline — and merge the
+        shards at window close.  The default 1 keeps the unsharded
+        single-slot collectors bit-for-bit.
     """
 
     def __init__(
@@ -153,22 +160,24 @@ class RequestMetricsMonitor:
         charge_cost: bool = False,
         stream_capacity: int = 65536,
         vm_tier: Optional[str] = None,
+        cpus: int = 1,
     ) -> None:
         self.kernel = kernel
         self.tgid = tgid
         self.mode = mode
         self.vm_tier = vm_tier
+        self.cpus = cpus
         send_nrs = (spec.send_nr,) if spec else tuple(sorted(SEND_FAMILY))
         recv_nrs = (spec.recv_nr,) if spec else tuple(sorted(RECV_FAMILY))
         poll_nrs = (spec.poll_nr,) if spec else tuple(sorted(POLL_FAMILY))
         if mode == "stream":
             self.send_collector = StreamingDeltaCollector(
                 kernel, tgid, send_nrs, per_cpu_capacity=stream_capacity,
-                charge_cost=charge_cost, name="send", vm_tier=vm_tier,
+                charge_cost=charge_cost, name="send", cpus=cpus, vm_tier=vm_tier,
             )
             self.recv_collector = StreamingDeltaCollector(
                 kernel, tgid, recv_nrs, per_cpu_capacity=stream_capacity,
-                charge_cost=charge_cost, name="recv", vm_tier=vm_tier,
+                charge_cost=charge_cost, name="recv", cpus=cpus, vm_tier=vm_tier,
             )
             # Poll durations need syscall entry *and* exit pairing, which
             # the streamed record format does not carry; the paper's first
@@ -177,11 +186,11 @@ class RequestMetricsMonitor:
         else:
             self.send_collector = DeltaCollector(
                 kernel, tgid, send_nrs, mode=mode, charge_cost=charge_cost,
-                name="send", vm_tier=vm_tier,
+                name="send", vm_tier=vm_tier, cpus=cpus,
             )
             self.recv_collector = DeltaCollector(
                 kernel, tgid, recv_nrs, mode=mode, charge_cost=charge_cost,
-                name="recv", vm_tier=vm_tier,
+                name="recv", vm_tier=vm_tier, cpus=cpus,
             )
             poll_mode = mode
         self.poll_collector = DurationCollector(

@@ -16,6 +16,7 @@ collector's state is 48 bytes flat.
 
 from __future__ import annotations
 
+import heapq
 import struct
 from typing import Iterable, List, Optional, Tuple
 
@@ -122,14 +123,35 @@ class StreamingDeltaCollector:
 
     # -- userspace consumption ----------------------------------------------
     def drain(self) -> List[Tuple[int, int]]:
-        """Poll the perf buffer; returns decoded (timestamp, nr) records and
-        folds them into the running statistics."""
-        records = []
-        for blob in self.events.poll():
-            timestamp, nr = _RECORD.unpack(blob)
-            records.append((timestamp, nr))
-            self._stats.add_timestamp(timestamp)
-            self.bytes_streamed += len(blob)
+        """Drain the per-CPU perf rings; returns decoded (timestamp, nr)
+        records in arrival order and folds them into the running statistics.
+
+        The batched path: each CPU's ring arrives as one contiguous byte
+        block (:meth:`~repro.ebpf.maps.PerfEventArray.drain_batches`) and
+        is decoded with a single ``struct.iter_unpack`` call; with more
+        than one CPU active, a k-way merge on the arrival sequence numbers
+        restores the global emission order — exactly the order
+        record-at-a-time ``poll()`` would have produced (pinned by
+        ``tests/ebpf/test_perf_batch.py``).
+        """
+        batches = self.events.drain_batches()
+        if not batches:
+            return []
+        if len(batches) == 1:
+            batch = batches[0]
+            records = (list(_RECORD.iter_unpack(batch.data))
+                       if batch.record_size == RECORD_SIZE
+                       else [_RECORD.unpack(blob) for blob in batch.records()])
+        else:
+            keyed = []
+            for batch in batches:
+                decoded = (_RECORD.iter_unpack(batch.data)
+                           if batch.record_size == RECORD_SIZE
+                           else map(_RECORD.unpack, batch.records()))
+                keyed.append(zip(batch.seqs, decoded))
+            records = [record for _seq, record in heapq.merge(*keyed)]
+        self._stats.add_timestamps([timestamp for timestamp, _nr in records])
+        self.bytes_streamed += sum(len(batch.data) for batch in batches)
         return records
 
     @property

@@ -150,6 +150,32 @@ class BPF:
         prandom = lambda: prandom_stream.randint(0, (1 << 32) - 1)  # noqa: E731
         runtime = HelperRuntime(prandom=prandom)
 
+        raw = getattr(run, "raw", None)
+        if raw is not None:
+            # Compiled-tier fast path: call the translated function
+            # directly and consume the bare (r0, steps, cost) tuple —
+            # no per-firing VmResult allocation.  ``pack`` always hands
+            # over bytes, which is all the raw function accepts.
+            fn, insn_cost_ns, scratch = raw
+            if cpu_of is None:
+                def probe(ctx) -> int:
+                    runtime.ktime_ns = ctx.ktime_ns
+                    runtime.pid_tgid = ctx.pid_tgid
+                    _r0, steps, cost = fn(pack(ctx), runtime, insn_cost_ns, scratch)
+                    invocations[name] += 1
+                    insns_executed[name] += steps
+                    return cost if charge_cost else 0
+            else:
+                def probe(ctx) -> int:
+                    runtime.ktime_ns = ctx.ktime_ns
+                    runtime.pid_tgid = ctx.pid_tgid
+                    runtime.cpu_id = cpu_of(ctx)
+                    _r0, steps, cost = fn(pack(ctx), runtime, insn_cost_ns, scratch)
+                    invocations[name] += 1
+                    insns_executed[name] += steps
+                    return cost if charge_cost else 0
+            return probe
+
         if cpu_of is None:
             def probe(ctx) -> int:
                 runtime.ktime_ns = ctx.ktime_ns

@@ -50,9 +50,9 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .errors import VmFault
-from .helpers import HELPER_SIGS, Helper, HelperRuntime
+from .helpers import HELPER_SIGS, INLINE_SAFE_HELPERS, Helper, HelperRuntime
 from .insn import Insn
-from .maps import BpfMap, PerfEventArray, RingBuf
+from .maps import ArrayMap, BpfMap, PerfEventArray, RingBuf
 from .opcodes import AluOp, InsnClass, JmpOp, MemSize
 from .vm import (
     DEFAULT_INSN_COST_NS,
@@ -175,6 +175,8 @@ class _Codegen:
             "Pointer": Pointer,
             "MapRef": MapRef,
             "MemRegion": MemRegion,
+            "ArrayMap": ArrayMap,
+            "PerfEventArray": PerfEventArray,
             "_alu": _REF._alu,
             "_branch": _REF._branch,
             "_load": mem_load,
@@ -324,7 +326,29 @@ class _Codegen:
                 put("r1 = r2 = r3 = r4 = r5 = None")
                 put(f"C += {sig.cost_ns}")
                 return
+            # Map/memory helpers on the probe hot path get a guarded inline
+            # expansion: the exact reads, writes, allocations, clobbers and
+            # cost of the matching call_helper arm, with anything the guard
+            # cannot prove (wrong classes, out-of-bounds, non-array maps)
+            # dispatched through call_helper so faults and error returns
+            # stay reference-verbatim.  ``_fb`` is the fallback flag.
+            inline = _INLINE_HELPER_EMITTERS.get(sig.helper)
+            if inline is not None:
+                put("_fb = 1")
+                self.emitter.putall(inline(sig.cost_ns))
             gname = self._bind("G", pc, sig)
+            if inline is not None:
+                put("if _fb:")
+                body = self.emitter
+                body.put("    scratch[1] = r1")
+                body.put("    scratch[2] = r2")
+                body.put("    scratch[3] = r3")
+                body.put("    scratch[4] = r4")
+                body.put("    scratch[5] = r5")
+                body.put(f"    C += _call({gname}, scratch, runtime)")
+                body.put("    r0 = scratch[0]")
+                body.put("    r1 = r2 = r3 = r4 = r5 = None")
+                return
             put("scratch[1] = r1")
             put("scratch[2] = r2")
             put("scratch[3] = r3")
@@ -534,6 +558,101 @@ _PURE_HELPER_EXPRS = {
     Helper.GET_PRANDOM_U32: "runtime.prandom_u32()",
 }
 
+def _inline_map_lookup(cost_ns: int) -> List[str]:
+    """Guarded inline ``bpf_map_lookup_elem`` for ``ArrayMap``.
+
+    Mirrors the reference arm exactly: a 4-byte key read (``read_mem``
+    bounds), ``ArrayMap.lookup`` (out-of-range index -> NULL), and a
+    **fresh** ``MemRegion`` per hit so pointer identity behaves as in the
+    reference.  Anything the guards cannot prove leaves ``_fb`` set.
+    """
+    return [
+        "if r1.__class__ is MapRef and r2.__class__ is Pointer:",
+        "    _m = r1.bpf_map",
+        "    if _m.__class__ is ArrayMap:",
+        "        _d = r2.region.data",
+        "        _o = r2.offset",
+        "        if 0 <= _o and _o + 4 <= len(_d):",
+        "            _i = _ifb(_d[_o:_o + 4], 'little')",
+        "            if _i < _m.max_entries:",
+        "                r0 = Pointer(MemRegion('map_value', _m._slots[_i], True), 0)",
+        "            else:",
+        "                r0 = 0",
+        "            r1 = r2 = r3 = r4 = r5 = None",
+        f"            C += {cost_ns}",
+        "            _fb = 0",
+    ]
+
+
+def _inline_map_update(cost_ns: int) -> List[str]:
+    """Guarded inline ``bpf_map_update_elem`` for ``ArrayMap``.
+
+    Commits only when the key read, the value read and the index are all
+    in bounds; an out-of-range index falls back so the reference raises
+    its ``MapError`` verbatim.  The slice assignment is what
+    ``ArrayMap.update`` performs on its preallocated slot.
+    """
+    return [
+        "if r1.__class__ is MapRef and r2.__class__ is Pointer and r3.__class__ is Pointer:",
+        "    _m = r1.bpf_map",
+        "    if _m.__class__ is ArrayMap:",
+        "        _d = r2.region.data",
+        "        _o = r2.offset",
+        "        if 0 <= _o and _o + 4 <= len(_d):",
+        "            _i = _ifb(_d[_o:_o + 4], 'little')",
+        "            if _i < _m.max_entries:",
+        "                _vs = _m.value_size",
+        "                _vd = r3.region.data",
+        "                _vo = r3.offset",
+        "                if 0 <= _vo and _vo + _vs <= len(_vd):",
+        "                    _m._slots[_i][:] = _vd[_vo:_vo + _vs]",
+        "                    r0 = 0",
+        "                    r1 = r2 = r3 = r4 = r5 = None",
+        f"                    C += {cost_ns}",
+        "                    _fb = 0",
+    ]
+
+
+def _inline_perf_output(cost_ns: int) -> List[str]:
+    """Guarded inline ``bpf_perf_event_output``.
+
+    The reference arm ignores r1 (ctx) and r3 (flags) at runtime, so only
+    the map, data pointer and size are guarded; the payload is copied to
+    ``bytes`` exactly as ``read_mem`` would before the ring takes it.
+    """
+    return [
+        "if r2.__class__ is MapRef and r4.__class__ is Pointer and type(r5) is int:",
+        "    _m = r2.bpf_map",
+        "    if _m.__class__ is PerfEventArray:",
+        "        _d = r4.region.data",
+        "        _o = r4.offset",
+        "        if 0 <= _o and _o + r5 <= len(_d):",
+        f"            r0 = runtime.perf_output(_m, bytes(_d[_o:_o + r5])) & {_MASK64}",
+        "            r1 = r2 = r3 = r4 = r5 = None",
+        f"            C += {cost_ns}",
+        "            _fb = 0",
+    ]
+
+
+#: Map/memory helpers with a guarded inline fast path in the generated
+#: source.  Each emitter receives the helper's ``cost_ns`` and returns
+#: the lines of its expansion; the generated code falls back to
+#: ``call_helper`` (``_fb`` stays truthy) whenever a guard fails, so
+#: faults, error returns and exotic argument types reproduce the
+#: reference behaviour verbatim.
+_INLINE_HELPER_EMITTERS = {
+    Helper.MAP_LOOKUP_ELEM: _inline_map_lookup,
+    Helper.MAP_UPDATE_ELEM: _inline_map_update,
+    Helper.PERF_EVENT_OUTPUT: _inline_perf_output,
+}
+
+# Inlining is only legal for helpers DESIGN.md §6 declares safe; catch a
+# drifting table at import time rather than as a silent semantics break.
+assert (
+    set(_INLINE_HELPER_EMITTERS) | set(_PURE_HELPER_EXPRS)
+) <= INLINE_SAFE_HELPERS
+
+
 _ALU_OPS = frozenset(
     (AluOp.ADD, AluOp.SUB, AluOp.MUL, AluOp.DIV, AluOp.MOD, AluOp.OR,
      AluOp.AND, AluOp.XOR, AluOp.LSH, AluOp.RSH, AluOp.ARSH, AluOp.NEG)
@@ -602,7 +721,15 @@ class CompiledVm(Vm):
 
     def prepare(self, insns: Sequence[Insn]):
         """Per-program executor with the compiled function bound directly:
-        the per-firing path is one Python call plus the VmResult wrap."""
+        the per-firing path is one Python call plus the VmResult wrap.
+
+        The returned callable carries a ``raw`` attribute —
+        ``(fn, insn_cost_ns, scratch)`` — so a hot attach site (the bcc
+        probe) can call the compiled function itself and consume the
+        bare ``(r0, steps, cost_ns)`` tuple, skipping the per-firing
+        VmResult allocation entirely.  ``fn`` requires ``ctx`` to
+        already be ``bytes``.
+        """
         compiled = self.cache.get_compiled(insns)
         if compiled is None:
             return self._fallback.prepare(insns)
@@ -618,6 +745,7 @@ class CompiledVm(Vm):
             r0, steps, cost = fn(ctx, runtime, insn_cost_ns, scratch)
             return VmResult(r0=r0, steps=steps, cost_ns=cost)
 
+        run.raw = (fn, insn_cost_ns, scratch)
         return run
 
     def execute(

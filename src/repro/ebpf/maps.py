@@ -20,7 +20,7 @@ from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from .errors import MapError
 
-__all__ = ["BpfMap", "HashMap", "ArrayMap", "RingBuf", "PerfEventArray"]
+__all__ = ["BpfMap", "HashMap", "ArrayMap", "RingBuf", "PerfEventArray", "PerfBatch"]
 
 
 def _pack_int(value: int, size: int) -> bytes:
@@ -198,12 +198,65 @@ class RingBuf:
         return len(self._records)
 
 
+class PerfBatch:
+    """One CPU's drained perf stream: a contiguous byte block plus metadata.
+
+    ``data`` is the concatenation of the CPU's records in emission order;
+    ``seqs`` carries the map-global arrival sequence of each record (for
+    the cross-CPU merge) and ``sizes`` the per-record byte lengths.  When
+    every record in the batch shares one size, ``record_size`` exposes it
+    so consumers can decode the whole block in a single
+    ``struct.iter_unpack`` call instead of one call per record.
+    """
+
+    __slots__ = ("cpu", "data", "seqs", "sizes", "record_size")
+
+    def __init__(self, cpu: int, data: bytes, seqs: List[int], sizes: List[int],
+                 record_size: Optional[int]) -> None:
+        self.cpu = cpu
+        self.data = data
+        self.seqs = seqs
+        self.sizes = sizes
+        #: Common record size when the batch is uniform, else ``None``.
+        self.record_size = record_size
+
+    def records(self) -> List[bytes]:
+        """The batch split back into per-record byte strings."""
+        data = self.data
+        out: List[bytes] = []
+        start = 0
+        for size in self.sizes:
+            out.append(data[start:start + size])
+            start += size
+        return out
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    def __repr__(self) -> str:
+        return f"<PerfBatch cpu={self.cpu} records={len(self.seqs)} bytes={len(self.data)}>"
+
+
 class PerfEventArray:
     """``BPF_MAP_TYPE_PERF_EVENT_ARRAY``: per-CPU event streams.
 
-    ``bpf_perf_event_output`` appends to the firing CPU's buffer; userspace
-    polls all CPUs.  Bounded per CPU with drop accounting, mirroring the
-    real lost-sample behaviour bcc reports via ``lost_cb``.
+    ``bpf_perf_event_output`` appends to the firing CPU's ring; userspace
+    polls all CPUs.  Bounded per CPU (in records) with drop accounting,
+    mirroring the real lost-sample behaviour bcc reports via ``lost_cb``.
+
+    Each CPU's ring is stored as one contiguous ``bytearray`` (the record
+    bytes, back to back, exactly like the mmapped perf ring pages) plus
+    parallel per-record sequence/size lists.  Two consumption APIs:
+
+    * :meth:`poll` — the bcc-shaped record-at-a-time reader, returning the
+      drained records merged into global arrival order;
+    * :meth:`drain_batches` — the batched reader: one contiguous
+      :class:`PerfBatch` per non-empty CPU, letting the consumer decode a
+      whole ring with ``struct.iter_unpack`` and merge across CPUs itself.
+
+    Both drain the same state, so interleaving them is safe; the
+    equivalence of the two decode paths is pinned by
+    ``tests/ebpf/test_perf_batch.py``.
     """
 
     map_type = "perf_event_array"
@@ -214,34 +267,74 @@ class PerfEventArray:
         self.cpus = cpus
         self.per_cpu_capacity = per_cpu_capacity
         self.name = name
-        # Each record is tagged with a map-global arrival sequence number
-        # so poll() can interleave the per-CPU streams back into emission
+        # Contiguous record bytes per CPU, plus parallel seq/size lists.
+        # Records are tagged with a map-global arrival sequence number so
+        # consumers can interleave the per-CPU streams back into emission
         # order (perf's timestamp-ordered reader), not CPU-by-CPU.
-        self._buffers: List[Deque[Tuple[int, bytes]]] = [deque() for _ in range(cpus)]
+        self._data: List[bytearray] = [bytearray() for _ in range(cpus)]
+        self._seqs: List[List[int]] = [[] for _ in range(cpus)]
+        self._sizes: List[List[int]] = [[] for _ in range(cpus)]
+        #: Per CPU: the uniform record size of the buffered records, or
+        #: ``None`` when sizes are mixed (tracked at output time so
+        #: ``drain_batches`` is O(cpus), not O(records)).
+        self._uniform: List[Optional[int]] = [0] * cpus
         self._seq = 0
         self.lost = 0
 
     def output(self, cpu: int, data: bytes) -> bool:
-        buffer = self._buffers[cpu % self.cpus]
-        if len(buffer) >= self.per_cpu_capacity:
+        index = cpu % self.cpus
+        seqs = self._seqs[index]
+        if len(seqs) >= self.per_cpu_capacity:
             self.lost += 1
             return False
-        buffer.append((self._seq, bytes(data)))
+        size = len(data)
+        if not seqs:
+            self._uniform[index] = size
+        elif self._uniform[index] != size:
+            self._uniform[index] = None
+        self._data[index] += data
+        self._sizes[index].append(size)
+        seqs.append(self._seq)
         self._seq += 1
         return True
+
+    def drain_batches(self) -> List[PerfBatch]:
+        """Drain every CPU ring as one contiguous byte block per CPU.
+
+        Returns one :class:`PerfBatch` per non-empty CPU, in CPU order.
+        Within a batch the records are in emission order; across batches
+        the ``seqs`` restore the global arrival order (each CPU's sequence
+        list is strictly increasing, so a k-way merge on ``seqs``
+        reproduces exactly what :meth:`poll` returns).
+        """
+        batches: List[PerfBatch] = []
+        for cpu in range(self.cpus):
+            seqs = self._seqs[cpu]
+            if not seqs:
+                continue
+            batches.append(PerfBatch(cpu, bytes(self._data[cpu]), seqs,
+                                     self._sizes[cpu], self._uniform[cpu]))
+            self._data[cpu] = bytearray()
+            self._seqs[cpu] = []
+            self._sizes[cpu] = []
+            self._uniform[cpu] = 0
+        return batches
 
     def poll(self) -> List[bytes]:
         """Drain all CPU buffers, merged into global arrival order.
 
-        Each per-CPU deque is already sequence-sorted, so a k-way merge
+        Each per-CPU ring is already sequence-sorted, so a k-way merge
         restores the emission order across CPUs — a consumer feeding the
         records to order-sensitive accumulators (e.g. delta statistics)
         sees monotone timestamps even with ``cpus > 1``.
         """
-        events = [data for _seq, data in heapq.merge(*self._buffers)]
-        for buffer in self._buffers:
-            buffer.clear()
-        return events
+        batches = self.drain_batches()
+        if not batches:
+            return []
+        if len(batches) == 1:
+            return batches[0].records()
+        merged = heapq.merge(*(zip(b.seqs, b.records()) for b in batches))
+        return [data for _seq, data in merged]
 
     def __len__(self) -> int:
-        return sum(len(b) for b in self._buffers)
+        return sum(len(s) for s in self._seqs)

@@ -1,0 +1,174 @@
+"""Batched perf-buffer drain equivalence (DESIGN.md §6).
+
+``PerfEventArray.drain_batches`` returns one contiguous byte block per
+CPU; the batched consumer decodes each block with a single
+``struct.iter_unpack`` and k-way-merges across CPUs by arrival sequence.
+These properties pin that the batched path is observably identical to a
+record-at-a-time reader — same records, same global order, same
+lost-record accounting — under arbitrary per-CPU interleavings,
+capacity overflow, and mid-window drains.
+"""
+
+import heapq
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deltas import DeltaStats
+from repro.ebpf.maps import PerfEventArray
+
+_RECORD = struct.Struct("<QQ")
+
+
+def _drive(events, cpus, capacity):
+    """Feed the same event stream to the real map and a naive journal."""
+    pea = PerfEventArray(cpus=cpus, per_cpu_capacity=capacity, name="t")
+    journal = []  # (arrival index, record) for accepted records, per model
+    counts = [0] * cpus
+    lost = 0
+    for arrival, (cpu, payload) in enumerate(events):
+        accepted = pea.output(cpu, payload)
+        index = cpu % cpus
+        if counts[index] < capacity:
+            assert accepted
+            journal.append((arrival, index, bytes(payload)))
+            counts[index] += 1
+        else:
+            assert not accepted
+            lost += 1
+    return pea, journal, lost
+
+
+def _batched_decode(pea):
+    """The consumer-side batched path, as the streaming collector runs it."""
+    batches = pea.drain_batches()
+    for batch in batches:
+        if batch.record_size is not None:
+            fmt = struct.Struct(f"<{batch.record_size}s")
+            decoded = [blob for (blob,) in fmt.iter_unpack(batch.data)]
+        else:
+            decoded = batch.records()
+        assert decoded == batch.records()
+    merged = heapq.merge(*(zip(b.seqs, b.records()) for b in batches))
+    return [record for _seq, record in merged]
+
+
+uniform_events = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.binary(min_size=16, max_size=16)),
+    max_size=80,
+)
+
+mixed_events = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.binary(min_size=1, max_size=24)),
+    max_size=80,
+)
+
+sorted_timestamps = st.lists(st.integers(min_value=0, max_value=1 << 48), max_size=60).map(sorted)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    events=mixed_events,
+    cpus=st.integers(min_value=1, max_value=4),
+    capacity=st.integers(min_value=1, max_value=16),
+)
+def test_poll_matches_arrival_order_journal(events, cpus, capacity):
+    pea, journal, lost = _drive(events, cpus, capacity)
+    assert pea.poll() == [record for _a, _c, record in journal]
+    assert pea.lost == lost
+    assert len(pea) == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    events=mixed_events,
+    cpus=st.integers(min_value=1, max_value=4),
+    capacity=st.integers(min_value=1, max_value=16),
+)
+def test_drain_batches_equals_record_at_a_time(events, cpus, capacity):
+    record_wise, _journal, _lost = _drive(events, cpus, capacity)
+    batch_wise, journal, lost = _drive(events, cpus, capacity)
+    assert _batched_decode(batch_wise) == record_wise.poll()
+    assert batch_wise.lost == record_wise.lost == lost
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=uniform_events, cpus=st.integers(min_value=1, max_value=4))
+def test_uniform_batches_iter_unpack_whole_block(events, cpus):
+    pea, _journal, _lost = _drive(events, cpus, capacity=1 << 16)
+    for batch in pea.drain_batches():
+        assert batch.record_size == 16
+        assert len(batch.data) == 16 * len(batch)
+        decoded = list(_RECORD.iter_unpack(batch.data))
+        assert decoded == [_RECORD.unpack(blob) for blob in batch.records()]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    events=mixed_events,
+    cpus=st.integers(min_value=1, max_value=4),
+    split=st.integers(min_value=0, max_value=80),
+)
+def test_mid_window_drain_preserves_stream(events, cpus, split):
+    """Draining mid-stream (reset_window's tail drain) loses nothing and
+    keeps the global order: the two drains concatenate to one full poll."""
+    whole, _journal, _lost = _drive(events, cpus, capacity=1 << 16)
+    expected = whole.poll()
+
+    pea = PerfEventArray(cpus=cpus, per_cpu_capacity=1 << 16, name="t")
+    for cpu, payload in events[:split]:
+        pea.output(cpu, payload)
+    first = _batched_decode(pea)
+    assert len(pea) == 0
+    for cpu, payload in events[split:]:
+        pea.output(cpu, payload)
+    second = _batched_decode(pea)
+    assert first + second == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(timestamps=sorted_timestamps, split=st.integers(min_value=0, max_value=60))
+def test_add_timestamps_bit_identical_to_looped_add(timestamps, split):
+    """The batched DeltaStats feed is bit-identical to the per-record one,
+    including across a window reset between two batches."""
+    looped = DeltaStats()
+    batched = DeltaStats()
+    for ts in timestamps[:split]:
+        looped.add_timestamp(ts)
+    batched.add_timestamps(timestamps[:split])
+    assert looped == batched
+    looped.reset_window()
+    batched.reset_window()
+    for ts in timestamps[split:]:
+        looped.add_timestamp(ts)
+    batched.add_timestamps(timestamps[split:])
+    assert looped == batched
+
+
+def test_record_size_tracks_mixed_sizes():
+    pea = PerfEventArray(cpus=2, per_cpu_capacity=8, name="t")
+    pea.output(0, b"x" * 16)
+    pea.output(0, b"y" * 16)
+    pea.output(1, b"z" * 8)
+    pea.output(1, b"w" * 16)
+    batches = {batch.cpu: batch for batch in pea.drain_batches()}
+    assert batches[0].record_size == 16
+    assert batches[1].record_size is None
+    assert batches[1].sizes == [8, 16]
+
+
+def test_drain_batches_resets_per_cpu_state():
+    pea = PerfEventArray(cpus=2, per_cpu_capacity=2, name="t")
+    for _ in range(4):  # overflow cpu 0
+        pea.output(0, b"a" * 16)
+    assert pea.lost == 2
+    assert len(pea.drain_batches()) == 1
+    # Capacity is freed by the drain; the next window starts clean.
+    assert pea.output(0, b"b" * 16)
+    [batch] = pea.drain_batches()
+    assert batch.records() == [b"b" * 16]
+    # Dropped records never consumed a sequence number; the map-global
+    # sequence continues from the last *accepted* record.
+    assert batch.seqs == [2]
+    assert pea.lost == 2

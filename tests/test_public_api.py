@@ -20,7 +20,7 @@ SUBPACKAGES = [
 
 
 def test_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_top_level_all_resolvable():
