@@ -15,7 +15,7 @@ from __future__ import annotations
 from conftest import emit, scaled
 
 from repro.analysis import save_record, series_table
-from repro.core import DeltaCollector, StreamingDeltaCollector
+from repro.core import CollectorConfig, DeltaCollector, StreamingDeltaCollector
 from repro.core.streaming import RECORD_SIZE
 from repro.kernel import Kernel
 from repro.kernel.machine import AMD_EPYC_7302
@@ -32,12 +32,13 @@ def run_mode(streaming: bool, requests: int) -> dict:
     app = definition.build(kernel)
     if streaming:
         collector = StreamingDeltaCollector(
-            kernel, app.tgid, (config.syscalls.send_nr,), charge_cost=True
+            kernel, app.tgid, (config.syscalls.send_nr,),
+            CollectorConfig(charge_cost=True)
         ).attach()
     else:
         collector = DeltaCollector(
-            kernel, app.tgid, (config.syscalls.send_nr,), mode="vm",
-            charge_cost=True,
+            kernel, app.tgid, (config.syscalls.send_nr,),
+            CollectorConfig(mode="vm", charge_cost=True),
         ).attach()
     client = OpenLoopClient(
         env, app.client_sockets, kernel.seeds.stream("client"),

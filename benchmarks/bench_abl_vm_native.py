@@ -29,7 +29,7 @@ def run_mode(mode: str) -> dict:
     kernel = Kernel(env, AMD_EPYC_7302.with_cores(config.cores), SeedSequence(11))
     app = definition.build(kernel)
     monitor = RequestMetricsMonitor(kernel, app.tgid, spec=config.syscalls,
-                                    mode=mode).attach()
+                                    config=mode).attach()
     client = OpenLoopClient(
         env, app.client_sockets, kernel.seeds.stream("ablvm"),
         rate_rps=definition.paper_fail_rps * 0.5,

@@ -1,0 +1,216 @@
+"""BENCH-EXPORT — cost and fidelity of the Prometheus export pipeline.
+
+EXP-EXPORT's question: what does live export *cost*, and what does the
+scrape interval buy?  The export window doubles as the scrape interval
+(the monitor renders one scrape per closed window), so one knob sweeps the
+whole trade: short windows give fine-grained rate curves but render often;
+long windows amortize rendering but smear the signal.
+
+The benchmark runs the headline cell (``data-caching/vm/clean`` at 4000
+offered rps — the same cell the e2e benchmark gates) once without export
+and once per window setting, measuring:
+
+* **overhead_frac** — (export cpu - base cpu) / base cpu, min-of-reps
+  process CPU time, the gated quantity;
+* **fidelity** — mean relative deviation of the interior per-window rates
+  from the whole-run ``rps_obsv`` (how noisy the per-scrape signal is at
+  that interval);
+* **bytes_rendered / windows** — the exposition volume actually produced.
+
+Two hard gates:
+
+* export on/off must be measurement-identical: every ``LevelResult`` field
+  outside the ``export`` payload must match the no-export run exactly;
+* at the default scrape interval (100 ms) the overhead must stay <= 10 %
+  of the base cell runtime — full runs only; smoke runs assert identity.
+
+Full runs write the committed baseline ``BENCH_export.json`` at the repo
+root; ``--smoke`` runs land in ``results/bench_export_smoke.json`` for the
+CI gate (``check_bench_regression.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import ExperimentSpec, execute_cell
+from repro.core.config import ExportConfig
+from repro.sim.timebase import MSEC
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HEADLINE_CELL = "data-caching/vm/clean"
+OFFERED_RPS = 4000.0
+
+#: Swept export windows / scrape intervals (sim milliseconds).
+WINDOWS_MS = (5, 20, 100, 300)
+#: The gated interval — ExportConfig's default.
+DEFAULT_WINDOW_MS = 100
+#: Overhead ceiling at the default interval (fraction of base runtime).
+OVERHEAD_LIMIT = 0.10
+
+
+def _spec(requests: int, window_ms=None) -> ExperimentSpec:
+    export = None
+    if window_ms is not None:
+        export = ExportConfig(window_ns=int(window_ms * MSEC))
+    return ExperimentSpec(workload="data-caching", offered_rps=OFFERED_RPS,
+                          requests=requests, monitor_mode="vm", export=export)
+
+
+def _timed_cell(spec: ExperimentSpec, reps: int):
+    """Warm-up + oracle run, then min-of-reps process CPU time."""
+    result = execute_cell(spec).to_dict()
+    best = None
+    for _ in range(reps):
+        start = time.process_time()
+        execute_cell(spec)
+        elapsed = time.process_time() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _fidelity(export: dict, rps_obsv: float) -> dict:
+    """Per-window rate spread vs the whole-run Eq. 1 estimate."""
+    interior = export["window_rps"][:-1]  # the tail window is partial
+    if not interior or not rps_obsv:
+        return {"windows_interior": len(interior), "mean_abs_rel_dev": None}
+    mean_dev = sum(abs(w - rps_obsv) for w in interior) / len(interior)
+    return {
+        "windows_interior": len(interior),
+        "mean_abs_rel_dev": round(mean_dev / rps_obsv, 4),
+        "min_window_rps": round(min(interior), 1),
+        "max_window_rps": round(max(interior), 1),
+    }
+
+
+def run_benchmark(requests: int, reps: int = 3, smoke: bool = False) -> dict:
+    base_result, base_cpu = _timed_cell(_spec(requests), reps)
+    base_fields = {k: v for k, v in base_result.items() if k != "export"}
+
+    points = {}
+    for window_ms in WINDOWS_MS:
+        result, cpu = _timed_cell(_spec(requests, window_ms), reps)
+        export = result["export"]
+        fields = {k: v for k, v in result.items() if k != "export"}
+        points[str(window_ms)] = {
+            "window_ms": window_ms,
+            "cpu_s": round(cpu, 4),
+            "overhead_frac": round((cpu - base_cpu) / base_cpu, 4),
+            "windows": export["windows"],
+            "scrapes": export["scrapes"],
+            "bytes_rendered": export["bytes_rendered"],
+            "fidelity": _fidelity(export, result["rps_obsv"]),
+            "identical_metrics": fields == base_fields,
+        }
+
+    default_point = points[str(DEFAULT_WINDOW_MS)]
+    return {
+        "benchmark": "bench_export_overhead",
+        "smoke": smoke,
+        "cell": HEADLINE_CELL,
+        "offered_rps": OFFERED_RPS,
+        "requests": requests,
+        "reps": reps,
+        "base_cpu_s": round(base_cpu, 4),
+        "default_window_ms": DEFAULT_WINDOW_MS,
+        "overhead_limit": OVERHEAD_LIMIT,
+        "points": points,
+        "headline": {
+            "window_ms": DEFAULT_WINDOW_MS,
+            "overhead_frac": default_point["overhead_frac"],
+            "windows": default_point["windows"],
+        },
+        "all_identical": all(p["identical_metrics"] for p in points.values()),
+    }
+
+
+def write_baseline(data: dict) -> Path:
+    """Smoke output to results/ (gate input), full runs to the committed
+    repo-root baseline — same split as the e2e benchmark."""
+    if data.get("smoke"):
+        path = REPO_ROOT / "results" / "bench_export_smoke.json"
+        path.parent.mkdir(exist_ok=True)
+    else:
+        path = REPO_ROOT / "BENCH_export.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _report(data: dict, println) -> None:
+    println("BENCH-EXPORT — exporter overhead vs scrape interval "
+            f"({data['cell']}, base {data['base_cpu_s']:.2f}s cpu)")
+    for key in sorted(data["points"], key=int):
+        point = data["points"][key]
+        fidelity = point["fidelity"].get("mean_abs_rel_dev")
+        fid = f"{fidelity:.3f}" if fidelity is not None else "  n/a"
+        flag = "ok" if point["identical_metrics"] else "DIVERGED"
+        println(
+            f"  window {point['window_ms']:>4}ms  cpu {point['cpu_s']:6.2f}s "
+            f"({point['overhead_frac']:+7.1%})  {point['windows']:>4} windows  "
+            f"{point['bytes_rendered']:>8} B  rate-dev {fid}  [{flag}]"
+        )
+    headline = data["headline"]
+    println(f"  headline: {headline['overhead_frac']:+.1%} at the default "
+            f"{headline['window_ms']}ms interval "
+            f"(limit {data['overhead_limit']:.0%})")
+
+
+def test_export_overhead(benchmark):
+    from conftest import bench_scale, emit, scaled
+
+    from repro.analysis import save_record
+
+    data = benchmark.pedantic(
+        lambda: run_benchmark(scaled(4000, minimum=800),
+                              reps=1 if bench_scale() < 1.0 else 3,
+                              smoke=bench_scale() < 1.0),
+        rounds=1, iterations=1)
+    save_record(data, "bench_export_overhead")
+    baseline = write_baseline(data)
+
+    _report(data, emit)
+    emit(f"  baseline written to {baseline}")
+
+    assert data["all_identical"], "export pipeline perturbed the measurement"
+    # Overhead is gated on full-size cells only: scaled-down runs close too
+    # few default-interval windows for the ratio to mean anything.
+    if bench_scale() >= 1.0:
+        assert data["headline"]["overhead_frac"] <= OVERHEAD_LIMIT, (
+            f"exporter costs {data['headline']['overhead_frac']:.1%} at the "
+            f"default interval (limit {OVERHEAD_LIMIT:.0%})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run; assert identity only, not overhead")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per cell (default: 800 smoke / 4000 full)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timed repetitions (default: 1 smoke / 3 full)")
+    args = parser.parse_args(argv)
+    requests = args.requests or (800 if args.smoke else 4000)
+    reps = args.reps or (1 if args.smoke else 3)
+
+    data = run_benchmark(requests, reps=reps, smoke=args.smoke)
+    baseline = write_baseline(data)
+    _report(data, print)
+    print(f"baseline written to {baseline}")
+
+    if not data["all_identical"]:
+        print("export pipeline perturbed the measurement", file=sys.stderr)
+        return 1
+    if not args.smoke and data["headline"]["overhead_frac"] > OVERHEAD_LIMIT:
+        print(f"exporter overhead {data['headline']['overhead_frac']:.1%} "
+              f"exceeds the {OVERHEAD_LIMIT:.0%} ceiling", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

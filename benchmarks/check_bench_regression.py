@@ -19,6 +19,15 @@ Cells whose reference cost is below ``--min-cpu-s`` in either run are
 skipped: at sub-50ms totals the ratio is dominated by fixed per-cell
 setup, not the probe hot loop, and would flap.
 
+The gate also judges the export pipeline when a fresh
+``bench_export_overhead`` smoke record is present (absent records are
+reported and skipped, so the gate works on branches that never ran the
+export smoke).  The fresh smoke run is judged on *identity* only —
+export on/off must not change what was measured; smoke cells are too
+small to time the overhead meaningfully.  The overhead ceiling at the
+default scrape interval is judged against the committed full-size
+baseline ``BENCH_export.json``, which CI refreshes on full runs.
+
 Exit codes: 0 pass, 1 regression (or identity failure in the fresh
 run), 2 usage errors (missing/corrupt input files).
 """
@@ -53,6 +62,18 @@ def load_run(path: Path) -> dict:
         raise _usage_error(f"{path}: not valid JSON ({exc})")
     if "cells" not in data:
         raise _usage_error(f"{path}: not a bench_e2e_cell record (no 'cells')")
+    return data
+
+
+def load_export_run(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise _usage_error(f"{path}: no such file (run the benchmark first)")
+    except json.JSONDecodeError as exc:
+        raise _usage_error(f"{path}: not valid JSON ({exc})")
+    if data.get("benchmark") != "bench_export_overhead":
+        raise _usage_error(f"{path}: not a bench_export_overhead record")
     return data
 
 
@@ -100,6 +121,36 @@ def check(fresh: dict, baseline: dict, threshold: float, min_cpu_s: float, print
     return failures
 
 
+def check_export(fresh: dict, baseline: dict, println=print) -> int:
+    """Gate the export pipeline; returns the number of failures.
+
+    Fresh (smoke) runs prove identity; the committed full-size baseline
+    proves the overhead ceiling at the default scrape interval held when
+    it was generated at gate-able scale.
+    """
+    failures = 0
+    if not fresh.get("all_identical", False):
+        println("FAIL export identity: export-enabled runs diverged from base")
+        failures += 1
+    else:
+        settings = len(fresh.get("points", {}))
+        println(f"  ok export identity: {settings} window settings measurement-identical")
+
+    limit = baseline.get("overhead_limit", 0.10)
+    headline = baseline.get("headline", {})
+    overhead = headline.get("overhead_frac")
+    if overhead is None:
+        println("FAIL export baseline: no headline overhead recorded")
+        return failures + 1
+    verdict = "FAIL" if overhead > limit else "  ok"
+    window = headline.get("window_ms")
+    detail = f"{overhead:+.1%} at {window}ms (limit {limit:.0%}, committed full-size baseline)"
+    println(f"{verdict} export overhead: {detail}")
+    if overhead > limit:
+        failures += 1
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -124,11 +175,31 @@ def main(argv=None) -> int:
         default=DEFAULT_MIN_CPU_S,
         help=f"skip cells whose reference cpu_s is below this (default {DEFAULT_MIN_CPU_S})",
     )
+    parser.add_argument(
+        "--export-fresh",
+        default=str(REPO_ROOT / "results" / "bench_export_smoke.json"),
+        help="fresh export benchmark record (skipped with a note if absent)",
+    )
+    parser.add_argument(
+        "--export-baseline",
+        default=str(REPO_ROOT / "BENCH_export.json"),
+        help="committed full-size export baseline",
+    )
     args = parser.parse_args(argv)
 
     fresh = load_run(Path(args.fresh))
     baseline = load_run(Path(args.baseline))
     failures = check(fresh, baseline, args.threshold, args.min_cpu_s)
+
+    export_fresh_path = Path(args.export_fresh)
+    if export_fresh_path.exists():
+        failures += check_export(
+            load_export_run(export_fresh_path),
+            load_export_run(Path(args.export_baseline)),
+        )
+    else:
+        print(f"skip export gate: {export_fresh_path} absent (run the export smoke first)")
+
     if failures:
         print(f"{failures} perf-regression check(s) failed", file=sys.stderr)
         return 1

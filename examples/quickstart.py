@@ -43,10 +43,11 @@ def main() -> None:
     print(f"started {definition.label!r}: {config.workers} workers, "
           f"{config.connections} connections, tgid={app.tgid}")
 
-    # 3. Attach the in-kernel observability monitor.  mode="vm" runs real
-    #    eBPF bytecode through the verifier and interpreter.
+    # 3. Attach the in-kernel observability monitor.  config="vm" runs real
+    #    eBPF bytecode through the verifier and interpreter (shorthand for
+    #    CollectorConfig(mode="vm")).
     monitor = RequestMetricsMonitor(
-        kernel, app.tgid, spec=config.syscalls, mode="vm"
+        kernel, app.tgid, spec=config.syscalls, config="vm"
     ).attach()
 
     # 4. Drive an open-loop load from a client the tracer never sees.

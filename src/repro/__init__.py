@@ -18,10 +18,12 @@ stack:
   path, server stalls/crashes, connection resets) for the robustness
   experiments;
 * :mod:`repro.analysis` — experiment harness regenerating every table and
-  figure.
+  figure;
+* :mod:`repro.export` — streaming Prometheus export stage consuming the
+  collector pipeline (text/OpenMetrics exposition, ``/metrics`` server).
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .analysis import (
     ExperimentSpec,
@@ -33,7 +35,12 @@ from .analysis import (
     run_level,
     sweep,
 )
-from .core import MetricsSnapshot, RequestMetricsMonitor
+from .core import (
+    CollectorConfig,
+    ExportConfig,
+    MetricsSnapshot,
+    RequestMetricsMonitor,
+)
 from .faults import (
     ConnectionReset,
     ConsumerSchedule,
@@ -59,6 +66,8 @@ __all__ = [
     "OpenLoopClient",
     "RequestMetricsMonitor",
     "MetricsSnapshot",
+    "CollectorConfig",
+    "ExportConfig",
     "WORKLOADS",
     "get_workload",
     "workload_keys",

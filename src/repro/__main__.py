@@ -9,11 +9,17 @@ Commands:
   signals (Figs. 2-4 in miniature); ``--jobs N`` fans the levels out
   across a process pool, and the on-disk result cache (disable with
   ``--no-cache``) makes re-runs compute only missing cells;
+* ``serve`` — run one cell with the Prometheus export pipeline on and
+  serve the rendered exposition at ``/metrics`` (``--oneshot`` prints it
+  instead; ``--scrape-once`` self-scrapes over HTTP and exits — the CI
+  smoke mode);
 * ``report`` — render ``results/*.json`` into markdown
   (same as ``python -m repro.analysis.report``).
 
 ``run`` and ``sweep`` accept ``--json`` for a machine-readable
-``LevelResult`` dump.
+``LevelResult`` dump, including the degraded-collection accounting
+(``lost_records``, ``confidence``) and — when export is on — the
+per-window rates/losses/confidence under ``export``.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from .analysis import (
 from .analysis.figures import series_table, sparkline
 from .analysis.report import load_results, render_report
 from .analysis.results import results_dir
+from .core.config import ExportConfig
+from .sim.timebase import MSEC
 from .workloads import get_workload, workload_keys, WORKLOADS
 
 __all__ = ["main"]
@@ -69,16 +77,27 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    definition = get_workload(args.workload)
-    rate = args.rps if args.rps else definition.paper_fail_rps * args.load
-    spec = ExperimentSpec(
+def _spec_from_run_args(args, definition, rate) -> ExperimentSpec:
+    export = None
+    if getattr(args, "export_window_ms", None) is not None:
+        export = ExportConfig(window_ns=int(args.export_window_ms * MSEC))
+    return ExperimentSpec(
         workload=definition.key,
         offered_rps=rate,
         requests=args.requests,
         seed=args.seed,
         monitor_mode=args.monitor,
+        stream_capacity=args.stream_capacity,
+        vm_tier=args.vm_tier,
+        cpus=args.cpus,
+        export=export,
     )
+
+
+def _cmd_run(args) -> int:
+    definition = get_workload(args.workload)
+    rate = args.rps if args.rps else definition.paper_fail_rps * args.load
+    spec = _spec_from_run_args(args, definition, rate)
     levels, stats = run_cells(
         [spec], jobs=args.jobs, cache=_cache_from(args)
     )
@@ -98,6 +117,14 @@ def _cmd_run(args) -> int:
     print(f"  poll duration      : {level.poll_mean_duration_ns / 1e6:12.3f} ms "
           f"({level.poll_count} polls)")
     print(f"  cpu utilization    : {level.utilization:12.2f}")
+    if args.monitor == "stream" or level.lost_records:
+        print(f"  lost records       : {level.lost_records:12d}   "
+              f"(confidence {level.confidence:.4f}, corrected RPS "
+              f"{level.rps_obsv_corrected:.1f})")
+    if level.export is not None:
+        print(f"  export             : {level.export['windows']:6d} windows, "
+              f"{level.export['scrapes']} scrapes, "
+              f"{level.export['bytes_rendered']} bytes rendered")
     print(f"  executor           : {stats.summary()}")
     return 0
 
@@ -153,6 +180,57 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .export.parser import parse_text
+    from .export.server import MetricsServer
+
+    definition = get_workload(args.workload)
+    rate = args.rps if args.rps else definition.paper_fail_rps * args.load
+    args.export_window_ms = args.window_ms
+    spec = _spec_from_run_args(args, definition, rate)
+    levels, _stats = run_cells([spec], jobs=1, cache=None)
+    export = levels[0].export
+    parse_text(export["text"])
+    parse_text(export["openmetrics"])
+
+    if args.oneshot:
+        print(export["openmetrics" if args.openmetrics else "text"], end="")
+        return 0
+
+    server = MetricsServer(
+        lambda openmetrics: export["openmetrics" if openmetrics else "text"],
+        port=args.port,
+    ).start()
+    try:
+        if args.scrape_once:
+            import urllib.request
+
+            request = urllib.request.Request(
+                server.url,
+                headers={"Accept": "application/openmetrics-text"}
+                if args.openmetrics else {},
+            )
+            with urllib.request.urlopen(request) as response:
+                body = response.read().decode("utf-8")
+            families = parse_text(body)
+            samples = sum(len(f.samples) for f in families.values())
+            print(f"scraped {len(body)} bytes from {server.url}: "
+                  f"{len(families)} families, {samples} samples, "
+                  f"{export['windows']} windows exported")
+            return 0
+        print(f"serving {export['windows']} exported windows at {server.url} "
+              "(ctrl-C to stop)", file=sys.stderr)
+        try:
+            import time
+
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            return 0
+    finally:
+        server.stop()
+
+
 def _cmd_report(args) -> int:
     directory = results_dir() if args.results is None else args.results
     print(render_report(load_results(directory)))
@@ -164,6 +242,19 @@ def _positive_int(value: str) -> int:
     if jobs < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return jobs
+
+
+def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--monitor", choices=("native", "vm", "stream"),
+                        default="native",
+                        help="collection strategy (default native)")
+    parser.add_argument("--vm-tier", choices=("reference", "fast", "compiled"),
+                        default="compiled",
+                        help="eBPF VM tier for vm/stream monitors")
+    parser.add_argument("--cpus", type=_positive_int, default=1,
+                        help="simulated CPUs the collection state shards over")
+    parser.add_argument("--stream-capacity", type=_positive_int, default=65536,
+                        help="per-CPU perf ring capacity for --monitor stream")
 
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
@@ -195,8 +286,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="fraction of the paper failure RPS (default 0.6)")
     run_parser.add_argument("--requests", type=int, default=3000)
     run_parser.add_argument("--seed", type=int, default=1317)
-    run_parser.add_argument("--monitor", choices=("native", "vm"),
-                            default="native")
+    _add_monitor_flags(run_parser)
+    run_parser.add_argument("--export-window-ms", type=float, default=None,
+                            metavar="MS",
+                            help="enable the Prometheus export pipeline with "
+                                 "this window/scrape interval (sim time)")
     _add_executor_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run a full load sweep")
@@ -210,6 +304,29 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="persist the sweep as results/NAME.json")
     _add_executor_flags(sweep_parser)
 
+    serve_parser = sub.add_parser(
+        "serve", help="run one cell with export on and serve /metrics")
+    serve_parser.add_argument("workload", choices=workload_keys())
+    serve_parser.add_argument("--rps", type=float, default=None,
+                              help="offered RPS (overrides --load)")
+    serve_parser.add_argument("--load", type=float, default=0.6,
+                              help="fraction of the paper failure RPS")
+    serve_parser.add_argument("--requests", type=int, default=3000)
+    serve_parser.add_argument("--seed", type=int, default=1317)
+    _add_monitor_flags(serve_parser)
+    serve_parser.add_argument("--window-ms", type=float, default=100.0,
+                              help="export window / scrape interval in sim "
+                                   "milliseconds (default 100)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="listen port (default: ephemeral)")
+    serve_parser.add_argument("--openmetrics", action="store_true",
+                              help="emit the OpenMetrics dialect (exemplars)")
+    serve_parser.add_argument("--oneshot", action="store_true",
+                              help="print the exposition text and exit")
+    serve_parser.add_argument("--scrape-once", action="store_true",
+                              help="serve, self-scrape over HTTP, validate, "
+                                   "exit (CI smoke mode)")
+
     report_parser = sub.add_parser("report", help="render results/ to markdown")
     report_parser.add_argument("--results", default=None)
     return parser
@@ -221,6 +338,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -107,9 +107,7 @@ def execute_cell(
 
     app = definition.build(kernel, spec.client_to_server, spec.server_to_client)
     monitor = RequestMetricsMonitor(
-        kernel, app.tgid, spec=config.syscalls, mode=spec.monitor_mode,
-        charge_cost=spec.charge_cost, stream_capacity=spec.stream_capacity,
-        vm_tier=spec.vm_tier,
+        kernel, app.tgid, spec=config.syscalls, config=spec.collector_config(),
     ).attach()
     send_probe = _SendTimestampProbe(kernel, app.tgid, (config.syscalls.send_nr,)).attach()
 
@@ -129,7 +127,28 @@ def execute_cell(
                           monitor=monitor, client=client))
     client.start()
     report: ClientReport = env.run(until=client.done)
-    snapshot: MetricsSnapshot = monitor.snapshot()
+    export_payload: Optional[dict] = None
+    if monitor.exporter is not None:
+        # Close the partial tail window, then rebuild the whole-run view by
+        # merging the exported windows — bit-identical to the unwindowed
+        # snapshot in vm/native modes (the carried-anchor window semantics
+        # partition the delta population exactly).
+        exporter = monitor.exporter
+        exporter.observe_window(monitor.snapshot(reset=True))
+        snapshot = MetricsSnapshot.merge_all(exporter.windows)
+        export_payload = {
+            "windows": len(exporter.windows),
+            "window_ns": spec.export.window_ns,
+            "window_rps": [w.rps_obsv for w in exporter.windows],
+            "window_lost": [w.lost_records for w in exporter.windows],
+            "window_confidence": [w.confidence for w in exporter.windows],
+            "scrapes": exporter.render_count,
+            "bytes_rendered": exporter.bytes_rendered,
+            "text": exporter.render(),
+            "openmetrics": exporter.render(openmetrics=True),
+        }
+    else:
+        snapshot = monitor.snapshot()
 
     # Steady-state trim for the per-window estimates too: sends after the
     # final offered arrival belong to the drain, not the measured load.
@@ -162,6 +181,7 @@ def execute_cell(
         netem_label=c2s.label(),
         utilization=kernel.cpu.utilization(),
         sim_duration_ns=env.now,
+        export=export_payload,
     )
 
 

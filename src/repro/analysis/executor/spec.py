@@ -15,6 +15,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace as _dc_replace
 from typing import List, Mapping, Optional, Sequence, Union
 
+from ...core.config import CollectorConfig, ExportConfig
 from ...kernel.machine import AMD_EPYC_7302, MACHINES, InterferenceSpec, MachineSpec
 from ...net.netem import NetemConfig
 from ...sim.rng import SeedSequence
@@ -112,6 +113,12 @@ class ExperimentSpec:
     interference: bool = True
     #: Client arrival process.
     arrival: str = "uniform"
+    #: Simulated CPUs the collection state / perf rings shard over.
+    cpus: int = 1
+    #: Streaming Prometheus export stage (``None`` = off).  Participates
+    #: in the cache key: export-enabled cells run an extra simulated
+    #: window loop, so their results must never be served for plain runs.
+    export: Optional[ExportConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "machine", _machine_from(self.machine))
@@ -139,6 +146,10 @@ class ExperimentSpec:
             raise ValueError(
                 f"arrival must be one of {ARRIVAL_PROCESSES}, got {self.arrival!r}"
             )
+        if self.cpus < 1:
+            raise ValueError(f"cpus must be >= 1, got {self.cpus}")
+        if isinstance(self.export, Mapping):
+            object.__setattr__(self, "export", ExportConfig.from_dict(self.export))
 
     # -- derived views ---------------------------------------------------
     @property
@@ -159,6 +170,22 @@ class ExperimentSpec:
     def label(self) -> str:
         """Short human-readable cell label (progress lines, filenames)."""
         return f"{self.workload}@{self.offered_rps:g}"
+
+    def collector_config(self) -> CollectorConfig:
+        """The spec's collection knobs as one :class:`CollectorConfig`.
+
+        This is the single seam between the experiment layer and the
+        collection stack: ``execute_cell`` hands the result straight to
+        :class:`~repro.core.RequestMetricsMonitor`.
+        """
+        return CollectorConfig(
+            mode=self.monitor_mode,
+            vm_tier=self.vm_tier,
+            cpus=self.cpus,
+            capacity=self.stream_capacity,
+            charge_cost=self.charge_cost,
+            export=self.export,
+        )
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
@@ -182,6 +209,8 @@ class ExperimentSpec:
             "estimate_windows": self.estimate_windows,
             "interference": self.interference,
             "arrival": self.arrival,
+            "cpus": self.cpus,
+            "export": self.export.to_dict() if self.export else None,
         }
 
     @classmethod
@@ -191,6 +220,9 @@ class ExperimentSpec:
         data["machine"] = _machine_from(data.get("machine", AMD_EPYC_7302))
         data["client_to_server"] = _netem_from(data.get("client_to_server"))
         data["server_to_client"] = _netem_from(data.get("server_to_client"))
+        export = data.get("export")
+        if export is not None and not isinstance(export, ExportConfig):
+            data["export"] = ExportConfig.from_dict(export)
         return cls(**data)
 
     def cache_key(self) -> str:
@@ -274,6 +306,10 @@ class LevelResult:
     netem_label: str = ""
     utilization: float = 0.0
     sim_duration_ns: int = 0
+    #: Export-pipeline summary when the cell ran with ``spec.export`` set
+    #: (window count, per-window rates/losses/confidence, scrape stats and
+    #: the final rendered exposition text); ``None`` otherwise.
+    export: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)

@@ -1,35 +1,25 @@
-"""The load-sweep experiment runner (compatibility surface).
+"""The load-sweep experiment runner.
 
 One cell = one (workload, offered-RPS, netem, machine) experiment; the
 canonical description of a cell is an :class:`ExperimentSpec` and the
 machinery that runs batches of them lives in :mod:`repro.analysis.executor`.
-This module keeps the historical entry points on top of it:
+This module keeps the high-level entry points on top of it:
 
-* ``run_level(spec)`` — run one cell from its typed spec (preferred);
-* ``run_level(definition, rate, ...)`` — the legacy keyword form, now a
-  deprecated thin wrapper that builds the spec for you;
+* :func:`run_level` — run one cell from its typed spec;
 * :func:`sweep` — a full load sweep, optionally parallel (``jobs=N``) and
-  cached (``cache=...``), returning the same :class:`SweepResult` as ever.
+  cached (``cache=...``), returning a :class:`SweepResult`.
 
-Migration (one release): replace ``run_level(definition, rate, seed=s)``
-with ``run_level(ExperimentSpec(workload=definition.key, offered_rps=rate,
-seed=s))`` — every old keyword has a same-named spec field.
+The legacy ``run_level(definition, rate, ...)`` keyword form completed its
+deprecation cycle and was removed; every old keyword has a same-named
+:class:`ExperimentSpec` field.
 """
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
-from ..kernel.machine import AMD_EPYC_7302, MachineSpec
-from ..net.netem import NetemConfig
-from ..workloads.registry import (
-    WORKLOADS,
-    WorkloadDefinition,
-    get_workload,
-    register_workload,
-)
+from ..workloads.registry import WorkloadDefinition, get_workload
 from .executor import (
     DEFAULT_SEED,
     ExperimentSpec,
@@ -52,65 +42,16 @@ __all__ = [
     "DEFAULT_SEED",
 ]
 
-_DEPRECATION_MESSAGE = (
-    "run_level(definition, rate, ...) is deprecated and will be removed in "
-    "the next release; build an ExperimentSpec and call run_level(spec) "
-    "(every keyword has a same-named ExperimentSpec field)"
-)
 
-
-def run_level(
-    definition: Union[ExperimentSpec, WorkloadDefinition, str],
-    offered_rps: Optional[float] = None,
-    requests: int = 3000,
-    seed: int = DEFAULT_SEED,
-    machine: MachineSpec = AMD_EPYC_7302,
-    client_to_server: Optional[NetemConfig] = None,
-    server_to_client: Optional[NetemConfig] = None,
-    monitor_mode: str = "native",
-    charge_cost: bool = False,
-    estimate_windows: int = 10,
-    interference: bool = True,
-    arrival: str = "uniform",
-) -> LevelResult:
-    """Run one load level to completion and collect all signals.
-
-    Preferred form: ``run_level(spec)`` with an :class:`ExperimentSpec`.
-    The legacy ``run_level(definition, rate, ...)`` form still works but
-    emits a :class:`DeprecationWarning`; both forms return bit-identical
-    results for equivalent parameters.
-    """
-    if isinstance(definition, ExperimentSpec):
-        if offered_rps is not None:
-            raise TypeError(
-                "run_level(spec) takes no further arguments; use "
-                "spec.replace(...) to vary a field"
-            )
-        return execute_cell(definition)
-    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
-    if offered_rps is None:
-        raise TypeError("run_level(definition, rate, ...) requires an offered RPS")
-    if isinstance(definition, WorkloadDefinition) and (
-        definition.key not in WORKLOADS
-    ):
-        # Ad-hoc definitions keep working through the legacy path: register
-        # them so the spec's key resolves to exactly this configuration.
-        register_workload(definition)
-    key = definition if isinstance(definition, str) else definition.key
-    spec = ExperimentSpec(
-        workload=key,
-        offered_rps=offered_rps,
-        requests=requests,
-        seed=seed,
-        machine=machine,
-        client_to_server=client_to_server,
-        server_to_client=server_to_client,
-        monitor_mode=monitor_mode,
-        charge_cost=charge_cost,
-        estimate_windows=estimate_windows,
-        interference=interference,
-        arrival=arrival,
-    )
+def run_level(spec: ExperimentSpec) -> LevelResult:
+    """Run one load level to completion and collect all signals."""
+    if not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            "run_level takes a single ExperimentSpec; the legacy "
+            "run_level(definition, rate, ...) form has been removed — build "
+            "an ExperimentSpec(workload=..., offered_rps=..., ...) instead "
+            "(every old keyword has a same-named spec field)"
+        )
     return execute_cell(spec)
 
 

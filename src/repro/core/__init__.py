@@ -2,12 +2,16 @@
 
 Public API tour::
 
-    monitor = RequestMetricsMonitor(kernel, tgid, spec, mode="vm").attach()
+    config = CollectorConfig(mode="vm")
+    monitor = RequestMetricsMonitor(kernel, tgid, spec, config=config).attach()
     ...run load...
     snap = monitor.snapshot(reset=True)
     snap.rps_obsv                # Eq. 1
     snap.send_delta_variance     # Eq. 2 (saturation signal)
     snap.poll_mean_duration_ns   # idleness / saturation slack signal
+
+Attach an :class:`ExportConfig` to the collector config to bolt on the
+streaming Prometheus stage (:mod:`repro.export`).
 """
 
 from .collectors import (
@@ -17,7 +21,14 @@ from .collectors import (
     build_delta_program,
     build_duration_programs,
 )
+from .config import (
+    COLLECTOR_MODES,
+    CollectorConfig,
+    ExportConfig,
+    resolve_collector_config,
+)
 from .deltas import DeltaStats, deltas_of, variance_int
+from .histograms import NBUCKETS, DeltaHistogram, bucket_index, bucket_upper_bound
 from .governor import GovernorDecision, SlackDvfsGovernor
 from .monitor import MetricsSnapshot, RequestMetricsMonitor
 from .multiservice import (
@@ -36,6 +47,14 @@ from .windows import RECOMMENDED_WINDOW_EVENTS, chunk_by_count, window_estimates
 __all__ = [
     "RequestMetricsMonitor",
     "MetricsSnapshot",
+    "CollectorConfig",
+    "ExportConfig",
+    "COLLECTOR_MODES",
+    "resolve_collector_config",
+    "DeltaHistogram",
+    "NBUCKETS",
+    "bucket_index",
+    "bucket_upper_bound",
     "MultiServiceMonitor",
     "ServiceSpec",
     "CombinedSnapshot",

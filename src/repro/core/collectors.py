@@ -24,7 +24,7 @@ Equivalence of the two modes on identical traces is asserted by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..ebpf.asm import Asm
 from ..ebpf.bcc import BPF
@@ -34,7 +34,9 @@ from ..ebpf.opcodes import MemSize, Reg
 from ..ebpf.helpers import Helper
 from ..ebpf.program import Program
 from ..kernel.kernel import Kernel
+from .config import CollectorConfig, resolve_collector_config
 from .deltas import DeltaStats
+from .histograms import NBUCKETS, DeltaHistogram
 
 __all__ = ["DeltaCollector", "DurationCollector", "DurationStats",
            "build_delta_program", "build_duration_programs"]
@@ -76,8 +78,57 @@ def _emit_epilogue(asm: Asm) -> None:
     asm.exit_()
 
 
+def _emit_hist_update(asm: Asm, hist_map: str, cpus: int) -> None:
+    """In-probe log2 bucketing: count the delta in R3 into ``hist_map``.
+
+    Emitted inside the ``have_last`` branch with R0 = the delta state
+    pointer and R3 = the just-accumulated delta.  The bucket index is the
+    delta's bit length, computed by an unrolled binary search (shifts and
+    compares only — no loops, verifier-clean); the hist array is keyed
+    ``cpu * NBUCKETS + bucket`` so the per-CPU sharding discipline matches
+    the delta state's.  R0 is saved in callee-saved R6 across the lookup
+    and restored, so the surrounding program is undisturbed.  Note the
+    64-bit delta cannot be compared against a 32-bit jump immediate
+    directly; the top half is tested via ``rsh 32``.
+    """
+    asm.mov_reg(Reg.R6, Reg.R0)          # save state pointer
+    asm.mov_imm(Reg.R5, 0)               # R5 = bit length accumulator
+    asm.mov_reg(Reg.R4, Reg.R3)          # R4 = working copy of delta
+    asm.mov_reg(Reg.R1, Reg.R4)
+    asm.rsh_imm(Reg.R1, 32)
+    asm.jeq_imm(Reg.R1, 0, "bl32")
+    asm.rsh_imm(Reg.R4, 32)
+    asm.add_imm(Reg.R5, 32)
+    asm.label("bl32")
+    for shift, bound in ((16, 0xFFFF), (8, 0xFF), (4, 0xF), (2, 0x3), (1, 0x1)):
+        asm.jle_imm(Reg.R4, bound, f"bl{shift}")
+        asm.rsh_imm(Reg.R4, shift)
+        asm.add_imm(Reg.R5, shift)
+        asm.label(f"bl{shift}")
+    asm.jeq_imm(Reg.R4, 0, "bl0")
+    asm.add_imm(Reg.R5, 1)
+    asm.label("bl0")
+    if cpus > 1:
+        # CPU id was stashed at fp-4 by the state lookup above.
+        asm.ldx(MemSize.W, Reg.R4, Reg.R10, -4)
+        asm.mul_imm(Reg.R4, NBUCKETS)
+        asm.add_reg(Reg.R5, Reg.R4)
+    asm.stx(MemSize.W, Reg.R10, -8, Reg.R5)
+    asm.ld_map_fd(Reg.R1, hist_map)
+    asm.mov_reg(Reg.R2, Reg.R10)
+    asm.add_imm(Reg.R2, -8)
+    asm.call(Helper.MAP_LOOKUP_ELEM)
+    asm.jeq_imm(Reg.R0, 0, "hist_done")
+    asm.ldx(MemSize.DW, Reg.R1, Reg.R0, 0)
+    asm.add_imm(Reg.R1, 1)
+    asm.stx(MemSize.DW, Reg.R0, 0, Reg.R1)
+    asm.label("hist_done")
+    asm.mov_reg(Reg.R0, Reg.R6)          # restore state pointer
+
+
 def build_delta_program(map_name: str, tgid: int, syscall_nrs: Sequence[int],
-                        prog_name: str = "delta_enter", cpus: int = 1) -> Program:
+                        prog_name: str = "delta_enter", cpus: int = 1,
+                        hist_map: Optional[str] = None) -> Program:
     """sys_enter program accumulating inter-call delta statistics.
 
     With ``cpus == 1`` the state lives in a single array slot (key 0).
@@ -87,6 +138,12 @@ def build_delta_program(map_name: str, tgid: int, syscall_nrs: Sequence[int],
     sharing, and userspace merges the shards at window close.  A CPU id
     outside ``[0, cpus)`` finds no slot (NULL lookup) and the event is
     dropped, exactly as a per-CPU array sized below ``nr_cpus`` would.
+
+    ``hist_map`` names an optional ``cpus * NBUCKETS``-slot array map; when
+    given, the same program also buckets each delta into an in-probe log2
+    histogram (the export pipeline's distribution signal) — one combined
+    program, so enabling export costs a bucket computation on the existing
+    probe rather than a second prologue + clock read + state lookup.
     """
     if not syscall_nrs:
         raise ValueError("need at least one syscall number")
@@ -127,6 +184,8 @@ def build_delta_program(map_name: str, tgid: int, syscall_nrs: Sequence[int],
     asm.ldx(MemSize.DW, Reg.R4, Reg.R0, _SUMSQ)
     asm.add_reg(Reg.R4, Reg.R5)
     asm.stx(MemSize.DW, Reg.R0, _SUMSQ, Reg.R4)
+    if hist_map is not None:
+        _emit_hist_update(asm, hist_map, cpus)
     asm.label("finish")
     asm.stx(MemSize.DW, Reg.R0, _LAST, Reg.R7)
     asm.ldx(MemSize.DW, Reg.R1, Reg.R0, _EVENTS)
@@ -223,6 +282,13 @@ class DeltaCollector:
     thread-pinning model the streaming collector uses).  With the
     default ``cpus=1`` the behaviour — program bytes, steps, cost —
     is exactly the unsharded collector's.
+
+    Construction is driven by a :class:`~repro.core.config.CollectorConfig`
+    (or a bare mode string); a config with ``export`` set additionally
+    maintains the in-probe log2 delta histogram the export pipeline
+    consumes (:meth:`hist_snapshot`).  The per-knob keywords (``mode``,
+    ``charge_cost``, ``vm_tier``, ``cpus``) are deprecated aliases kept
+    for one release.
     """
 
     def __init__(
@@ -230,49 +296,67 @@ class DeltaCollector:
         kernel: Kernel,
         tgid: int,
         syscall_nrs: Iterable[int],
-        mode: str = "native",
-        charge_cost: bool = False,
+        config: Union[None, str, CollectorConfig] = None,
+        *,
         name: str = "delta",
-        vm_tier: Optional[str] = None,
-        cpus: int = 1,
         cpu_of: Optional[Callable[[object], int]] = None,
+        mode: Optional[str] = None,
+        charge_cost: Optional[bool] = None,
+        vm_tier: Optional[str] = None,
+        cpus: Optional[int] = None,
     ) -> None:
-        if mode not in ("native", "vm"):
-            raise ValueError(f"unknown mode {mode!r}")
-        if cpus < 1:
-            raise ValueError("need at least one CPU shard")
+        config = resolve_collector_config(
+            config, "DeltaCollector",
+            mode=mode, charge_cost=charge_cost, vm_tier=vm_tier, cpus=cpus,
+        )
+        if config.mode not in ("native", "vm"):
+            raise ValueError(f"unknown mode {config.mode!r}")
+        self.config = config
         self.kernel = kernel
         self.tgid = tgid
         self.syscall_nrs = tuple(syscall_nrs)
         if not self.syscall_nrs:
             raise ValueError("need at least one syscall number")
-        self.mode = mode
+        self.mode = config.mode
         self.name = name
-        self.cpus = cpus
+        self.cpus = config.cpus
+        with_hist = config.export is not None
         self._cpu_of = (cpu_of if cpu_of is not None
-                        else (lambda ctx: ctx.tid % cpus))
+                        else (lambda ctx: ctx.tid % self.cpus))
         self._attached = False
-        if mode == "vm":
-            self._map = ArrayMap(value_size=_DELTA_VALUE_SIZE, max_entries=cpus,
-                                 name=f"{name}_state")
-            program = build_delta_program(f"{name}_state", tgid, self.syscall_nrs,
-                                          prog_name=f"{name}_enter", cpus=cpus)
-            self._bpf = BPF(kernel, maps={f"{name}_state": self._map},
-                            programs=[program], charge_cost=charge_cost,
-                            vm_tier=vm_tier,
-                            cpu_of=self._cpu_of if cpus > 1 else None)
+        if self.mode == "vm":
+            self._map = ArrayMap(value_size=_DELTA_VALUE_SIZE,
+                                 max_entries=self.cpus, name=f"{name}_state")
+            maps = {f"{name}_state": self._map}
+            self._hist_map: Optional[ArrayMap] = None
+            if with_hist:
+                self._hist_map = ArrayMap(value_size=8,
+                                          max_entries=self.cpus * NBUCKETS,
+                                          name=f"{name}_hist")
+                maps[f"{name}_hist"] = self._hist_map
+            program = build_delta_program(
+                f"{name}_state", tgid, self.syscall_nrs,
+                prog_name=f"{name}_enter", cpus=self.cpus,
+                hist_map=f"{name}_hist" if with_hist else None,
+            )
+            self._bpf = BPF(kernel, maps=maps, programs=[program],
+                            config=config,
+                            cpu_of=self._cpu_of if self.cpus > 1 else None)
             # The in-kernel _EVENTS slot doubles as the "have an anchor
             # timestamp" flag, so after reset_window() it reads 1 even
             # though the anchor belongs to the previous window; userspace
             # tracks carried-ness per shard so snapshots report true
             # event counts.
-            self._carried: List[bool] = [False] * cpus
+            self._carried: List[bool] = [False] * self.cpus
         else:
             self._bpf = None
             self._stats = DeltaStats()
             self._shards: List[DeltaStats] = (
-                [self._stats] if cpus == 1
-                else [DeltaStats() for _ in range(cpus)])
+                [self._stats] if self.cpus == 1
+                else [DeltaStats() for _ in range(self.cpus)])
+            self._hists: Optional[List[DeltaHistogram]] = (
+                [DeltaHistogram() for _ in range(self.cpus)]
+                if with_hist else None)
             self._nr_set = frozenset(self.syscall_nrs)
 
     @property
@@ -306,13 +390,18 @@ class DeltaCollector:
         if ctx.syscall_nr not in self._nr_set:
             return 0
         if self.cpus == 1:
+            if self._hists is not None and self._stats.last_ns is not None:
+                self._hists[0].observe(ctx.ktime_ns - self._stats.last_ns)
             self._stats.add_timestamp(ctx.ktime_ns)
             return 0
         # Mirror the sharded program exactly: the 4-byte array key wraps
         # the CPU id, and an id outside [0, cpus) finds no slot.
         cpu = self._cpu_of(ctx) & 0xFFFFFFFF
         if cpu < self.cpus:
-            self._shards[cpu].add_timestamp(ctx.ktime_ns)
+            shard = self._shards[cpu]
+            if self._hists is not None and shard.last_ns is not None:
+                self._hists[cpu].observe(ctx.ktime_ns - shard.last_ns)
+            shard.add_timestamp(ctx.ktime_ns)
         return 0
 
     # -- window access -----------------------------------------------------
@@ -359,11 +448,36 @@ class DeltaCollector:
             merged = shard if merged is None else merged.merge(shard)
         return merged if merged is not None else DeltaStats()
 
+    def hist_snapshot(self) -> Optional[DeltaHistogram]:
+        """Current window's log2 delta histogram, shards merged (a copy).
+
+        ``None`` unless the collector was built with ``export`` enabled.
+        The histogram buckets exactly the deltas the window's
+        :class:`~repro.core.deltas.DeltaStats` accumulates, so
+        ``hist_snapshot().total == snapshot().count`` always holds.
+        """
+        if self.config.export is None:
+            return None
+        if self.mode == "native":
+            merged = DeltaHistogram()
+            for shard_hist in self._hists:
+                merged = merged.merge(shard_hist)
+            return merged
+        hist = DeltaHistogram()
+        for cpu in range(self.cpus):
+            base = cpu * NBUCKETS
+            for bucket in range(NBUCKETS):
+                hist.counts[bucket] += self._hist_map.lookup_int(base + bucket)
+        return hist
+
     def reset_window(self) -> None:
         """Zero the accumulators; the next delta spans the boundary."""
         if self.mode == "native":
             for shard in self._shards:
                 shard.reset_window()
+            if self._hists is not None:
+                for shard_hist in self._hists:
+                    shard_hist.reset()
             return
         for cpu in range(self.cpus):
             entry = self._map.lookup(self._map.key_of(cpu))
@@ -375,6 +489,9 @@ class DeltaCollector:
                 _write_u64(entry, _FIRST, _read_u64(entry, _LAST))
                 _write_u64(entry, _EVENTS, 1)
                 self._carried[cpu] = True
+        if self._hist_map is not None:
+            for slot in range(self.cpus * NBUCKETS):
+                self._hist_map.update_int(slot, 0)
 
 
 @dataclass
@@ -394,31 +511,52 @@ class DurationStats:
         mean = self.sum // self.count
         return self.sumsq // self.count - mean * mean
 
+    def merge(self, other: "DurationStats") -> "DurationStats":
+        """Combine two disjoint windows (duration populations concatenate)."""
+        return DurationStats(
+            count=self.count + other.count,
+            sum=self.sum + other.sum,
+            sumsq=self.sumsq + other.sumsq,
+        )
+
 
 class DurationCollector:
-    """Syscall duration statistics (Listing 1 generalized to a process)."""
+    """Syscall duration statistics (Listing 1 generalized to a process).
+
+    Takes the same :class:`~repro.core.config.CollectorConfig` (or mode
+    string) as :class:`DeltaCollector`; fields with no duration-side
+    meaning (``cpus``, ``capacity``, ``export``) are ignored, which is what
+    lets one config describe a whole monitor's collector set.
+    """
 
     def __init__(
         self,
         kernel: Kernel,
         tgid: int,
         syscall_nrs: Iterable[int],
-        mode: str = "native",
-        charge_cost: bool = False,
+        config: Union[None, str, CollectorConfig] = None,
+        *,
         name: str = "dur",
+        mode: Optional[str] = None,
+        charge_cost: Optional[bool] = None,
         vm_tier: Optional[str] = None,
     ) -> None:
-        if mode not in ("native", "vm"):
-            raise ValueError(f"unknown mode {mode!r}")
+        config = resolve_collector_config(
+            config, "DurationCollector",
+            mode=mode, charge_cost=charge_cost, vm_tier=vm_tier,
+        )
+        if config.mode not in ("native", "vm"):
+            raise ValueError(f"unknown mode {config.mode!r}")
+        self.config = config
         self.kernel = kernel
         self.tgid = tgid
         self.syscall_nrs = tuple(syscall_nrs)
         if not self.syscall_nrs:
             raise ValueError("need at least one syscall number")
-        self.mode = mode
+        self.mode = config.mode
         self.name = name
         self._attached = False
-        if mode == "vm":
+        if self.mode == "vm":
             self._start = HashMap(key_size=8, value_size=8, max_entries=4096,
                                   name=f"{name}_start")
             self._state = ArrayMap(value_size=_DUR_VALUE_SIZE, max_entries=1,
@@ -431,8 +569,7 @@ class DurationCollector:
                 kernel,
                 maps={f"{name}_start": self._start, f"{name}_state": self._state},
                 programs=[enter, exit_],
-                charge_cost=charge_cost,
-                vm_tier=vm_tier,
+                config=config,
             )
         else:
             self._bpf = None

@@ -1,0 +1,224 @@
+"""The unified collector/consumer configuration contract.
+
+PRs 2-5 accreted overlapping construction knobs across the collection
+stack: ``DeltaCollector(cpus=..., vm_tier=...)``,
+``StreamingDeltaCollector(per_cpu_capacity=...)``,
+``RequestMetricsMonitor(mode=..., stream_capacity=...)``.
+:class:`CollectorConfig` replaces that sprawl with one frozen value object
+threaded uniformly through :class:`~repro.ebpf.bcc.BPF`, the collectors,
+the monitor, and :class:`~repro.analysis.executor.ExperimentSpec` — so a
+consumer stage like the Prometheus exporter (:mod:`repro.export`) is just
+another field (``export``), not a special case.
+
+The legacy keywords remain accepted for one release as deprecated aliases
+(:func:`resolve_collector_config` emits the :class:`DeprecationWarning`);
+the test suite promotes these warnings to errors so no in-repo caller can
+regress onto them.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from dataclasses import asdict, dataclass, field, replace as _dc_replace
+from typing import Mapping, Optional, Tuple, Union
+
+from ..ebpf.compiled import VM_TIERS
+from ..sim.timebase import MSEC
+
+__all__ = [
+    "COLLECTOR_MODES",
+    "CollectorConfig",
+    "DEFAULT_EXPORT_WINDOW_NS",
+    "ExportConfig",
+    "resolve_collector_config",
+]
+
+#: Collection strategies: in-kernel aggregation via the native twin or the
+#: eBPF VM, or per-event perf streaming with userspace aggregation.
+COLLECTOR_MODES = ("native", "vm", "stream")
+
+#: Default export window / scrape interval (sim time).
+DEFAULT_EXPORT_WINDOW_NS = 100 * MSEC
+
+#: Prometheus metric-name / label-name grammar (the exporter validates its
+#: namespace and static labels against these at construction time).
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class ExportConfig:
+    """Configuration of the streaming Prometheus export stage.
+
+    Attaching this to a :class:`CollectorConfig` turns the export pipeline
+    on: the monitor closes an observation window every ``window_ns`` of sim
+    time, feeds it to a :class:`~repro.export.PrometheusExporter`, and
+    renders a scrape — so the scrape interval *is* the window length, and
+    the EXP-EXPORT benchmark's interval-vs-fidelity-vs-cost tradeoff is a
+    single knob.  Frozen, hashable and JSON-serializable, so it can live
+    inside an :class:`~repro.analysis.executor.ExperimentSpec` and
+    participate in its cache key.
+    """
+
+    #: Export window length == scrape interval, in sim nanoseconds.
+    window_ns: int = DEFAULT_EXPORT_WINDOW_NS
+    #: Metric-name prefix (``<namespace>_deltas_total``, ...).
+    namespace: str = "repro"
+    #: Attach OpenMetrics exemplars carrying the last window's
+    #: ``lost_records``-derived confidence to the delta counter/histogram.
+    exemplars: bool = True
+    #: Static labels stamped on every exported series, as (name, value)
+    #: pairs (kept as a tuple so the config stays hashable).
+    labels: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "window_ns", int(self.window_ns))
+        if self.window_ns < 1:
+            raise ValueError(f"window_ns must be >= 1, got {self.window_ns}")
+        if not _METRIC_NAME_RE.match(self.namespace):
+            raise ValueError(
+                f"namespace {self.namespace!r} is not a valid Prometheus "
+                "metric-name prefix"
+            )
+        labels = tuple((str(k), str(v)) for k, v in self.labels)
+        for name, _value in labels:
+            if not _LABEL_NAME_RE.match(name) or name.startswith("__"):
+                raise ValueError(f"invalid Prometheus label name {name!r}")
+        object.__setattr__(self, "labels", labels)
+
+    def replace(self, **changes) -> "ExportConfig":
+        """A copy of this config with the given fields changed."""
+        return _dc_replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        payload = asdict(self)
+        payload["labels"] = [list(pair) for pair in self.labels]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExportConfig":
+        data = dict(payload)
+        data["labels"] = tuple(tuple(pair) for pair in data.get("labels", ()))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Every knob that shapes how one process is observed, in one place.
+
+    The same object configures the whole stack: the monitor picks its
+    collector classes from ``mode``, the collectors shard state over
+    ``cpus`` and pin their VM ``vm_tier``, the streaming collector sizes
+    its perf rings from ``capacity``, :class:`~repro.ebpf.bcc.BPF` reads
+    ``charge_cost``/``vm_tier`` defaults from it, and a non-``None``
+    ``export`` bolts the Prometheus consumer stage on.  Collectors that
+    have no use for a field simply ignore it (a duration collector has no
+    per-CPU shards), which is what lets one config describe the full
+    pipeline.
+    """
+
+    #: Collection strategy: ``"native"``, ``"vm"`` or ``"stream"``.
+    mode: str = "native"
+    #: eBPF VM tier (``None`` = the default, highest tier).
+    vm_tier: Optional[str] = None
+    #: Simulated CPUs the collection state / perf rings are sharded over.
+    cpus: int = 1
+    #: Per-CPU perf ring capacity, in records (stream mode).
+    capacity: int = 65536
+    #: Charge probe execution cost to the traced syscalls.
+    charge_cost: bool = False
+    #: Streaming Prometheus export stage (``None`` = off).
+    export: Optional[ExportConfig] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.mode not in COLLECTOR_MODES:
+            raise ValueError(
+                f"mode must be one of {COLLECTOR_MODES}, got {self.mode!r}"
+            )
+        if self.vm_tier is not None and self.vm_tier not in VM_TIERS:
+            raise ValueError(
+                f"vm_tier must be one of {VM_TIERS} (or None), got {self.vm_tier!r}"
+            )
+        if self.cpus < 1:
+            raise ValueError(f"cpus must be >= 1, got {self.cpus}")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if isinstance(self.export, Mapping):
+            object.__setattr__(self, "export", ExportConfig.from_dict(self.export))
+
+    def replace(self, **changes) -> "CollectorConfig":
+        """A copy of this config with the given fields changed."""
+        return _dc_replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "mode": self.mode,
+            "vm_tier": self.vm_tier,
+            "cpus": self.cpus,
+            "capacity": self.capacity,
+            "charge_cost": self.charge_cost,
+            "export": self.export.to_dict() if self.export else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CollectorConfig":
+        data = dict(payload)
+        export = data.get("export")
+        if export is not None and not isinstance(export, ExportConfig):
+            data["export"] = ExportConfig.from_dict(export)
+        return cls(**data)
+
+
+#: Legacy keyword -> CollectorConfig field (where the names drifted apart).
+_FIELD_ALIASES = {
+    "per_cpu_capacity": "capacity",
+    "stream_capacity": "capacity",
+}
+
+
+def resolve_collector_config(
+    config: Union[None, str, CollectorConfig],
+    where: str,
+    **legacy,
+) -> CollectorConfig:
+    """Resolve a constructor's ``config`` argument against legacy kwargs.
+
+    ``config`` may be a :class:`CollectorConfig`, a bare mode string (the
+    positional shorthand: ``DeltaCollector(kernel, tgid, nrs, "vm")``), or
+    ``None``.  ``legacy`` carries the deprecated per-knob keywords with
+    ``None`` meaning "not supplied"; supplying any of them emits a
+    :class:`DeprecationWarning` (promoted to an error in the test suite)
+    and mixing them with an explicit ``config`` is a :class:`TypeError`.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not None}
+    if config is not None:
+        if supplied:
+            raise TypeError(
+                f"{where}: pass either config=CollectorConfig(...) or the "
+                f"legacy keyword(s) {sorted(supplied)}, not both"
+            )
+        if isinstance(config, str):
+            return CollectorConfig(mode=config)
+        if not isinstance(config, CollectorConfig):
+            raise TypeError(
+                f"{where}: config must be a CollectorConfig or a mode "
+                f"string, got {type(config).__name__}"
+            )
+        return config
+    if supplied:
+        fields = {_FIELD_ALIASES.get(k, k): v for k, v in supplied.items()}
+        hints = ", ".join(
+            f"{_FIELD_ALIASES.get(k, k)}=..." for k in sorted(supplied)
+        )
+        warnings.warn(
+            f"{where}: the keyword(s) {', '.join(sorted(supplied))} are "
+            f"deprecated and will be removed in the next release; pass "
+            f"config=CollectorConfig({hints}) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return CollectorConfig(**fields)
+    return CollectorConfig()

@@ -1,0 +1,103 @@
+"""Integer log2 delta histograms — the export pipeline's bucketed signal.
+
+Prometheus consumers want distributions, not just the three moments the
+paper's collectors keep; the classic in-kernel answer (bcc's ``lhist``,
+ebpf_exporter's bucketed maps) is a power-of-two histogram whose bucket
+index is computable with shifts and compares only — no division, no
+floats, verifier-friendly.  Bucket ``b`` counts deltas whose bit length is
+``b``: bucket 0 holds exact zeros and bucket ``b >= 1`` the half-open
+range ``[2^(b-1), 2^b - 1]``, so the upper bound of bucket ``b`` is
+``2^b - 1`` and the cumulative Prometheus ``le`` edges are exact integers.
+
+:class:`DeltaHistogram` is the userspace accumulator; the in-probe
+equivalent (an unrolled binary-search bit-length, emitted into the delta
+program when export is enabled) lives in
+:func:`repro.core.collectors.build_delta_program` and fills one 8-byte
+array-map slot per (cpu, bucket).  Both sides bucket the *same* deltas the
+delta statistics accumulate, so ``sum(counts) == DeltaStats.count`` is an
+exported invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+__all__ = ["NBUCKETS", "DeltaHistogram", "bucket_index", "bucket_upper_bound"]
+
+#: log2 buckets for u64 deltas: bit lengths 0 (zero) through 64.
+NBUCKETS = 65
+
+_U64_MAX = (1 << 64) - 1
+
+
+def bucket_index(delta_ns: int) -> int:
+    """Bucket of a delta: its bit length (0 for a zero delta)."""
+    if not 0 <= delta_ns <= _U64_MAX:
+        raise ValueError(f"delta {delta_ns} outside u64 range")
+    return delta_ns.bit_length()
+
+
+def bucket_upper_bound(bucket: int) -> int:
+    """Largest delta landing in ``bucket`` (the Prometheus ``le`` edge)."""
+    if not 0 <= bucket < NBUCKETS:
+        raise ValueError(f"bucket {bucket} outside [0, {NBUCKETS})")
+    return (1 << bucket) - 1
+
+
+class DeltaHistogram:
+    """Fixed-shape log2 histogram over inter-syscall deltas."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: Optional[Iterable[int]] = None) -> None:
+        if counts is None:
+            self.counts: List[int] = [0] * NBUCKETS
+        else:
+            self.counts = list(counts)
+            if len(self.counts) != NBUCKETS:
+                raise ValueError(
+                    f"need exactly {NBUCKETS} buckets, got {len(self.counts)}"
+                )
+
+    def observe(self, delta_ns: int) -> None:
+        """Count one delta (integer ns, as the probe computes it)."""
+        self.counts[bucket_index(delta_ns)] += 1
+
+    @property
+    def total(self) -> int:
+        """Observations across all buckets (== the window's delta count)."""
+        return sum(self.counts)
+
+    def cumulative(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (``le`` semantics)."""
+        out: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def merge(self, other: "DeltaHistogram") -> "DeltaHistogram":
+        """Bucket-wise sum (window composition, shard merging)."""
+        return DeltaHistogram(
+            a + b for a, b in zip(self.counts, other.counts)
+        )
+
+    def copy(self) -> "DeltaHistogram":
+        return DeltaHistogram(self.counts)
+
+    def reset(self) -> None:
+        """Zero every bucket (window close)."""
+        for index in range(NBUCKETS):
+            self.counts[index] = 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeltaHistogram):
+            return NotImplemented
+        return self.counts == other.counts
+
+    def __repr__(self) -> str:
+        populated = {
+            bucket: count for bucket, count in enumerate(self.counts) if count
+        }
+        return f"<DeltaHistogram total={self.total} buckets={populated}>"

@@ -10,13 +10,15 @@ allocator) would consume (§VI).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 from ..kernel.kernel import Kernel
 from ..kernel.syscalls import POLL_FAMILY, RECV_FAMILY, SEND_FAMILY, SyscallSpec
 from ..sim.timebase import SEC
 from .collectors import DeltaCollector, DurationCollector, DurationStats
+from .config import CollectorConfig, resolve_collector_config
 from .deltas import DeltaStats
+from .histograms import DeltaHistogram
 from .streaming import StreamingDeltaCollector
 
 __all__ = ["RequestMetricsMonitor", "MetricsSnapshot"]
@@ -35,6 +37,9 @@ class MetricsSnapshot:
     #: the in-kernel collectors never lose events, so these stay 0).
     send_lost: int = 0
     recv_lost: int = 0
+    #: Log2 delta histograms (export pipeline only; ``None`` otherwise).
+    send_hist: Optional[DeltaHistogram] = None
+    recv_hist: Optional[DeltaHistogram] = None
 
     @property
     def duration_ns(self) -> int:
@@ -106,6 +111,45 @@ class MetricsSnapshot:
             return self.rps_obsv
         return SEC * (self.send.count + self.send_lost) / self.send.sum
 
+    # -- composition -----------------------------------------------------
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two windows: statistics merge, losses add, the window
+        bounds take the extremes, histograms sum (``None``-aware)."""
+        def merge_hists(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return a.merge(b)
+        return MetricsSnapshot(
+            window_start_ns=min(self.window_start_ns, other.window_start_ns),
+            window_end_ns=max(self.window_end_ns, other.window_end_ns),
+            send=self.send.merge(other.send),
+            recv=self.recv.merge(other.recv),
+            poll=self.poll.merge(other.poll),
+            send_lost=self.send_lost + other.send_lost,
+            recv_lost=self.recv_lost + other.recv_lost,
+            send_hist=merge_hists(self.send_hist, other.send_hist),
+            recv_hist=merge_hists(self.recv_hist, other.recv_hist),
+        )
+
+    @staticmethod
+    def merge_all(windows: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
+        """Fold a non-empty window sequence into one composite snapshot.
+
+        With contiguous windows this reproduces the unwindowed totals
+        exactly (the carried-anchor semantics make per-window delta
+        populations a partition of the full trace's).
+        """
+        iterator = iter(windows)
+        try:
+            merged = next(iterator)
+        except StopIteration:
+            raise ValueError("merge_all needs at least one window") from None
+        for window in iterator:
+            merged = merged.merge(window)
+        return merged
+
     def __repr__(self) -> str:
         return (
             f"<MetricsSnapshot rps={self.rps_obsv:.1f} "
@@ -125,30 +169,35 @@ class RequestMetricsMonitor:
         The workload's :class:`~repro.kernel.syscalls.SyscallSpec`.  When
         omitted, whole families are monitored (the deployable blackbox
         configuration — no per-app knowledge needed).
-    mode:
-        ``"vm"`` for interpreted eBPF collectors, ``"native"`` for the fast
-        equivalent path, ``"stream"`` for the paper's first methodology —
-        per-event perf streaming with userspace aggregation.  Stream mode
-        is the only one that can *lose* events (slow consumer, full perf
-        buffer); losses surface as ``MetricsSnapshot.send_lost``/
-        ``recv_lost`` so downstream consumers see degraded confidence
-        instead of silently wrong rates.
-    charge_cost:
-        Charge probe execution cost to traced syscalls (overhead study).
-    stream_capacity:
-        Per-CPU perf buffer capacity (records) for ``mode="stream"``;
-        ignored otherwise.
-    vm_tier:
-        eBPF VM tier for the vm/stream collectors (``"reference"``,
-        ``"fast"``, or ``"compiled"``); ``None`` picks the highest tier.
-        All tiers produce bit-for-bit identical metrics.
-    cpus:
-        Number of simulated CPUs the collection state is sharded over.
-        In stream mode this is the perf buffer's per-CPU fan-out (as
-        before); in vm/native mode the delta collectors shard their
-        state per CPU — real per-CPU-map discipline — and merge the
-        shards at window close.  The default 1 keeps the unsharded
-        single-slot collectors bit-for-bit.
+    config:
+        A :class:`~repro.core.config.CollectorConfig` (or a bare mode
+        string) describing the whole collection pipeline.  ``mode`` picks
+        the strategy: ``"vm"`` for interpreted eBPF collectors,
+        ``"native"`` for the fast equivalent path, ``"stream"`` for the
+        paper's first methodology — per-event perf streaming with
+        userspace aggregation.  Stream mode is the only one that can
+        *lose* events (slow consumer, full perf buffer); losses surface
+        as ``MetricsSnapshot.send_lost``/``recv_lost`` so downstream
+        consumers see degraded confidence instead of silently wrong
+        rates.  ``cpus`` shards the collection state (vm/native) or fans
+        out the perf rings (stream); ``capacity`` sizes the per-CPU perf
+        rings; ``vm_tier`` pins the eBPF VM tier (all tiers bit-for-bit
+        identical); ``charge_cost`` charges probe cost to traced
+        syscalls (the overhead study).  A non-``None`` ``export`` starts
+        the streaming Prometheus stage: a simulated-time loop closes a
+        window every ``export.window_ns``, feeds it to the attached
+        :class:`~repro.export.PrometheusExporter` (``self.exporter``)
+        and renders a scrape.  Poll durations always run in-kernel: in
+        stream mode the streamed record carries no entry/exit pairing,
+        exactly as in the paper's first methodology.
+
+        The old per-knob keywords (``mode``, ``charge_cost``,
+        ``stream_capacity``, ``vm_tier``, ``cpus``) remain accepted as
+        deprecated aliases for one release.
+
+    Note: with export enabled the window loop keeps a simulated event
+    pending forever, so drive the environment with an explicit
+    ``env.run(until=...)`` target rather than run-to-empty-schedule.
     """
 
     def __init__(
@@ -156,49 +205,56 @@ class RequestMetricsMonitor:
         kernel: Kernel,
         tgid: int,
         spec: Optional[SyscallSpec] = None,
-        mode: str = "native",
-        charge_cost: bool = False,
-        stream_capacity: int = 65536,
+        config: Union[None, str, CollectorConfig] = None,
+        *,
+        mode: Optional[str] = None,
+        charge_cost: Optional[bool] = None,
+        stream_capacity: Optional[int] = None,
         vm_tier: Optional[str] = None,
-        cpus: int = 1,
+        cpus: Optional[int] = None,
     ) -> None:
+        config = resolve_collector_config(
+            config, "RequestMetricsMonitor",
+            mode=mode, charge_cost=charge_cost, stream_capacity=stream_capacity,
+            vm_tier=vm_tier, cpus=cpus,
+        )
+        self.config = config
         self.kernel = kernel
         self.tgid = tgid
-        self.mode = mode
-        self.vm_tier = vm_tier
-        self.cpus = cpus
+        self.mode = config.mode
+        self.vm_tier = config.vm_tier
+        self.cpus = config.cpus
         send_nrs = (spec.send_nr,) if spec else tuple(sorted(SEND_FAMILY))
         recv_nrs = (spec.recv_nr,) if spec else tuple(sorted(RECV_FAMILY))
         poll_nrs = (spec.poll_nr,) if spec else tuple(sorted(POLL_FAMILY))
-        if mode == "stream":
+        if config.mode == "stream":
             self.send_collector = StreamingDeltaCollector(
-                kernel, tgid, send_nrs, per_cpu_capacity=stream_capacity,
-                charge_cost=charge_cost, name="send", cpus=cpus, vm_tier=vm_tier,
-            )
+                kernel, tgid, send_nrs, config, name="send")
             self.recv_collector = StreamingDeltaCollector(
-                kernel, tgid, recv_nrs, per_cpu_capacity=stream_capacity,
-                charge_cost=charge_cost, name="recv", cpus=cpus, vm_tier=vm_tier,
-            )
+                kernel, tgid, recv_nrs, config, name="recv")
             # Poll durations need syscall entry *and* exit pairing, which
             # the streamed record format does not carry; the paper's first
             # methodology measured durations in-kernel too.
-            poll_mode = "native"
+            poll_config = config.replace(mode="native")
         else:
             self.send_collector = DeltaCollector(
-                kernel, tgid, send_nrs, mode=mode, charge_cost=charge_cost,
-                name="send", vm_tier=vm_tier, cpus=cpus,
-            )
+                kernel, tgid, send_nrs, config, name="send")
             self.recv_collector = DeltaCollector(
-                kernel, tgid, recv_nrs, mode=mode, charge_cost=charge_cost,
-                name="recv", vm_tier=vm_tier, cpus=cpus,
-            )
-            poll_mode = mode
+                kernel, tgid, recv_nrs, config, name="recv")
+            poll_config = config
         self.poll_collector = DurationCollector(
-            kernel, tgid, poll_nrs, mode=poll_mode, charge_cost=charge_cost,
-            name="poll", vm_tier=vm_tier,
-        )
+            kernel, tgid, poll_nrs, poll_config, name="poll")
+        #: The attached Prometheus export stage (``None`` when export is
+        #: off).  Windows land here every ``export.window_ns`` of sim time.
+        self.exporter = None
+        if config.export is not None:
+            # Imported lazily: repro.export consumes repro.core types, so a
+            # module-level import here would be circular.
+            from ..export.exporter import PrometheusExporter
+            self.exporter = PrometheusExporter(config.export)
         self._window_start: Optional[int] = None
         self._attached = False
+        self._export_epoch = 0
 
     # -- lifecycle ---------------------------------------------------------
     def attach(self) -> "RequestMetricsMonitor":
@@ -207,6 +263,10 @@ class RequestMetricsMonitor:
         self.poll_collector.attach()
         self._window_start = self.kernel.env.now
         self._attached = True
+        if self.exporter is not None:
+            self._export_epoch += 1
+            self.kernel.env.process(
+                self._export_loop(self._export_epoch), name="prom-export")
         return self
 
     def detach(self) -> None:
@@ -234,6 +294,8 @@ class RequestMetricsMonitor:
             poll=self.poll_collector.snapshot(),
             send_lost=getattr(self.send_collector, "lost_in_window", 0),
             recv_lost=getattr(self.recv_collector, "lost_in_window", 0),
+            send_hist=self.send_collector.hist_snapshot(),
+            recv_hist=self.recv_collector.hist_snapshot(),
         )
         if reset:
             self.reset_window()
@@ -244,3 +306,21 @@ class RequestMetricsMonitor:
         self.recv_collector.reset_window()
         self.poll_collector.reset_window()
         self._window_start = self.kernel.env.now
+
+    # -- export ----------------------------------------------------------
+    def _export_loop(self, epoch: int):
+        """Simulated-time export driver: close a window every
+        ``export.window_ns``, feed it to the exporter, render a scrape.
+
+        The epoch guard retires a stale loop after detach()/re-attach():
+        the superseded generator wakes once more, sees a newer epoch, and
+        returns without touching the collectors.
+        """
+        window_ns = self.config.export.window_ns
+        env = self.kernel.env
+        while self._attached and self._export_epoch == epoch:
+            yield env.timeout(window_ns)
+            if not self._attached or self._export_epoch != epoch:
+                return
+            self.exporter.observe_window(self.snapshot(reset=True))
+            self.exporter.scrape()

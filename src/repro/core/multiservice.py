@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..kernel.kernel import Kernel
 from ..kernel.syscalls import SyscallSpec
+from .config import CollectorConfig, resolve_collector_config
 from .monitor import MetricsSnapshot, RequestMetricsMonitor
 from .slack import idleness_fraction
 
@@ -84,7 +85,10 @@ class MultiServiceMonitor:
     """
 
     def __init__(self, kernel: Kernel, services: List[ServiceSpec],
-                 mode: str = "native") -> None:
+                 config: "CollectorConfig | str | None" = None, *,
+                 mode: Optional[str] = None) -> None:
+        config = resolve_collector_config(
+            config, "MultiServiceMonitor", mode=mode)
         if not services:
             raise ValueError("need at least one service to monitor")
         names = [s.name for s in services]
@@ -92,8 +96,10 @@ class MultiServiceMonitor:
             raise ValueError(f"duplicate service names in {names}")
         self.kernel = kernel
         self.services = list(services)
+        self.config = config
         self._monitors: Dict[str, RequestMetricsMonitor] = {
-            s.name: RequestMetricsMonitor(kernel, s.tgid, spec=s.syscalls, mode=mode)
+            s.name: RequestMetricsMonitor(
+                kernel, s.tgid, spec=s.syscalls, config=config)
             for s in services
         }
         self._attached = False
@@ -133,13 +139,15 @@ class MultiServiceMonitor:
         return CombinedSnapshot(tiers=tuple(readings))
 
     @classmethod
-    def for_two_tier_app(cls, kernel: Kernel, app, mode: str = "native"
+    def for_two_tier_app(cls, kernel: Kernel, app,
+                         config: "CollectorConfig | str | None" = None,
                          ) -> "MultiServiceMonitor":
         """Convenience wiring for :class:`~repro.workloads.TwoTierApp`."""
-        config = app.config
+        app_config = app.config
         return cls(kernel, [
             ServiceSpec(name="front-end", tgid=app.process.pid,
-                        workers=app.worker_count, syscalls=config.syscalls),
+                        workers=app.worker_count, syscalls=app_config.syscalls),
             ServiceSpec(name="index-search", tgid=app.backend_process.pid,
-                        workers=config.workers, syscalls=config.syscalls),
-        ], mode=mode)
+                        workers=app_config.workers,
+                        syscalls=app_config.syscalls),
+        ], config)

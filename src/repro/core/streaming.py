@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import struct
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
 from ..ebpf.asm import Asm
 from ..ebpf.bcc import BPF
@@ -29,7 +29,9 @@ from ..ebpf.opcodes import MemSize, Reg
 from ..ebpf.program import Program
 from ..kernel.kernel import Kernel
 from .collectors import _emit_epilogue, _emit_prologue
+from .config import CollectorConfig, resolve_collector_config
 from .deltas import DeltaStats
+from .histograms import DeltaHistogram
 
 __all__ = ["StreamingDeltaCollector", "RECORD_SIZE"]
 
@@ -78,18 +80,33 @@ class StreamingDeltaCollector:
         kernel: Kernel,
         tgid: int,
         syscall_nrs: Iterable[int],
-        per_cpu_capacity: int = 65536,
-        charge_cost: bool = False,
+        config: Union[None, str, CollectorConfig] = None,
+        *,
         name: str = "stream",
-        cpus: int = 1,
+        per_cpu_capacity: Optional[int] = None,
+        charge_cost: Optional[bool] = None,
+        cpus: Optional[int] = None,
         vm_tier: Optional[str] = None,
     ) -> None:
+        config = resolve_collector_config(
+            config, "StreamingDeltaCollector",
+            per_cpu_capacity=per_cpu_capacity, charge_cost=charge_cost,
+            cpus=cpus, vm_tier=vm_tier,
+        )
+        if isinstance(config, CollectorConfig) and config.mode == "native":
+            # The default CollectorConfig mode; a streaming collector is
+            # stream-mode by construction, so don't force callers to say so.
+            config = config.replace(mode="stream")
+        if config.mode != "stream":
+            raise ValueError(f"unknown mode {config.mode!r}")
+        self.config = config
         self.kernel = kernel
         self.tgid = tgid
         self.syscall_nrs = tuple(syscall_nrs)
         self.name = name
-        self.cpus = cpus
-        self.events = PerfEventArray(cpus=cpus, per_cpu_capacity=per_cpu_capacity,
+        self.cpus = config.cpus
+        self.events = PerfEventArray(cpus=config.cpus,
+                                     per_cpu_capacity=config.capacity,
                                      name=f"{name}_events")
         program = build_streaming_program(
             f"{name}_events", tgid, self.syscall_nrs, prog_name=f"{name}_enter"
@@ -98,9 +115,11 @@ class StreamingDeltaCollector:
         # buffers, so perf records spread across per-CPU streams the way
         # a multi-core host spreads them.
         self._bpf = BPF(kernel, maps={f"{name}_events": self.events},
-                        programs=[program], charge_cost=charge_cost,
-                        cpu_of=lambda ctx: ctx.tid % cpus, vm_tier=vm_tier)
+                        programs=[program], config=config,
+                        cpu_of=lambda ctx: ctx.tid % self.cpus)
         self._stats = DeltaStats()
+        self._hist: Optional[DeltaHistogram] = (
+            DeltaHistogram() if config.export is not None else None)
         self._attached = False
         #: Total record bytes shipped to userspace (the ablation's metric).
         self.bytes_streamed = 0
@@ -150,7 +169,17 @@ class StreamingDeltaCollector:
                            else map(_RECORD.unpack, batch.records()))
                 keyed.append(zip(batch.seqs, decoded))
             records = [record for _seq, record in heapq.merge(*keyed)]
-        self._stats.add_timestamps([timestamp for timestamp, _nr in records])
+        timestamps = [timestamp for timestamp, _nr in records]
+        if self._hist is not None and timestamps:
+            # Bucket the same deltas the statistics accumulate: chain from
+            # the last timestamp of the previous drain (or the carried
+            # window anchor) exactly as add_timestamps does.
+            last = self._stats.last_ns
+            for ts_ns in timestamps:
+                if last is not None:
+                    self._hist.observe(ts_ns - last)
+                last = ts_ns
+        self._stats.add_timestamps(timestamps)
         self.bytes_streamed += sum(len(batch.data) for batch in batches)
         return records
 
@@ -172,6 +201,19 @@ class StreamingDeltaCollector:
                           first_ns=s.first_ns, last_ns=s.last_ns,
                           carried=s.carried, events=s.events)
 
+    def hist_snapshot(self) -> Optional[DeltaHistogram]:
+        """Current window's log2 delta histogram (a copy), after a drain.
+
+        ``None`` unless the collector was built with ``export`` enabled.
+        Buckets exactly the deltas :meth:`snapshot` has accumulated, so
+        ``hist_snapshot().total == snapshot().count`` holds at every drain
+        point (lost records are missing from both sides alike).
+        """
+        if self._hist is None:
+            return None
+        self.drain()
+        return self._hist.copy()
+
     def reset_window(self) -> List[Tuple[int, int]]:
         """Close the current window at the drain point.
 
@@ -185,5 +227,7 @@ class StreamingDeltaCollector:
         """
         tail = self.drain()
         self._stats.reset_window()
+        if self._hist is not None:
+            self._hist.reset()
         self._window_lost_base = self.events.lost
         return tail

@@ -45,6 +45,11 @@ class BPF:
     CPU the probe observes itself on (``bpf_get_smp_processor_id`` and
     the per-CPU ``perf_event_output`` buffer index); the default pins
     everything to CPU 0.
+
+    ``config`` accepts anything with ``charge_cost``/``vm_tier``
+    attributes — in practice a :class:`repro.core.config.CollectorConfig`
+    (duck-typed to keep this layer free of core imports) — and supplies
+    defaults for those two knobs; explicit keyword arguments win.
     """
 
     def __init__(
@@ -52,11 +57,17 @@ class BPF:
         kernel: Kernel,
         maps: Optional[Mapping[str, MapLike]] = None,
         programs: Sequence[Program] = (),
-        charge_cost: bool = False,
+        charge_cost: Optional[bool] = None,
         vm: Optional[Vm] = None,
         cpu_of: Optional[Callable[[object], int]] = None,
         vm_tier: Optional[str] = None,
+        config: Optional[object] = None,
     ) -> None:
+        if config is not None:
+            if charge_cost is None:
+                charge_cost = getattr(config, "charge_cost", None)
+            if vm_tier is None and vm is None:
+                vm_tier = getattr(config, "vm_tier", None)
         if vm is not None and vm_tier is not None:
             raise BpfError("pass either vm or vm_tier, not both")
         self.kernel = kernel
@@ -64,7 +75,7 @@ class BPF:
         for name, bpf_map in self.maps.items():
             if getattr(bpf_map, "name", None) in (None, "", bpf_map.map_type):
                 bpf_map.name = name
-        self.charge_cost = charge_cost
+        self.charge_cost = bool(charge_cost)
         #: Tier name the interpreter was built from (None for a custom vm).
         self.vm_tier = (vm_tier if vm_tier is not None
                         else None if vm is not None else DEFAULT_VM_TIER)

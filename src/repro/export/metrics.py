@@ -1,0 +1,185 @@
+"""Prometheus exposition-format primitives.
+
+The exporter renders two dialects from one family model:
+
+* the classic text format 0.0.4 (what a Prometheus server scrapes by
+  default), and
+* OpenMetrics 1.0, which tightens counter naming (``# TYPE`` names the
+  family *without* the ``_total`` suffix), terminates the exposition with
+  ``# EOF``, and is the only dialect that carries **exemplars** — which is
+  where this pipeline attaches the ``lost_records``-derived confidence.
+
+Only the subset the exporter emits is modelled; the grammar rules
+(escaping, name/label charsets, sample shapes per type) follow the
+Prometheus exposition-format specification so the output round-trips
+through any conformant parser, including the bundled strict one
+(:mod:`repro.export.parser`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Exemplar",
+    "MetricFamily",
+    "MetricSample",
+    "escape_help",
+    "escape_label_value",
+    "format_value",
+    "render_exposition",
+    "render_labels",
+]
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+Number = Union[int, float]
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote, and newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape HELP text: backslash and newline (quotes stay literal)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value: Number) -> str:
+    """Render a sample value: integers exactly, floats via ``repr``.
+
+    The collectors are integer-exact, so integer values must survive the
+    round trip bit-for-bit — rendering them without a float detour is what
+    makes "exported counter == source DeltaStats" testable as equality.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; reject early
+        raise TypeError("sample values must be numbers, not bool")
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def render_labels(labels: LabelPairs) -> str:
+    """``{a="x",b="y"}`` (or the empty string for no labels)."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + body + "}"
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """An OpenMetrics exemplar: a labelled observation pinned to a sample."""
+
+    labels: LabelPairs
+    value: Number
+    #: Unix timestamp, seconds (rendered with millisecond precision).
+    timestamp: Optional[float] = None
+
+    def render(self) -> str:
+        parts = [render_labels(self.labels) or "{}", format_value(self.value)]
+        if self.timestamp is not None:
+            parts.append(f"{self.timestamp:.3f}")
+        return " # " + " ".join(parts)
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One exposition line of a family.
+
+    ``suffix`` is appended to the family name (``""``, ``"_bucket"``,
+    ``"_sum"``, ``"_count"``, ``"_total"``); exemplars are emitted only in
+    the OpenMetrics dialect and only on suffixes the spec allows them on
+    (``_total`` and ``_bucket``).
+    """
+
+    suffix: str
+    labels: LabelPairs
+    value: Number
+    exemplar: Optional[Exemplar] = None
+
+
+@dataclass
+class MetricFamily:
+    """One metric family: name + type + help + its samples."""
+
+    name: str
+    type: str
+    help: str
+    samples: List[MetricSample] = field(default_factory=list)
+
+    _TYPES = ("counter", "gauge", "histogram", "summary")
+
+    def __post_init__(self) -> None:
+        if not METRIC_NAME_RE.match(self.name):
+            raise ValueError(f"invalid metric name {self.name!r}")
+        if self.type not in self._TYPES:
+            raise ValueError(f"invalid metric type {self.type!r}")
+
+    def add(
+        self,
+        value: Number,
+        labels: LabelPairs = (),
+        suffix: str = "",
+        exemplar: Optional[Exemplar] = None,
+    ) -> None:
+        for label_name, _v in labels:
+            if not LABEL_NAME_RE.match(label_name) or label_name.startswith("__"):
+                raise ValueError(f"invalid label name {label_name!r}")
+        self.samples.append(MetricSample(suffix, tuple(labels), value, exemplar))
+
+    def render(self, out: List[str], openmetrics: bool) -> None:
+        # Classic counters are *named* with the _total suffix (HELP/TYPE
+        # included); OpenMetrics names the family bare and suffixes only
+        # the samples.
+        counter = self.type == "counter"
+        headline = (
+            self.name if openmetrics or not counter else f"{self.name}_total"
+        )
+        out.append(f"# HELP {headline} {escape_help(self.help)}")
+        out.append(f"# TYPE {headline} {self.type}")
+        for sample in self.samples:
+            suffix = sample.suffix
+            if counter and suffix == "":
+                suffix = "_total"
+            line = (
+                f"{self.name}{suffix}{render_labels(sample.labels)} "
+                f"{format_value(sample.value)}"
+            )
+            if (
+                openmetrics
+                and sample.exemplar is not None
+                and suffix in ("_total", "_bucket")
+            ):
+                line += sample.exemplar.render()
+            out.append(line)
+
+
+def render_exposition(
+    families: Sequence[MetricFamily], openmetrics: bool = False
+) -> str:
+    """Render families into one exposition body.
+
+    The classic dialect ends with a plain trailing newline; OpenMetrics
+    requires the ``# EOF`` terminator as its final line.
+    """
+    out: List[str] = []
+    for family in families:
+        family.render(out, openmetrics)
+    if openmetrics:
+        out.append("# EOF")
+    return "\n".join(out) + "\n"

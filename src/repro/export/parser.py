@@ -1,0 +1,284 @@
+"""A strict, dependency-free Prometheus exposition-format parser.
+
+``prometheus_client`` is not a dependency of this repo, so the round-trip
+tests validate the exporter's output with this parser instead; when the
+real client library happens to be importable the tests additionally
+cross-check against it.  The grammar follows the exposition-format
+specification for the subset the exporter emits — and is deliberately
+*strict*: unknown sample shapes, malformed escapes, names that don't match
+the grammar, samples for undeclared families, or a missing/misplaced
+``# EOF`` in OpenMetrics mode all raise :class:`ParseError` rather than
+being skipped, because a lenient parser would make the CI format check
+vacuous.
+
+Also runnable as a filter — ``python -m repro.export.parser < metrics.txt``
+exits non-zero on invalid input (the CI smoke job's validation step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import LABEL_NAME_RE, METRIC_NAME_RE
+
+__all__ = ["ParseError", "ParsedSample", "ParsedFamily", "parse_text"]
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: Sample-name suffixes each family type may emit.
+_ALLOWED_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_sum", "_count"),
+    "summary": ("", "_sum", "_count"),
+    "untyped": ("",),
+}
+
+
+class ParseError(ValueError):
+    """Invalid exposition text (with the offending line number)."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+@dataclass
+class ParsedSample:
+    """One sample line, decoded."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+    exemplar_labels: Optional[Dict[str, str]] = None
+    exemplar_value: Optional[float] = None
+    exemplar_timestamp: Optional[float] = None
+
+
+@dataclass
+class ParsedFamily:
+    """One ``# TYPE``-declared family and its samples."""
+
+    name: str
+    type: str
+    help: Optional[str] = None
+    samples: List[ParsedSample] = field(default_factory=list)
+
+
+def _parse_value(token: str, lineno: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ParseError(lineno, f"invalid sample value {token!r}") from None
+
+
+def _parse_labels(text: str, lineno: int, start: int) -> Tuple[Dict[str, str], int]:
+    """Parse ``{name="value",...}`` starting at ``text[start] == '{'``.
+
+    Returns the label dict and the index just past the closing brace.
+    Escapes (``\\\\``, ``\\"``, ``\\n``) are decoded; anything else after a
+    backslash is an error.
+    """
+    labels: Dict[str, str] = {}
+    i = start + 1
+    n = len(text)
+    while True:
+        if i < n and text[i] == "}":
+            return labels, i + 1
+        # label name
+        j = i
+        while j < n and text[j] not in "=,}":
+            j += 1
+        if j >= n or text[j] != "=":
+            raise ParseError(lineno, "expected '=' in label pair")
+        name = text[i:j]
+        if not LABEL_NAME_RE.match(name):
+            raise ParseError(lineno, f"invalid label name {name!r}")
+        if name in labels:
+            raise ParseError(lineno, f"duplicate label name {name!r}")
+        i = j + 1
+        if i >= n or text[i] != '"':
+            raise ParseError(lineno, "label value must be double-quoted")
+        i += 1
+        chars: List[str] = []
+        while True:
+            if i >= n:
+                raise ParseError(lineno, "unterminated label value")
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise ParseError(lineno, "dangling escape in label value")
+                esc = text[i + 1]
+                if esc == "\\":
+                    chars.append("\\")
+                elif esc == '"':
+                    chars.append('"')
+                elif esc == "n":
+                    chars.append("\n")
+                else:
+                    raise ParseError(lineno, f"invalid escape \\{esc}")
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            if ch == "\n":
+                raise ParseError(lineno, "raw newline in label value")
+            chars.append(ch)
+            i += 1
+        labels[name] = "".join(chars)
+        if i < n and text[i] == ",":
+            i += 1
+        elif i < n and text[i] == "}":
+            continue
+        else:
+            raise ParseError(lineno, "expected ',' or '}' after label pair")
+
+
+def _unescape_help(text: str) -> str:
+    # Left-to-right scan: naive chained str.replace would mis-decode
+    # backslash-escaped backslashes followed by 'n' (\\n -> "\" + "n").
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text) and text[i + 1] in "n\\":
+            out.append("\n" if text[i + 1] == "n" else "\\")
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def _base_name(sample_name: str, families: Dict[str, ParsedFamily]) -> Optional[str]:
+    """Resolve a sample name to its declared family, suffix-aware."""
+    for base, family in families.items():
+        for suffix in _ALLOWED_SUFFIXES[family.type]:
+            if sample_name == base + suffix:
+                return base
+    return None
+
+
+def parse_text(text: str) -> Dict[str, ParsedFamily]:
+    """Parse an exposition body; returns families keyed by base name.
+
+    Handles both dialects: if a ``# EOF`` line is present the input is
+    validated under OpenMetrics rules (terminator must be the final line;
+    classic ``_total``-named counter TYPE lines are normalized to the bare
+    family name the way the OpenMetrics grammar requires).
+    """
+    families: Dict[str, ParsedFamily] = {}
+    helps: Dict[str, str] = {}
+    lines = text.split("\n")
+    openmetrics = any(line == "# EOF" for line in lines)
+    if openmetrics:
+        tail = [line for line in lines if line.strip()]
+        if not tail or tail[-1] != "# EOF":
+            raise ParseError(len(lines), "# EOF must terminate the exposition")
+    seen_eof = False
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if seen_eof:
+            raise ParseError(lineno, "content after # EOF")
+        if line == "# EOF":
+            seen_eof = True
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            if not METRIC_NAME_RE.match(name):
+                raise ParseError(lineno, f"invalid metric name {name!r}")
+            helps[name] = _unescape_help(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            parts = rest.split(" ")
+            if len(parts) != 2:
+                raise ParseError(lineno, "malformed TYPE line")
+            name, metric_type = parts
+            if not METRIC_NAME_RE.match(name):
+                raise ParseError(lineno, f"invalid metric name {name!r}")
+            if metric_type not in _TYPES:
+                raise ParseError(lineno, f"unknown metric type {metric_type!r}")
+            if metric_type == "counter" and name.endswith("_total"):
+                # Classic dialect names the counter family with the suffix.
+                name = name[: -len("_total")]
+            if name in families:
+                raise ParseError(lineno, f"duplicate TYPE for {name!r}")
+            help_text = helps.get(name)
+            if help_text is None:
+                help_text = helps.get(name + "_total")
+            families[name] = ParsedFamily(
+                name=name, type=metric_type, help=help_text,
+            )
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        # -- sample line -------------------------------------------------
+        exemplar_part: Optional[str] = None
+        body = line
+        if " # " in line:
+            body, _, exemplar_part = line.partition(" # ")
+            if not openmetrics:
+                raise ParseError(lineno, "exemplar outside OpenMetrics dialect")
+        brace = body.find("{")
+        if brace >= 0:
+            sample_name = body[:brace]
+            labels, end = _parse_labels(body, lineno, brace)
+            rest = body[end:].strip()
+        else:
+            sample_name, _, rest = body.partition(" ")
+            labels, rest = {}, rest.strip()
+        if not METRIC_NAME_RE.match(sample_name):
+            raise ParseError(lineno, f"invalid sample name {sample_name!r}")
+        tokens = rest.split()
+        if len(tokens) not in (1, 2):  # value [timestamp]
+            raise ParseError(lineno, f"malformed sample line {line!r}")
+        value = _parse_value(tokens[0], lineno)
+        base = _base_name(sample_name, families)
+        if base is None:
+            raise ParseError(
+                lineno, f"sample {sample_name!r} has no preceding TYPE"
+            )
+        sample = ParsedSample(name=sample_name, labels=labels, value=value)
+        if exemplar_part is not None:
+            suffix = sample_name[len(base):]
+            if suffix not in ("_total", "_bucket"):
+                raise ParseError(
+                    lineno, f"exemplar not allowed on {sample_name!r}"
+                )
+            ebrace = exemplar_part.find("{")
+            if ebrace != 0:
+                raise ParseError(lineno, "exemplar must start with a label set")
+            elabels, eend = _parse_labels(exemplar_part, lineno, 0)
+            etokens = exemplar_part[eend:].split()
+            if len(etokens) not in (1, 2):
+                raise ParseError(lineno, "malformed exemplar")
+            sample.exemplar_labels = elabels
+            sample.exemplar_value = _parse_value(etokens[0], lineno)
+            if len(etokens) == 2:
+                sample.exemplar_timestamp = _parse_value(etokens[1], lineno)
+        families[base].samples.append(sample)
+    if openmetrics and not seen_eof:
+        raise ParseError(len(lines), "missing # EOF terminator")
+    return families
+
+
+def main() -> int:
+    import sys
+
+    text = sys.stdin.read()
+    try:
+        families = parse_text(text)
+    except ParseError as exc:
+        print(f"invalid exposition: {exc}", file=sys.stderr)
+        return 1
+    samples = sum(len(f.samples) for f in families.values())
+    print(f"ok: {len(families)} families, {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""A minimal /metrics HTTP endpoint over the exporter.
+
+Standard-library only (``http.server``), because the repo deliberately has
+no HTTP framework dependency.  The simulation is not wall-clock-driven, so
+the server publishes whatever state its render callable produces at scrape
+time — for a finished cell that is the final exposition text; a live
+consumer could re-render per request by passing ``exporter.scrape``.
+
+Content negotiation follows the Prometheus convention: a scraper that
+advertises ``application/openmetrics-text`` in ``Accept`` receives the
+OpenMetrics dialect (exemplars, ``# EOF``), everyone else the classic text
+format.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+__all__ = ["MetricsServer", "CONTENT_TYPE_TEXT", "CONTENT_TYPE_OPENMETRICS"]
+
+CONTENT_TYPE_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_OPENMETRICS = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class MetricsServer:
+    """Serve ``render(openmetrics)`` at ``/metrics`` on a local port.
+
+    ``port=0`` binds an ephemeral port (the tests' and CI smoke job's
+    mode); :attr:`port`/:attr:`url` expose the bound address after
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[bool], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self._host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        render = self._render
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served")
+                    return
+                accept = self.headers.get("Accept", "")
+                openmetrics = "application/openmetrics-text" in accept
+                try:
+                    body = render(openmetrics).encode("utf-8")
+                except Exception as exc:  # surface render bugs to the scraper
+                    self.send_error(500, f"render failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    CONTENT_TYPE_OPENMETRICS if openmetrics
+                    else CONTENT_TYPE_TEXT,
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # keep scrapes out of stderr
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="metrics-server",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- address ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}/metrics"

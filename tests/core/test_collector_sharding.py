@@ -13,7 +13,7 @@ These tests pin that the sharded configuration is:
 
 import pytest
 
-from repro.core import DeltaCollector, RequestMetricsMonitor
+from repro.core import CollectorConfig, DeltaCollector, RequestMetricsMonitor
 from repro.core.collectors import build_delta_program
 from repro.kernel import Kernel, MachineSpec, Sys, SyscallSpec
 from repro.net import Message
@@ -62,7 +62,7 @@ class TestShardedVmNativeEquivalence:
             kernel = _kernel()
             proc = _threaded_server(kernel)
             collector = DeltaCollector(
-                kernel, proc.pid, [Sys.SENDMSG], mode=mode, cpus=cpus
+                kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(mode=mode, cpus=cpus)
             ).attach()
             kernel.env.run()
             snaps.append(collector.snapshot())
@@ -75,7 +75,7 @@ class TestShardedVmNativeEquivalence:
             kernel = _kernel()
             proc = _threaded_server(kernel)
             collector = DeltaCollector(
-                kernel, proc.pid, [Sys.SENDMSG], mode=mode, cpus=cpus
+                kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(mode=mode, cpus=cpus)
             ).attach()
             kernel.env.run(until=6 * MSEC)
             first = collector.snapshot()
@@ -92,7 +92,8 @@ class TestShardedTierIdentity:
             kernel = _kernel()
             proc = _threaded_server(kernel)
             collector = DeltaCollector(
-                kernel, proc.pid, [Sys.SENDMSG], mode="vm", cpus=2, vm_tier=tier
+                kernel, proc.pid, [Sys.SENDMSG],
+                CollectorConfig(mode="vm", cpus=2, vm_tier=tier)
             ).attach()
             kernel.env.run()
             results.append((collector.snapshot(),
@@ -120,7 +121,7 @@ class TestShardingSemantics:
             kernel = _kernel()
             proc = _threaded_server(kernel, workers=1)
             collector = DeltaCollector(
-                kernel, proc.pid, [Sys.SENDMSG], mode="vm", cpus=cpus
+                kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(mode="vm", cpus=cpus)
             ).attach()
             kernel.env.run()
             snaps.append(collector.snapshot())
@@ -133,7 +134,7 @@ class TestShardingSemantics:
             kernel = _kernel()
             proc = _threaded_server(kernel, workers=2)
             collector = DeltaCollector(
-                kernel, proc.pid, [Sys.SENDMSG], mode=mode, cpus=2,
+                kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(mode=mode, cpus=2),
                 cpu_of=lambda ctx: 5,
             ).attach()
             kernel.env.run()
@@ -145,7 +146,7 @@ class TestShardingSemantics:
         kernel = _kernel()
         proc = _threaded_server(kernel, workers=3, sends=4)
         collector = DeltaCollector(
-            kernel, proc.pid, [Sys.SENDMSG], mode="vm", cpus=3
+            kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(mode="vm", cpus=3)
         ).attach()
         kernel.env.run()
         stats = collector.snapshot()
@@ -157,7 +158,8 @@ class TestShardingSemantics:
         kernel = _kernel()
         proc = _threaded_server(kernel, workers=2)
         monitor = RequestMetricsMonitor(
-            kernel, proc.pid, spec=SyscallSpec.data_caching(), mode="vm", cpus=2
+            kernel, proc.pid, spec=SyscallSpec.data_caching(),
+            config=CollectorConfig(mode="vm", cpus=2)
         ).attach()
         kernel.env.run()
         snap = monitor.snapshot()

@@ -43,7 +43,7 @@ class TestDeltaCollector:
     def test_counts_and_deltas(self, mode):
         kernel = _kernel()
         proc = _echo_server(kernel, sends=5, period_ms=2)
-        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDMSG], mode=mode).attach()
+        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDMSG], mode).attach()
         kernel.env.run()
         stats = collector.snapshot()
         assert stats.events == 5
@@ -54,28 +54,28 @@ class TestDeltaCollector:
     def test_rps_obsv_matches_rate(self, mode):
         kernel = _kernel()
         proc = _echo_server(kernel, sends=20, period_ms=1)
-        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDMSG], mode=mode).attach()
+        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDMSG], mode).attach()
         kernel.env.run()
         assert collector.snapshot().rps_obsv() == pytest.approx(1000.0, rel=0.01)
 
     def test_filters_syscall(self, mode):
         kernel = _kernel()
         proc = _echo_server(kernel, sends=5)
-        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDTO], mode=mode).attach()
+        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDTO], mode).attach()
         kernel.env.run()
         assert collector.snapshot().events == 0  # server used sendmsg
 
     def test_filters_tgid(self, mode):
         kernel = _kernel()
         proc = _echo_server(kernel, sends=5)
-        collector = DeltaCollector(kernel, proc.pid + 999, [Sys.SENDMSG], mode=mode).attach()
+        collector = DeltaCollector(kernel, proc.pid + 999, [Sys.SENDMSG], mode).attach()
         kernel.env.run()
         assert collector.snapshot().events == 0
 
     def test_reset_window_continuity(self, mode):
         kernel = _kernel()
         proc = _echo_server(kernel, sends=6, period_ms=2)
-        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDMSG], mode=mode).attach()
+        collector = DeltaCollector(kernel, proc.pid, [Sys.SENDMSG], mode).attach()
         kernel.env.run(until=7 * MSEC)  # 3 sends seen
         first = collector.snapshot()
         collector.reset_window()
@@ -87,11 +87,11 @@ class TestDeltaCollector:
     def test_requires_syscalls(self, mode):
         kernel = _kernel()
         with pytest.raises(ValueError):
-            DeltaCollector(kernel, 1, [], mode=mode)
+            DeltaCollector(kernel, 1, [], mode)
 
     def test_double_attach_rejected(self, mode):
         kernel = _kernel()
-        collector = DeltaCollector(kernel, 1, [Sys.SENDMSG], mode=mode).attach()
+        collector = DeltaCollector(kernel, 1, [Sys.SENDMSG], mode).attach()
         with pytest.raises(RuntimeError):
             collector.attach()
 
@@ -101,7 +101,7 @@ class TestDurationCollector:
     def test_epoll_durations_accumulate(self, mode):
         kernel = _kernel()
         proc = _echo_server(kernel, sends=4, period_ms=3)
-        collector = DurationCollector(kernel, proc.pid, [Sys.EPOLL_WAIT], mode=mode).attach()
+        collector = DurationCollector(kernel, proc.pid, [Sys.EPOLL_WAIT], mode).attach()
         kernel.env.run()
         stats = collector.snapshot()
         assert stats.count == 4
@@ -111,7 +111,7 @@ class TestDurationCollector:
     def test_reset(self, mode):
         kernel = _kernel()
         proc = _echo_server(kernel, sends=4)
-        collector = DurationCollector(kernel, proc.pid, [Sys.EPOLL_WAIT], mode=mode).attach()
+        collector = DurationCollector(kernel, proc.pid, [Sys.EPOLL_WAIT], mode).attach()
         kernel.env.run()
         collector.reset_window()
         assert collector.snapshot().count == 0
@@ -124,7 +124,7 @@ class TestVmNativeEquivalence:
         kernel = _kernel()
         proc = _echo_server(kernel, sends=12, period_ms=2)
         monitor = RequestMetricsMonitor(
-            kernel, proc.pid, spec=SyscallSpec.data_caching(), mode=mode
+            kernel, proc.pid, spec=SyscallSpec.data_caching(), config=mode
         ).attach()
         kernel.env.run()
         return monitor.snapshot()

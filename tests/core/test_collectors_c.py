@@ -112,7 +112,7 @@ def test_c_collector_matches_asm_and_native():
             )
         else:
             collector = DeltaCollector(
-                kernel, app.tgid, (config.syscalls.send_nr,), mode=flavor
+                kernel, app.tgid, (config.syscalls.send_nr,), flavor
             ).attach()
             _drive(kernel, app)
             snap = collector.snapshot()

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core import DeltaCollector, RequestMetricsMonitor, StreamingDeltaCollector
+from repro.core import (
+    CollectorConfig,
+    DeltaCollector,
+    RequestMetricsMonitor,
+    StreamingDeltaCollector,
+)
 from repro.core.streaming import RECORD_SIZE
 from repro.kernel import Kernel, MachineSpec, Sys
 from repro.net import Message
@@ -59,7 +64,7 @@ def test_statistics_match_in_kernel_collector():
         if collector_cls is StreamingDeltaCollector:
             collector = collector_cls(kernel, proc.pid, [Sys.SENDMSG]).attach()
         else:
-            collector = collector_cls(kernel, proc.pid, [Sys.SENDMSG], mode="vm").attach()
+            collector = collector_cls(kernel, proc.pid, [Sys.SENDMSG], "vm").attach()
         kernel.env.run()
         return collector.snapshot()
 
@@ -81,7 +86,7 @@ def test_full_buffer_drops_records():
     kernel = _kernel()
     proc = _echo_server(kernel, sends=10, period_ms=1)
     collector = StreamingDeltaCollector(
-        kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+        kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(capacity=4)
     ).attach()
     kernel.env.run()  # no draining while the workload runs
     assert collector.lost_records == 6
@@ -92,7 +97,7 @@ def test_periodic_draining_prevents_drops():
     kernel = _kernel()
     proc = _echo_server(kernel, sends=10, period_ms=1)
     collector = StreamingDeltaCollector(
-        kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+        kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(capacity=4)
     ).attach()
 
     def drainer():
@@ -149,7 +154,7 @@ def test_multi_cpu_streaming_preserves_timestamp_order():
     kernel = _kernel()
     proc = _two_sender_server(kernel, sends=5, period_ms=2)
     collector = StreamingDeltaCollector(
-        kernel, proc.pid, [Sys.SENDMSG], cpus=2
+        kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(cpus=2)
     ).attach()
     kernel.env.run()
     records = collector.drain()  # raised "backwards" before the fix
@@ -164,11 +169,11 @@ def test_multi_cpu_statistics_match_in_kernel_collector():
         proc = _two_sender_server(kernel, sends=6, period_ms=3)
         if streaming:
             collector = StreamingDeltaCollector(
-                kernel, proc.pid, [Sys.SENDMSG], cpus=2
+                kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(cpus=2)
             ).attach()
         else:
             collector = DeltaCollector(
-                kernel, proc.pid, [Sys.SENDMSG], mode="vm"
+                kernel, proc.pid, [Sys.SENDMSG], "vm"
             ).attach()
         kernel.env.run()
         return collector.snapshot()
@@ -233,7 +238,7 @@ class TestWindowedLoss:
         kernel = _kernel()
         proc = _echo_server(kernel, sends=10, period_ms=1)
         collector = StreamingDeltaCollector(
-            kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+            kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(capacity=4)
         ).attach()
         kernel.env.run()  # nothing drained: 6 of 10 records drop
         assert collector.lost_in_window == 6
@@ -248,7 +253,7 @@ class TestStreamMonitor:
         def run(mode):
             kernel = _kernel()
             proc = _echo_server(kernel, sends=10, period_ms=2)
-            monitor = RequestMetricsMonitor(kernel, proc.pid, mode=mode).attach()
+            monitor = RequestMetricsMonitor(kernel, proc.pid, config=mode).attach()
             kernel.env.run()
             return monitor.snapshot()
 
@@ -264,7 +269,8 @@ class TestStreamMonitor:
         kernel = _kernel()
         proc = _echo_server(kernel, sends=10, period_ms=1)
         monitor = RequestMetricsMonitor(
-            kernel, proc.pid, mode="stream", stream_capacity=4
+            kernel, proc.pid,
+            config=CollectorConfig(mode="stream", capacity=4)
         ).attach()
         kernel.env.run()  # no consumer: both buffers overflow
         snap = monitor.snapshot()
@@ -282,7 +288,8 @@ class TestStreamMonitor:
         kernel = _kernel()
         proc = _echo_server(kernel, sends=20, period_ms=1)
         monitor = RequestMetricsMonitor(
-            kernel, proc.pid, mode="stream", stream_capacity=4
+            kernel, proc.pid,
+            config=CollectorConfig(mode="stream", capacity=4)
         ).attach()
 
         def drainer():

@@ -1,0 +1,155 @@
+"""The unified CollectorConfig/ExportConfig contract and its migration
+path: validation, serialization, and the one-release deprecated aliases."""
+
+import pytest
+
+from repro.core import (
+    CollectorConfig,
+    DeltaCollector,
+    DurationCollector,
+    ExportConfig,
+    RequestMetricsMonitor,
+    StreamingDeltaCollector,
+)
+from repro.core.config import resolve_collector_config
+from repro.kernel import Kernel, MachineSpec, Sys
+from repro.sim import MSEC, Environment, SeedSequence
+
+
+def _kernel():
+    spec = MachineSpec(name="t", cores=4, ctx_switch_ns=0, syscall_overhead_ns=0)
+    return Kernel(Environment(), spec, SeedSequence(1), interference=False)
+
+
+class TestExportConfig:
+    def test_defaults(self):
+        config = ExportConfig()
+        assert config.window_ns == 100 * MSEC
+        assert config.namespace == "repro"
+        assert config.exemplars
+        assert config.labels == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExportConfig(window_ns=0)
+        with pytest.raises(ValueError):
+            ExportConfig(namespace="9bad")
+        with pytest.raises(ValueError):
+            ExportConfig(labels=(("9bad", "v"),))
+        with pytest.raises(ValueError):
+            ExportConfig(labels=(("__reserved", "v"),))
+
+    def test_round_trip(self):
+        config = ExportConfig(window_ns=5 * MSEC, namespace="x",
+                              exemplars=False, labels=(("host", "a"),))
+        assert ExportConfig.from_dict(config.to_dict()) == config
+
+    def test_replace(self):
+        assert ExportConfig().replace(window_ns=7).window_ns == 7
+
+
+class TestCollectorConfig:
+    def test_defaults(self):
+        config = CollectorConfig()
+        assert config.mode == "native"
+        assert config.vm_tier is None
+        assert config.cpus == 1
+        assert config.capacity == 65536
+        assert not config.charge_cost
+        assert config.export is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollectorConfig(mode="jit")
+        with pytest.raises(ValueError):
+            CollectorConfig(vm_tier="bogus")
+        with pytest.raises(ValueError):
+            CollectorConfig(cpus=0)
+        with pytest.raises(ValueError):
+            CollectorConfig(capacity=0)
+
+    def test_export_mapping_coerced(self):
+        config = CollectorConfig(export={"window_ns": 5 * MSEC})
+        assert isinstance(config.export, ExportConfig)
+        assert config.export.window_ns == 5 * MSEC
+
+    def test_round_trip(self):
+        config = CollectorConfig(mode="stream", vm_tier="fast", cpus=2,
+                                 capacity=128, charge_cost=True,
+                                 export=ExportConfig(window_ns=5 * MSEC))
+        assert CollectorConfig.from_dict(config.to_dict()) == config
+
+
+class TestResolve:
+    def test_none_gives_defaults(self):
+        assert resolve_collector_config(None, "X") == CollectorConfig()
+
+    def test_mode_string_shorthand(self):
+        assert resolve_collector_config("vm", "X").mode == "vm"
+
+    def test_config_passed_through(self):
+        config = CollectorConfig(mode="stream", capacity=8)
+        assert resolve_collector_config(config, "X") is config
+
+    def test_config_plus_legacy_is_type_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_collector_config(CollectorConfig(), "X", mode="vm")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="CollectorConfig"):
+            resolve_collector_config(42, "X")
+
+    def test_legacy_keywords_warn_and_build(self):
+        with pytest.warns(DeprecationWarning, match="X: .*deprecated"):
+            config = resolve_collector_config(None, "X", mode="vm", cpus=2)
+        assert config == CollectorConfig(mode="vm", cpus=2)
+
+    def test_capacity_aliases(self):
+        with pytest.warns(DeprecationWarning, match="capacity"):
+            a = resolve_collector_config(None, "X", per_cpu_capacity=7)
+        with pytest.warns(DeprecationWarning, match="capacity"):
+            b = resolve_collector_config(None, "X", stream_capacity=7)
+        assert a.capacity == b.capacity == 7
+
+
+class TestDeprecatedConstructorKeywords:
+    """Every collector constructor keeps the legacy keywords for one
+    release — warning, but behaving identically to the config form."""
+
+    def test_delta_collector(self):
+        with pytest.warns(DeprecationWarning, match="DeltaCollector"):
+            legacy = DeltaCollector(_kernel(), 1, [Sys.SENDMSG], mode="vm")
+        modern = DeltaCollector(_kernel(), 1, [Sys.SENDMSG], "vm")
+        assert legacy.config == modern.config
+
+    def test_duration_collector(self):
+        with pytest.warns(DeprecationWarning, match="DurationCollector"):
+            legacy = DurationCollector(
+                _kernel(), 1, [Sys.EPOLL_WAIT], charge_cost=True)
+        assert legacy.config.charge_cost
+
+    def test_streaming_collector(self):
+        with pytest.warns(DeprecationWarning, match="StreamingDeltaCollector"):
+            legacy = StreamingDeltaCollector(
+                _kernel(), 1, [Sys.SENDMSG], per_cpu_capacity=4)
+        assert legacy.config.capacity == 4
+        assert legacy.config.mode == "stream"
+
+    def test_monitor(self):
+        with pytest.warns(DeprecationWarning, match="RequestMetricsMonitor"):
+            legacy = RequestMetricsMonitor(
+                _kernel(), 1, mode="stream", stream_capacity=4)
+        assert legacy.config.mode == "stream"
+        assert legacy.config.capacity == 4
+
+    def test_config_plus_legacy_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            DeltaCollector(_kernel(), 1, [Sys.SENDMSG],
+                           CollectorConfig(), mode="vm")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode|mode must be"):
+            DeltaCollector(_kernel(), 1, [Sys.SENDMSG], "stream")
+        with pytest.raises(ValueError):
+            StreamingDeltaCollector(_kernel(), 1, [Sys.SENDMSG],
+                                    CollectorConfig(mode="vm"))

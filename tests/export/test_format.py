@@ -1,0 +1,170 @@
+"""Exposition-format primitives: escaping, value rendering, dialect rules.
+
+The property tests drive arbitrary label values and HELP text through
+render -> bundled strict parser and require a lossless round trip — the
+escaping contract the exporter relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.export.metrics import (
+    Exemplar,
+    MetricFamily,
+    escape_help,
+    escape_label_value,
+    format_value,
+    render_exposition,
+)
+from repro.export.parser import ParseError, parse_text
+
+# Any unicode text (no surrogates); newlines, quotes and backslashes are
+# exactly the characters the escaping rules exist for.
+_label_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+)
+_label_names = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,15}", fullmatch=True
+                             ).filter(lambda s: not s.startswith("__"))
+
+
+class TestFormatValue:
+    def test_integers_render_exactly(self):
+        big = (1 << 63) + 12345  # past float precision
+        assert format_value(big) == str(big)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            format_value(True)
+
+    def test_special_floats(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_float_repr_round_trips(self):
+        assert float(format_value(0.1)) == 0.1
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_help_escapes_keep_quotes(self):
+        assert escape_help('say "hi"\n') == 'say "hi"\\n'
+
+
+@given(value=_label_values)
+@settings(max_examples=200)
+def test_label_value_round_trips_through_parser(value):
+    family = MetricFamily("m", "gauge", "h")
+    family.add(1, (("l", value),))
+    families = parse_text(render_exposition([family]))
+    assert families["m"].samples[0].labels == {"l": value}
+
+
+@given(name=_label_names, value=_label_values)
+@settings(max_examples=100)
+def test_label_name_and_value_round_trip(name, value):
+    family = MetricFamily("m", "counter", "h")
+    family.add(3, ((name, value),))
+    families = parse_text(render_exposition([family]))
+    sample = families["m"].samples[0]
+    assert sample.name == "m_total"
+    assert sample.labels == {name: value}
+    assert sample.value == 3
+
+
+@given(text=_label_values)
+@settings(max_examples=100)
+def test_help_text_round_trips(text):
+    family = MetricFamily("m", "gauge", text)
+    families = parse_text(render_exposition([family]))
+    assert families["m"].help == text
+
+
+@given(name=st.text(max_size=10))
+@settings(max_examples=100)
+def test_invalid_metric_names_rejected(name):
+    import re
+
+    valid = re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name)
+    if valid:
+        MetricFamily(name, "gauge", "h")
+    else:
+        with pytest.raises(ValueError):
+            MetricFamily(name, "gauge", "h")
+
+
+class TestLabelValidation:
+    def test_invalid_label_name_rejected(self):
+        family = MetricFamily("m", "gauge", "h")
+        with pytest.raises(ValueError):
+            family.add(1, (("9bad", "v"),))
+        with pytest.raises(ValueError):
+            family.add(1, (("__reserved", "v"),))
+
+
+class TestDialects:
+    def _counter(self):
+        family = MetricFamily("m", "counter", "h")
+        family.add(7, (("k", "v"),),
+                   exemplar=Exemplar((("trace", "t1"),), 5, timestamp=1.5))
+        return family
+
+    def test_classic_counter_named_with_total(self):
+        text = render_exposition([self._counter()])
+        assert "# TYPE m_total counter" in text
+        assert 'm_total{k="v"} 7' in text
+        assert "# EOF" not in text
+        assert " # " not in text  # exemplars are OpenMetrics-only
+
+    def test_openmetrics_counter_named_bare(self):
+        text = render_exposition([self._counter()], openmetrics=True)
+        assert "# TYPE m counter" in text
+        assert 'm_total{k="v"} 7 # {trace="t1"} 5 1.500' in text
+        assert text.rstrip("\n").endswith("# EOF")
+
+    def test_both_dialects_parse(self):
+        for openmetrics in (False, True):
+            families = parse_text(
+                render_exposition([self._counter()], openmetrics=openmetrics))
+            assert families["m"].samples[0].value == 7
+
+    def test_exemplar_decoded(self):
+        families = parse_text(
+            render_exposition([self._counter()], openmetrics=True))
+        sample = families["m"].samples[0]
+        assert sample.exemplar_labels == {"trace": "t1"}
+        assert sample.exemplar_value == 5
+        assert sample.exemplar_timestamp == 1.5
+
+
+class TestParserStrictness:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ParseError, match="no preceding TYPE"):
+            parse_text("orphan 1\n")
+
+    def test_exemplar_outside_openmetrics_rejected(self):
+        with pytest.raises(ParseError, match="exemplar"):
+            parse_text('# TYPE m counter\nm_total 1 # {a="b"} 1\n')
+
+    def test_content_after_eof_rejected(self):
+        with pytest.raises(ParseError, match="EOF"):
+            parse_text("# TYPE m gauge\nm 1\n# EOF\nm 2\n")
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(ParseError, match="escape"):
+            parse_text('# TYPE m gauge\nm{l="a\\tb"} 1\n')
+
+    def test_missing_comma_between_labels_rejected(self):
+        with pytest.raises(ParseError):
+            parse_text('# TYPE m gauge\nm{a="1"b="2"} 1\n')
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_text('# TYPE m gauge\nm{a="1",a="2"} 1\n')
+
+    def test_gauge_with_suffix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_text("# TYPE m gauge\nm_total 1\n")

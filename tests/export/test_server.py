@@ -1,0 +1,89 @@
+"""The /metrics endpoint: content negotiation, lifecycle, error paths."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.export.metrics import MetricFamily, render_exposition
+from repro.export.parser import parse_text
+from repro.export.server import (
+    CONTENT_TYPE_OPENMETRICS,
+    CONTENT_TYPE_TEXT,
+    MetricsServer,
+)
+
+
+def _render(openmetrics: bool) -> str:
+    family = MetricFamily("m", "counter", "a counter")
+    family.add(7)
+    return render_exposition([family], openmetrics=openmetrics)
+
+
+def _get(url: str, accept: str = ""):
+    request = urllib.request.Request(
+        url, headers={"Accept": accept} if accept else {})
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.headers["Content-Type"], response.read().decode()
+
+
+def test_serves_classic_by_default():
+    with MetricsServer(_render) as server:
+        content_type, body = _get(server.url)
+    assert content_type == CONTENT_TYPE_TEXT
+    assert "# EOF" not in body
+    assert parse_text(body)["m"].samples[0].value == 7
+
+
+def test_accept_header_selects_openmetrics():
+    with MetricsServer(_render) as server:
+        content_type, body = _get(
+            server.url, accept="application/openmetrics-text")
+    assert content_type == CONTENT_TYPE_OPENMETRICS
+    assert body.rstrip("\n").endswith("# EOF")
+    assert parse_text(body)["m"].samples[0].value == 7
+
+
+def test_only_metrics_path_served():
+    with MetricsServer(_render) as server:
+        root = server.url[: -len("/metrics")]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{root}/other")
+        assert excinfo.value.code == 404
+
+
+def test_render_failure_returns_500():
+    def broken(_openmetrics: bool) -> str:
+        raise RuntimeError("boom")
+
+    with MetricsServer(broken) as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url)
+        assert excinfo.value.code == 500
+
+
+def test_double_start_rejected():
+    server = MetricsServer(_render).start()
+    try:
+        with pytest.raises(RuntimeError):
+            server.start()
+    finally:
+        server.stop()
+
+
+def test_stop_is_idempotent_and_frees_port():
+    server = MetricsServer(_render).start()
+    port = server.port
+    server.stop()
+    server.stop()  # no-op
+    # The port is released: a new server can bind it immediately.
+    rebound = MetricsServer(_render, port=port).start()
+    try:
+        assert rebound.port == port
+    finally:
+        rebound.stop()
+
+
+def test_port_before_start_rejected():
+    with pytest.raises(RuntimeError):
+        MetricsServer(_render).port

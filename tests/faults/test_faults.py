@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.executor import ExperimentSpec, execute_cell
-from repro.core import StreamingDeltaCollector
+from repro.core import CollectorConfig, StreamingDeltaCollector
 from repro.faults import (
     ConnectionReset,
     ConsumerSchedule,
@@ -63,7 +63,7 @@ class TestSlowConsumer:
         kernel = _kernel()
         proc = _echo_server(kernel, sends=10, period_ms=1)
         collector = StreamingDeltaCollector(
-            kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+            kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(capacity=4)
         ).attach()
         consumer = SlowConsumer(
             kernel.env, [collector], ConsumerSchedule(drain_interval_ns=2 * MSEC)
@@ -77,7 +77,7 @@ class TestSlowConsumer:
         kernel = _kernel()
         proc = _echo_server(kernel, sends=20, period_ms=1)
         collector = StreamingDeltaCollector(
-            kernel, proc.pid, [Sys.SENDMSG], per_cpu_capacity=4
+            kernel, proc.pid, [Sys.SENDMSG], CollectorConfig(capacity=4)
         ).attach()
         # Pause for 10 ms every 5 ms: the 4-record buffer overflows during
         # each outage.

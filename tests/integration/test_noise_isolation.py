@@ -19,7 +19,7 @@ def _run(with_noise: bool):
                     interference=False)
     app = definition.app_class(kernel, config).start()
     monitor = RequestMetricsMonitor(kernel, app.tgid, spec=config.syscalls,
-                                    mode="vm").attach()
+                                    config="vm").attach()
     noise = None
     if with_noise:
         noise = spawn_noise_process(kernel, syscalls_per_second=5000)

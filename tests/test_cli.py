@@ -55,6 +55,81 @@ def test_run_cache_round_trip(tmp_path, capsys):
     assert list(tmp_path.glob("*.json"))  # entry actually written
 
 
+def test_run_stream_json_reports_degraded_accounting(capsys):
+    """CLI JSON, LevelResult and the exporter must agree on lost-record
+    accounting: the stream-mode dump carries the same fields the exporter
+    renders."""
+    assert main(["run", "silo", "--rps", "600", "--requests", "150",
+                 "--monitor", "stream", "--stream-capacity", "4",
+                 "--no-cache", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["lost_records"] > 0
+    assert 0.0 < payload["confidence"] < 1.0
+    assert payload["rps_obsv_corrected"] >= payload["rps_obsv"]
+
+
+def test_run_stream_text_prints_lost_records(capsys):
+    assert main(["run", "silo", "--rps", "600", "--requests", "150",
+                 "--monitor", "stream", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "lost records" in out
+    assert "confidence" in out
+
+
+def test_run_export_window_emits_payload(capsys):
+    assert main(["run", "silo", "--rps", "600", "--requests", "200",
+                 "--export-window-ms", "20", "--monitor", "vm",
+                 "--no-cache", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    export = payload["export"]
+    assert export["windows"] >= 2
+    assert export["window_ns"] == 20_000_000
+    assert len(export["window_rps"]) == export["windows"]
+    assert len(export["window_lost"]) == export["windows"]
+    assert len(export["window_confidence"]) == export["windows"]
+    assert export["text"].startswith("# HELP")
+    assert export["openmetrics"].rstrip("\n").endswith("# EOF")
+    # Exporter and LevelResult agree on the degraded accounting.
+    assert sum(export["window_lost"]) == payload["lost_records"]
+
+
+def test_run_export_cache_round_trip(tmp_path, capsys):
+    args = ["run", "silo", "--rps", "600", "--requests", "150",
+            "--export-window-ms", "25", "--cache-dir", str(tmp_path),
+            "--json"]
+    assert main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(args) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first == second
+    assert first["export"]["windows"] >= 2
+
+
+def test_serve_oneshot_prints_parseable_exposition(capsys):
+    from repro.export.parser import parse_text
+
+    assert main(["serve", "silo", "--rps", "600", "--requests", "150",
+                 "--window-ms", "20", "--oneshot"]) == 0
+    families = parse_text(capsys.readouterr().out)
+    assert "repro_deltas" in families
+    assert "repro_delta_ns" in families
+
+
+def test_serve_oneshot_openmetrics(capsys):
+    assert main(["serve", "silo", "--rps", "600", "--requests", "150",
+                 "--window-ms", "20", "--oneshot", "--openmetrics"]) == 0
+    assert capsys.readouterr().out.rstrip("\n").endswith("# EOF")
+
+
+def test_serve_scrape_once_round_trips_over_http(capsys):
+    assert main(["serve", "silo", "--rps", "600", "--requests", "150",
+                 "--window-ms", "20", "--scrape-once"]) == 0
+    out = capsys.readouterr().out
+    assert "scraped" in out
+    assert "families" in out
+    assert "windows exported" in out
+
+
 def test_sweep(capsys):
     assert main(["sweep", "silo", "--levels", "4", "--requests", "200",
                  "--no-cache"]) == 0

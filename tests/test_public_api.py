@@ -16,11 +16,12 @@ SUBPACKAGES = [
     "repro.core",
     "repro.faults",
     "repro.analysis",
+    "repro.export",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_top_level_all_resolvable():
@@ -62,17 +63,20 @@ def test_executor_types_exported_at_top_level():
         assert hasattr(repro, name), name
 
 
-def test_run_level_legacy_form_deprecated_but_equal():
-    """The one-release migration contract: run_level(definition, rate, ...)
-    warns, and returns results bit-identical to run_level(spec)."""
+def test_run_level_legacy_form_removed():
+    """The deprecation cycle is over: the keyword form raises with a
+    message pointing at the ExperimentSpec replacement."""
     definition = repro.get_workload("silo")
-    spec = repro.ExperimentSpec(
-        workload="silo", offered_rps=500, requests=150, seed=7
-    )
-    modern = repro.run_level(spec)
-    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-        legacy = repro.run_level(definition, 500, requests=150, seed=7)
-    assert legacy.to_dict() == modern.to_dict()
+    with pytest.raises(TypeError):
+        repro.run_level(definition, 500, requests=150, seed=7)
+    with pytest.raises(TypeError, match="ExperimentSpec.*removed"):
+        repro.run_level(definition)
+
+
+def test_collector_config_exported_at_top_level():
+    for name in ("CollectorConfig", "ExportConfig"):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name), name
 
 
 def test_run_level_spec_form_rejects_extra_arguments():
