@@ -164,6 +164,30 @@ def write_baseline(data: dict) -> Path:
     return path
 
 
+def profile_headline_cell(requests: int, path: Path) -> Path:
+    """Profile one compiled-tier execution of the headline cell.
+
+    The dump is the optimisation work's primary artifact: ``tottime`` on
+    the flat service loops, the engine drain loop, and the compiled probe
+    bodies shows exactly where the remaining cycles go.  Written in the
+    binary ``pstats`` format (``python -m pstats <path>``).
+    """
+    import cProfile
+
+    name, workload, mode, faulted = next(
+        row for row in CELL_MATRIX if row[0] == HEADLINE_CELL
+    )
+    spec = _spec_for(workload, mode, requests).replace(vm_tier="compiled")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_cell(spec, faulted)
+    profiler.disable()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    profiler.dump_stats(path)
+    print(f"cProfile stats for {name} (compiled tier) written to {path}")
+    return path
+
+
 def _report(data: dict, println) -> None:
     println("BENCH-E2E-CELL — end-to-end cell CPU time, three VM tiers")
     for name, cell in data["cells"].items():
@@ -217,11 +241,17 @@ def main(argv=None) -> int:
                         help="requests per cell (default: 250 smoke / 1200 full)")
     parser.add_argument("--reps", type=int, default=None,
                         help="timed repetitions per tier (default: 1 smoke / 3 full)")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="also run the headline cell's compiled tier "
+                             "under cProfile and dump the stats to PATH "
+                             "(binary pstats; inspect with python -m pstats)")
     args = parser.parse_args(argv)
     requests = args.requests or (250 if args.smoke else 1200)
     reps = args.reps or (1 if args.smoke else 3)
 
     data = run_benchmark(requests, reps=reps, smoke=args.smoke)
+    if args.profile:
+        profile_headline_cell(requests, Path(args.profile))
     baseline = write_baseline(data)
     _report(data, print)
     print(f"baseline written to {baseline}")

@@ -19,6 +19,13 @@ Cells whose reference cost is below ``--min-cpu-s`` in either run are
 skipped: at sub-50ms totals the ratio is dominated by fixed per-cell
 setup, not the probe hot loop, and would flap.
 
+The committed full-size baseline is additionally held to absolute
+per-cell compiled-tier speedup floors (``SPEEDUP_FLOORS``): every cell
+of the matrix must keep the compiled probe + workload-sim tiers at
+least 3x cheaper than the reference interpreter.  The drift check above
+cannot catch a slow erosion that refreshes the baseline each time; the
+floors can.
+
 The gate also judges the export pipeline when a fresh
 ``bench_export_overhead`` smoke record is present (absent records are
 reported and skipped, so the gate works on branches that never ran the
@@ -46,6 +53,21 @@ JUDGED_TIERS = ("fast", "compiled")
 
 DEFAULT_THRESHOLD = 1.25
 DEFAULT_MIN_CPU_S = 0.05
+
+#: Absolute compiled-tier speedup floor (reference cpu_s / compiled cpu_s)
+#: each cell of the committed full-size baseline must hold.  Unlike the
+#: fresh-vs-baseline drift check above, this gates the baseline itself:
+#: a refresh that lands with a cell below its floor means the compiled
+#: sim/probe tiers stopped covering that cell's hot path.  Smoke runs are
+#: never judged here — their ratios are setup-dominated.
+SPEEDUP_FLOORS = {
+    "data-caching/vm/clean": 3.0,
+    "data-caching/stream/clean": 3.0,
+    "data-caching/vm/faulted": 3.0,
+    "triton-grpc/vm/clean": 3.0,
+    "triton-grpc/stream/clean": 3.0,
+    "triton-grpc/vm/faulted": 3.0,
+}
 
 
 def _usage_error(message: str) -> SystemExit:
@@ -121,6 +143,38 @@ def check(fresh: dict, baseline: dict, threshold: float, min_cpu_s: float, print
     return failures
 
 
+def check_baseline_floors(baseline: dict, println=print) -> int:
+    """Gate the committed baseline's absolute compiled-tier speedups.
+
+    Returns the number of cells below their floor.  Cells missing from
+    the baseline are failures too — dropping a floored cell from the
+    matrix must be an explicit decision here, not a silent skip.
+    """
+    failures = 0
+    if baseline.get("smoke"):
+        println("skip speedup floors: baseline is a smoke record")
+        return 0
+    for name, floor in sorted(SPEEDUP_FLOORS.items()):
+        cell = baseline["cells"].get(name)
+        if cell is None:
+            println(f"FAIL {name:<28} missing from the committed baseline")
+            failures += 1
+            continue
+        speedup = cell["speedup_vs_reference"].get("compiled")
+        if speedup is None:
+            println(f"FAIL {name:<28} no compiled-tier timing in baseline")
+            failures += 1
+            continue
+        verdict = "FAIL" if speedup < floor else "ok"
+        println(
+            f"{verdict:>4} {name:<28} compiled  "
+            f"{speedup:.2f}x vs reference (floor {floor}x, committed baseline)"
+        )
+        if speedup < floor:
+            failures += 1
+    return failures
+
+
 def check_export(fresh: dict, baseline: dict, println=print) -> int:
     """Gate the export pipeline; returns the number of failures.
 
@@ -190,6 +244,7 @@ def main(argv=None) -> int:
     fresh = load_run(Path(args.fresh))
     baseline = load_run(Path(args.baseline))
     failures = check(fresh, baseline, args.threshold, args.min_cpu_s)
+    failures += check_baseline_floors(baseline)
 
     export_fresh_path = Path(args.export_fresh)
     if export_fresh_path.exists():

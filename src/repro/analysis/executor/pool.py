@@ -105,7 +105,12 @@ def execute_cell(
     seeds = spec.seed_sequence()
     kernel = Kernel(env, machine, seeds, interference=spec.interference)
 
-    app = definition.build(kernel, spec.client_to_server, spec.server_to_client)
+    app = definition.build(
+        kernel,
+        spec.client_to_server,
+        spec.server_to_client,
+        sim_tier=spec.resolved_sim_tier,
+    )
     monitor = RequestMetricsMonitor(
         kernel, app.tgid, spec=config.syscalls, config=spec.collector_config(),
     ).attach()

@@ -35,6 +35,10 @@ VM_TIERS = ("reference", "fast", "compiled")
 #: Arrival processes understood by :class:`~repro.loadgen.OpenLoopClient`.
 ARRIVAL_PROCESSES = ("uniform", "poisson")
 
+#: Workload-sim tiers (see :mod:`repro.workloads.compiled`): ``"auto"``
+#: follows the eBPF ``vm_tier`` (compiled probes -> compiled sim).
+SIM_TIERS = ("auto", "reference", "compiled")
+
 
 def _package_version() -> str:
     # Imported lazily: repro/__init__ imports this module (indirectly) while
@@ -105,6 +109,12 @@ class ExperimentSpec:
     #: identical metrics; the field is part of the cache key so cached
     #: results record which tier computed them.
     vm_tier: str = "compiled"
+    #: Workload-sim tier: ``"reference"`` runs the generator service
+    #: loops, ``"compiled"`` the trace-specialized flat loops (both
+    #: bit-identical, see :mod:`repro.workloads.compiled`), ``"auto"``
+    #: picks compiled exactly when ``vm_tier`` is compiled.  Part of the
+    #: cache key so cached results record how they were simulated.
+    sim_tier: str = "auto"
     #: Charge the probe's execution cost to the traced syscalls.
     charge_cost: bool = False
     #: Number of per-window Eq. 1 estimates to compute.
@@ -140,6 +150,10 @@ class ExperimentSpec:
             raise ValueError(
                 f"vm_tier must be one of {VM_TIERS}, got {self.vm_tier!r}"
             )
+        if self.sim_tier not in SIM_TIERS:
+            raise ValueError(
+                f"sim_tier must be one of {SIM_TIERS}, got {self.sim_tier!r}"
+            )
         if self.estimate_windows < 1:
             raise ValueError("estimate_windows must be >= 1")
         if self.arrival not in ARRIVAL_PROCESSES:
@@ -156,6 +170,14 @@ class ExperimentSpec:
     def definition(self) -> WorkloadDefinition:
         """The workload definition this spec names."""
         return get_workload(self.workload)
+
+    @property
+    def resolved_sim_tier(self) -> str:
+        """The workload-sim tier this spec actually requests of the app:
+        ``"auto"`` resolves to compiled iff the eBPF tier is compiled."""
+        if self.sim_tier == "auto":
+            return "compiled" if self.vm_tier == "compiled" else "reference"
+        return self.sim_tier
 
     def seed_sequence(self) -> SeedSequence:
         """The cell's own seed sequence.
@@ -205,6 +227,7 @@ class ExperimentSpec:
             "monitor_mode": self.monitor_mode,
             "stream_capacity": self.stream_capacity,
             "vm_tier": self.vm_tier,
+            "sim_tier": self.sim_tier,
             "charge_cost": self.charge_cost,
             "estimate_windows": self.estimate_windows,
             "interference": self.interference,

@@ -287,8 +287,8 @@ class DeltaCollector:
     (or a bare mode string); a config with ``export`` set additionally
     maintains the in-probe log2 delta histogram the export pipeline
     consumes (:meth:`hist_snapshot`).  The per-knob keywords (``mode``,
-    ``charge_cost``, ``vm_tier``, ``cpus``) are deprecated aliases kept
-    for one release.
+    ``charge_cost``, ``vm_tier``, ``cpus``) are removed: supplying any of
+    them raises :class:`TypeError` with the migration hint.
     """
 
     def __init__(

@@ -10,16 +10,17 @@ the monitor, and :class:`~repro.analysis.executor.ExperimentSpec` — so a
 consumer stage like the Prometheus exporter (:mod:`repro.export`) is just
 another field (``export``), not a special case.
 
-The legacy keywords remain accepted for one release as deprecated aliases
-(:func:`resolve_collector_config` emits the :class:`DeprecationWarning`);
-the test suite promotes these warnings to errors so no in-repo caller can
-regress onto them.
+The legacy keywords went through one release as deprecated aliases (with a
+:class:`DeprecationWarning`) and are now *removed*: supplying any of them
+is a :class:`TypeError`.  The keywords stay in the constructor signatures
+so callers migrating across two releases get the targeted migration
+message from :func:`resolve_collector_config` rather than a bare
+unexpected-keyword error.
 """
 
 from __future__ import annotations
 
 import re
-import warnings
 from dataclasses import asdict, dataclass, field, replace as _dc_replace
 from typing import Mapping, Optional, Tuple, Union
 
@@ -188,18 +189,22 @@ def resolve_collector_config(
 
     ``config`` may be a :class:`CollectorConfig`, a bare mode string (the
     positional shorthand: ``DeltaCollector(kernel, tgid, nrs, "vm")``), or
-    ``None``.  ``legacy`` carries the deprecated per-knob keywords with
-    ``None`` meaning "not supplied"; supplying any of them emits a
-    :class:`DeprecationWarning` (promoted to an error in the test suite)
-    and mixing them with an explicit ``config`` is a :class:`TypeError`.
+    ``None``.  ``legacy`` carries the *removed* per-knob keywords with
+    ``None`` meaning "not supplied"; supplying any of them — alone or
+    mixed with an explicit ``config`` — is a :class:`TypeError` carrying
+    the migration hint (they were deprecated aliases for one release).
     """
     supplied = {k: v for k, v in legacy.items() if v is not None}
+    if supplied:
+        hints = ", ".join(
+            f"{_FIELD_ALIASES.get(k, k)}=..." for k in sorted(supplied)
+        )
+        raise TypeError(
+            f"{where}: the keyword(s) {', '.join(sorted(supplied))} were "
+            f"removed after their deprecation cycle; pass "
+            f"config=CollectorConfig({hints}) instead"
+        )
     if config is not None:
-        if supplied:
-            raise TypeError(
-                f"{where}: pass either config=CollectorConfig(...) or the "
-                f"legacy keyword(s) {sorted(supplied)}, not both"
-            )
         if isinstance(config, str):
             return CollectorConfig(mode=config)
         if not isinstance(config, CollectorConfig):
@@ -208,17 +213,4 @@ def resolve_collector_config(
                 f"string, got {type(config).__name__}"
             )
         return config
-    if supplied:
-        fields = {_FIELD_ALIASES.get(k, k): v for k, v in supplied.items()}
-        hints = ", ".join(
-            f"{_FIELD_ALIASES.get(k, k)}=..." for k in sorted(supplied)
-        )
-        warnings.warn(
-            f"{where}: the keyword(s) {', '.join(sorted(supplied))} are "
-            f"deprecated and will be removed in the next release; pass "
-            f"config=CollectorConfig({hints}) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return CollectorConfig(**fields)
     return CollectorConfig()

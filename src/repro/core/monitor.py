@@ -192,8 +192,8 @@ class RequestMetricsMonitor:
         exactly as in the paper's first methodology.
 
         The old per-knob keywords (``mode``, ``charge_cost``,
-        ``stream_capacity``, ``vm_tier``, ``cpus``) remain accepted as
-        deprecated aliases for one release.
+        ``stream_capacity``, ``vm_tier``, ``cpus``) are removed: supplying
+        any of them raises :class:`TypeError` with the migration hint.
 
     Note: with export enabled the window loop keeps a simulated event
     pending forever, so drive the environment with an explicit

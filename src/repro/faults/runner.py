@@ -36,7 +36,14 @@ def run_faulted_cell(
     schedule contains faults that can swallow requests outright
     (``WorkerCrash`` without restart, ``ConnectionReset``), otherwise the
     cell never finishes.
+
+    Faulted cells always run the *reference* workload-sim tier:
+    kill/respawn semantics live on the fully general generator path, so a
+    compiled-tier request (explicit or via ``sim_tier="auto"``) is
+    overridden here rather than risking a specialized worker being
+    respawned into a half-specialized state.
     """
+    spec = spec.replace(sim_tier="reference")
     state = {}
 
     def setup(handles: CellHandles) -> None:

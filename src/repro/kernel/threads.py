@@ -38,12 +38,24 @@ class KProcess:
         self.fds = FdTable()
         self.tasks: List["KernelTask"] = []
 
-    def spawn_thread(self, fn, name: Optional[str] = None) -> "KernelTask":
-        """Create a task running ``fn(task)`` (a generator function)."""
+    def spawn_thread(self, fn, name: Optional[str] = None, flat: bool = False) -> "KernelTask":
+        """Create a task running ``fn(task)`` (a generator function).
+
+        ``flat=True`` drives the body with the compiled-tier
+        :class:`~repro.sim.compiled.FlatProcess` instead of a plain
+        :class:`Process` — reserved for the trace-specialized loops of
+        :mod:`repro.workloads.compiled`, whose generators uphold that
+        driver's yield discipline.
+        """
         task = self.kernel._new_task(self, name or f"{self.name}/t{len(self.tasks)}")
         self.tasks.append(task)
         task.body_fn = fn
-        task.sim_process = self.kernel.env.process(fn(task), name=task.name)
+        if flat:
+            from ..sim.compiled import FlatProcess
+
+            task.sim_process = FlatProcess(self.kernel.env, fn(task), name=task.name)
+        else:
+            task.sim_process = self.kernel.env.process(fn(task), name=task.name)
         return task
 
     def kill_thread(self, task: "KernelTask", cause: str = "killed") -> bool:

@@ -110,8 +110,18 @@ class Channel:
         """Model a connection reset on this direction: every message
         already in flight (sent before now) is discarded instead of
         delivered, like data queued on a connection that receives an RST.
-        Messages sent from this instant on flow normally."""
+        Messages sent from this instant on flow normally.
+
+        The post-reset direction is a *new* TCP connection, so the pacing
+        and flow-density state of the torn-down one must not leak into it:
+        the in-order watermark would head-of-line-block the first fresh
+        send behind discarded in-flight data, and a stale send-gap EWMA
+        would let the new flow inherit the old flow's fast-retransmit
+        density estimate."""
         self._drop_sent_before = self.env.now
+        self._last_arrival = -1
+        self._last_send_ns = None
+        self._gap_ewma_ns = None
 
     def _arrive(self, message: Message) -> None:
         if message.sent_at is not None and message.sent_at < self._drop_sent_before:

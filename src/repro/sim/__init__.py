@@ -4,6 +4,7 @@ This package is self-contained and application-agnostic: the kernel, network
 and workload layers are all built on these primitives.
 """
 
+from .compiled import FlatProcess
 from .engine import EmptySchedule, Environment
 from .events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
 from .process import Process
@@ -21,6 +22,7 @@ __all__ = [
     "AllOf",
     "Interrupt",
     "Process",
+    "FlatProcess",
     "Resource",
     "Request",
     "Store",

@@ -1,0 +1,118 @@
+"""Compiled-tier process driver for trace-specialized service loops.
+
+The workload specializer (:mod:`repro.workloads.compiled`) flattens each
+app archetype's steady-state service loop into a single generator with the
+syscall plumbing inlined.  Those generators are *internal*: they only ever
+yield live events owned by their own environment, so the full
+:class:`~repro.sim.process.Process` resume path — active-process
+bookkeeping, yield-type validation, cross-environment checks — is pure
+overhead on the simulator's hottest call site.  :class:`FlatProcess` is
+the lean driver: same event semantics (it *is* a :class:`Process`, so
+joins, ``interrupt`` and the fault injector's kill path keep working),
+with a resume that does only the work the flat generators can observe.
+
+Self-driving generators
+-----------------------
+
+A flat generator may end its cold-path setup by yielding the
+:data:`SELF_DRIVE` sentinel.  :meth:`FlatProcess._resume` answers by
+sending the generator *its own* ``send`` bound method and stepping aside:
+from that point on the generator pre-registers ``send`` as the sole
+callback of every event it is about to wait on (``event.callbacks =
+[my_send]``) and suspends on a bare ``yield``.  The engine's dispatch
+loop then resumes the generator *directly* — ``callback(event)`` is
+``gen.send(event)`` — with no driver frame, no callback append, and no
+fresh event allocation on the hot path (the specialized loops re-arm one
+claim and one hold event per worker).  The yield expression evaluates to
+the dispatched event, so value-carrying waits read ``(yield)._value``.
+
+The trade: a self-driven generator no longer maintains ``_target``, so it
+cannot be interrupted or killed (``repro.faults.runner`` forces faulted
+cells onto the reference tier for exactly this reason), and every one of
+its yields after the switch must be self-registered — a bubbled
+``yield from`` through the reference syscall helpers would strand the
+process.
+
+The contract mirrors ``repro.ebpf.compiled``'s relationship to the VM
+tiers: bit-identical behaviour, pinned by the differential suite in
+``tests/workloads/test_compiled_apps.py``.
+"""
+
+from __future__ import annotations
+
+from .events import Event
+from .process import Process
+
+__all__ = ["FlatProcess", "SELF_DRIVE"]
+
+#: Yielded (once) by a flat generator to switch to the self-driving
+#: protocol; answered by sending the generator its own ``send`` method.
+SELF_DRIVE = object()
+
+
+class FlatProcess(Process):
+    """A :class:`Process` whose resume path is specialized for generated
+    flat service loops.
+
+    Dropped relative to :meth:`Process._resume` (all unobservable by the
+    generated loops):
+
+    * ``env._active_process`` tracking — never read anywhere in the tree;
+    * the ``isinstance(next_target, Event)`` yield validation — generated
+      code yields only events (or the :data:`SELF_DRIVE` sentinel, once);
+    * the cross-environment check — generated code closes over exactly one
+      environment.
+
+    Kept: ``_target`` tracking (``interrupt``/``kill_thread`` need it),
+    StopIteration/exception conversion, the failed-event throw path, and
+    the already-processed-target re-schedule path (a dispatch-queue getter
+    can be handed its item while the flat executor is still paying a
+    syscall's entry cost, so the target may be processed by the time it is
+    yielded — exactly as in the reference path).
+    """
+
+    __slots__ = ()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event.defuse()
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.fail(exc)
+            return
+
+        if next_target is SELF_DRIVE:
+            # Hand over: the generator runs its first self-registered
+            # stint right now and the engine drives it directly after.
+            generator = self._generator
+            self._target = None
+            try:
+                generator.send(generator.send)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+
+        self._target = next_target
+        if next_target.callbacks is None:
+            # Already-processed events resume the process on the next step.
+            env = self.env
+            resume = Event(env)
+            resume._ok = next_target._ok
+            resume._value = next_target._value
+            if not next_target._ok:
+                next_target.defuse()
+                resume.defuse()
+            resume.callbacks.append(self._resume)
+            env._schedule(resume, env._now)
+        else:
+            next_target.callbacks.append(self._resume)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 from .events import AllOf, AnyOf, Event, Timeout
@@ -15,22 +16,46 @@ class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
+#: Canceled-set compaction trigger: below this many dead entries, lazy
+#: deletion is always cheaper than a rebuild.
+_COMPACT_MIN = 64
+
+
 class Environment:
     """A simulation environment with an integer-nanosecond clock.
 
     Events are processed in (time, priority, insertion-order) order, making
     runs fully deterministic: two events scheduled for the same instant fire
     in the order they were scheduled unless priorities differ.
+
+    Internally the schedule is two structures sharing one insertion
+    counter: a heap for future (or non-default-priority) events, and a
+    plain FIFO deque for events scheduled *at the current instant* with
+    default priority — the trigger paths (``succeed``/``fail``, resource
+    grants, process resume), which are the bulk of all scheduling.  A
+    same-instant default-priority event can never sort before anything
+    already due, so appending it to the deque is order-equivalent to
+    pushing it on the heap while skipping the heap's sift entirely.  The
+    dispatch loops merge the two by comparing the heap head's
+    (time, priority, eid) against the deque head's eid at the current
+    instant, which preserves the exact total order.
     """
 
     def __init__(self, initial_time: int = 0) -> None:
         self._now = int(initial_time)
         self._queue: list = []
+        #: Same-instant batch lane: (eid, event) pairs scheduled for *now*
+        #: at default priority, in insertion order.  Always drained before
+        #: the clock can advance.
+        self._immediate: deque = deque()
         self._eid = 0
         self._active_process: Optional[Process] = None
-        #: Lazily-canceled events: still sitting in the heap, but discarded
-        #: (callbacks never run, clock not advanced) when popped.  Lazy
-        #: deletion keeps :meth:`cancel` O(1) instead of rebuilding the heap.
+        #: Lazily-canceled events: still sitting in the schedule, but
+        #: discarded (callbacks never run, clock not advanced) when popped.
+        #: Lazy deletion keeps :meth:`cancel` O(1) instead of rebuilding
+        #: the heap; a threshold-based compaction (see :meth:`cancel`)
+        #: keeps the dead entries from accumulating without bound when
+        #: canceled events are never popped.
         self._canceled: set = set()
 
     # -- clock ---------------------------------------------------------------
@@ -50,7 +75,10 @@ class Environment:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._eid += 1
-        heappush(self._queue, (self._now + int(delay), priority, self._eid, event))
+        if delay == 0 and priority == 1:
+            self._immediate.append((self._eid, event))
+        else:
+            heappush(self._queue, (self._now + int(delay), priority, self._eid, event))
 
     def _schedule(self, event: Event, when: int, priority: int = 1) -> None:
         """Internal schedule path: absolute time, no validation.
@@ -58,24 +86,101 @@ class Environment:
         The trigger paths (:meth:`Event.succeed`/``fail``, process resume)
         always schedule for *now*, so the public method's delay validation
         and ``int()`` coercion are pure overhead on the hottest call site
-        in the simulator.
+        in the simulator; those calls land in the same-instant batch lane.
         """
         self._eid += 1
-        heappush(self._queue, (when, priority, self._eid, event))
+        if when == self._now and priority == 1:
+            self._immediate.append((self._eid, event))
+        else:
+            heappush(self._queue, (when, priority, self._eid, event))
 
     def cancel(self, event: Event) -> None:
         """Lazily cancel a scheduled event.
 
-        The event stays in the heap but is silently discarded when it
+        The event stays in the schedule but is silently discarded when it
         reaches the front: its callbacks never run and the clock does not
         advance to its deadline.  This is O(1) per cancel (no heap
-        rebuild), at the cost of dead entries lingering until popped —
-        the right trade for watchdog timers that are almost always
-        canceled before they fire.
+        rebuild) — the right trade for watchdog timers that are almost
+        always canceled before they fire.
+
+        Dead entries would otherwise linger until popped, which is never
+        when a run stops before their deadlines (e.g. repeated
+        ``run(until=horizon)`` windows canceling watchdogs each window),
+        so once the dead entries outnumber the live ones — and there are
+        enough of them for a rebuild to beat lazy deletion — the schedule
+        is compacted: canceled entries are filtered out and only the
+        cancellations that were actually consumed are forgotten (an event
+        canceled before it was ever scheduled keeps its suppression).
         """
         if event.callbacks is None:
             raise RuntimeError(f"cannot cancel {event!r}: already processed")
-        self._canceled.add(event)
+        canceled = self._canceled
+        canceled.add(event)
+        if (
+            len(canceled) > _COMPACT_MIN
+            and len(canceled) * 2 > len(self._queue) + len(self._immediate)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Physically remove canceled entries from the schedule.
+
+        Both containers are filtered *in place*: the dispatch loops hoist
+        them into locals, so rebinding ``self._queue``/``self._immediate``
+        here would silently detach a running ``run()`` from the schedule.
+        """
+        queue = self._queue
+        canceled = self._canceled
+        kept = [entry for entry in queue if entry[3] not in canceled]
+        if len(kept) != len(queue):
+            canceled.difference_update(
+                entry[3] for entry in queue if entry[3] in canceled
+            )
+            queue[:] = kept
+            heapify(queue)
+        immediate = self._immediate
+        if immediate:
+            kept_now = [e for e in immediate if e[1] not in canceled]
+            if len(kept_now) != len(immediate):
+                canceled.difference_update(
+                    e[1] for e in immediate if e[1] in canceled
+                )
+                immediate.clear()
+                immediate.extend(kept_now)
+
+    def fast_forward(self, until: int) -> int:
+        """Jump the clock straight to ``until`` (ns), skipping an idle span.
+
+        This is the O(1) counterpart of ``run(until=...)`` for spans known
+        to contain no live events — e.g. the gap to the next arrival burst
+        after a window's work drained.  Canceled entries inside the span
+        are purged in bulk instead of being popped one by one.  Raises
+        ``RuntimeError`` if any live event is scheduled at or before
+        ``until`` (fast-forwarding over it would corrupt causality), and
+        ``ValueError`` for a target in the past.  Returns the new clock.
+        """
+        horizon = int(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        queue = self._queue
+        canceled = self._canceled
+        immediate = self._immediate
+        while immediate and canceled and immediate[0][1] in canceled:
+            canceled.discard(immediate.popleft()[1])
+        if immediate:
+            raise RuntimeError(
+                f"cannot fast-forward to {horizon}: live event scheduled at {self._now}"
+            )
+        while queue and queue[0][0] <= horizon:
+            if canceled and queue[0][3] in canceled:
+                canceled.discard(heappop(queue)[3])
+            else:
+                raise RuntimeError(
+                    f"cannot fast-forward to {horizon}: live event scheduled "
+                    f"at {queue[0][0]}"
+                )
+        self._now = horizon
+        return horizon
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or ``None`` if queue is empty.
@@ -83,8 +188,13 @@ class Environment:
         Canceled events are purged from the front first, so the reported
         time is one that :meth:`step` would actually advance the clock to.
         """
-        queue = self._queue
         canceled = self._canceled
+        immediate = self._immediate
+        while immediate and canceled and immediate[0][1] in canceled:
+            canceled.discard(immediate.popleft()[1])
+        if immediate:
+            return self._now
+        queue = self._queue
         while queue and canceled and queue[0][3] in canceled:
             canceled.discard(heappop(queue)[3])
         return queue[0][0] if queue else None
@@ -111,19 +221,42 @@ class Environment:
         return AllOf(self, events)
 
     # -- execution ---------------------------------------------------------
-    def step(self) -> None:
-        """Process the single next event."""
+    def _pop_next(self):
+        """Pop the next live event honoring the heap/deque merge order.
+
+        Returns ``(when, event)``; raises :class:`EmptySchedule` when no
+        live events remain.  The dispatch loops in :meth:`run` inline this
+        logic — keep them in lockstep.
+        """
         queue = self._queue
+        immediate = self._immediate
         canceled = self._canceled
         while True:
-            try:
+            if immediate:
+                if queue:
+                    head = queue[0]
+                    if head[0] == self._now and (
+                        head[1] < 1 or (head[1] == 1 and head[2] < immediate[0][0])
+                    ):
+                        when, _prio, _eid, event = heappop(queue)
+                    else:
+                        event = immediate.popleft()[1]
+                        when = self._now
+                else:
+                    event = immediate.popleft()[1]
+                    when = self._now
+            elif queue:
                 when, _prio, _eid, event = heappop(queue)
-            except IndexError:
-                raise EmptySchedule() from None
+            else:
+                raise EmptySchedule()
             if canceled and event in canceled:
                 canceled.discard(event)
                 continue
-            break
+            return when, event
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, event = self._pop_next()
         self._now = when
 
         callbacks, event.callbacks = event.callbacks, None
@@ -151,34 +284,70 @@ class Environment:
         bit-identically to :meth:`step`.
         """
         queue = self._queue
+        immediate = self._immediate
         canceled = self._canceled
+        pop = heappop
+        imm_pop = immediate.popleft
 
         if until is None:
-            while queue:
-                when, _prio, _eid, event = heappop(queue)
+            while True:
+                if immediate:
+                    if queue:
+                        head = queue[0]
+                        if head[0] == self._now and (
+                            head[1] < 1 or (head[1] == 1 and head[2] < immediate[0][0])
+                        ):
+                            when, _prio, _eid, event = pop(queue)
+                            self._now = when
+                        else:
+                            event = imm_pop()[1]
+                    else:
+                        event = imm_pop()[1]
+                elif queue:
+                    when, _prio, _eid, event = pop(queue)
+                    if canceled and event in canceled:
+                        canceled.discard(event)
+                        continue
+                    self._now = when
+                else:
+                    return None
                 if canceled and event in canceled:
                     canceled.discard(event)
                     continue
-                self._now = when
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
                     callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
-            return None
 
         if isinstance(until, Event):
             stop = until
             while stop.callbacks is not None:
-                if not queue:
+                if immediate:
+                    if queue:
+                        head = queue[0]
+                        if head[0] == self._now and (
+                            head[1] < 1 or (head[1] == 1 and head[2] < immediate[0][0])
+                        ):
+                            when, _prio, _eid, event = pop(queue)
+                            self._now = when
+                        else:
+                            event = imm_pop()[1]
+                    else:
+                        event = imm_pop()[1]
+                elif queue:
+                    when, _prio, _eid, event = pop(queue)
+                    if canceled and event in canceled:
+                        canceled.discard(event)
+                        continue
+                    self._now = when
+                else:
                     raise RuntimeError(
                         f"simulation ran out of events before {stop!r} triggered"
                     )
-                when, _prio, _eid, event = heappop(queue)
                 if canceled and event in canceled:
                     canceled.discard(event)
                     continue
-                self._now = when
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
                     callback(event)
@@ -192,12 +361,31 @@ class Environment:
         horizon = int(until)
         if horizon < self._now:
             raise ValueError(f"until={horizon} lies in the past (now={self._now})")
-        while queue and queue[0][0] <= horizon:
-            when, _prio, _eid, event = heappop(queue)
+        # The immediate lane always holds events at the current instant,
+        # which is <= horizon by the check above and only advances through
+        # heap pops that the horizon bound already limits.
+        while immediate or (queue and queue[0][0] <= horizon):
+            if immediate:
+                if queue:
+                    head = queue[0]
+                    if head[0] == self._now and (
+                        head[1] < 1 or (head[1] == 1 and head[2] < immediate[0][0])
+                    ):
+                        when, _prio, _eid, event = pop(queue)
+                        self._now = when
+                    else:
+                        event = imm_pop()[1]
+                else:
+                    event = imm_pop()[1]
+            else:
+                when, _prio, _eid, event = pop(queue)
+                if canceled and event in canceled:
+                    canceled.discard(event)
+                    continue
+                self._now = when
             if canceled and event in canceled:
                 canceled.discard(event)
                 continue
-            self._now = when
             callbacks, event.callbacks = event.callbacks, None
             for callback in callbacks:
                 callback(event)
@@ -207,4 +395,5 @@ class Environment:
         return None
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} pending={len(self._queue)}>"
+        pending = len(self._queue) + len(self._immediate)
+        return f"<Environment now={self._now} pending={pending}>"

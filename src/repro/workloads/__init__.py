@@ -7,6 +7,7 @@ from .base import (
     TwoTierApp,
     WorkloadConfig,
 )
+from .compiled import try_specialize
 from .noise import spawn_noise_process
 from .registry import (
     WORKLOADS,
@@ -32,4 +33,5 @@ __all__ = [
     "register_workload",
     "unregister_workload",
     "spawn_noise_process",
+    "try_specialize",
 ]

@@ -116,6 +116,15 @@ def _round_robin_split(items: Sequence, buckets: int) -> List[list]:
 class ServerApp:
     """Common wiring: connections, setup phase, client socket exposure."""
 
+    #: Requested workload-sim tier: ``"reference"`` (generator service
+    #: loops) or ``"compiled"`` (trace-specialized flat loops from
+    #: :mod:`repro.workloads.compiled`).  Set before :meth:`start`.
+    requested_sim_tier = "reference"
+    #: The tier actually running after :meth:`start` — ``"compiled"``
+    #: requests fall back to ``"reference"`` when the app's exact type or
+    #: config is not specializable.
+    sim_tier = "reference"
+
     def __init__(self, kernel: Kernel, config: WorkloadConfig,
                  client_to_server: Optional[NetemConfig] = None,
                  server_to_client: Optional[NetemConfig] = None) -> None:
@@ -159,8 +168,20 @@ class ServerApp:
     def start(self) -> "ServerApp":
         if self._started:
             raise RuntimeError(f"{self.config.name} already started")
+        requested = self.requested_sim_tier
+        if requested not in ("reference", "compiled"):
+            raise ValueError(
+                f"unknown sim tier {requested!r}; pick 'reference' or 'compiled'"
+            )
         self._started = True
         self._open_connections()
+        if requested == "compiled":
+            from .compiled import try_specialize
+
+            if try_specialize(self):
+                self.sim_tier = "compiled"
+                return self
+        self.sim_tier = "reference"
         self._spawn()
         return self
 

@@ -51,11 +51,21 @@ class WorkloadDefinition:
         kernel: Kernel,
         client_to_server: Optional[NetemConfig] = None,
         server_to_client: Optional[NetemConfig] = None,
+        sim_tier: str = "reference",
     ) -> ServerApp:
-        """Instantiate and start the app on a kernel."""
-        return self.app_class(
-            kernel, self.config, client_to_server, server_to_client
-        ).start()
+        """Instantiate and start the app on a kernel.
+
+        ``sim_tier`` requests the workload-simulation tier: ``"compiled"``
+        runs the trace-specialized service loops of
+        :mod:`repro.workloads.compiled` when the app supports them
+        (falling back to the generator path otherwise — check the
+        started app's ``sim_tier`` attribute for the resolved tier).
+        The request is set as an instance attribute rather than passed to
+        the constructor so custom ``app_class`` signatures keep working.
+        """
+        app = self.app_class(kernel, self.config, client_to_server, server_to_client)
+        app.requested_sim_tier = sim_tier
+        return app.start()
 
 
 def _tailbench(key, label, fail_rps, workers, cores, mean_ns, cv,

@@ -1,5 +1,6 @@
 """The unified CollectorConfig/ExportConfig contract and its migration
-path: validation, serialization, and the one-release deprecated aliases."""
+path: validation, serialization, and the removed legacy keywords (which
+served their one-release deprecation cycle and now raise TypeError)."""
 
 import pytest
 
@@ -92,58 +93,64 @@ class TestResolve:
         assert resolve_collector_config(config, "X") is config
 
     def test_config_plus_legacy_is_type_error(self):
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError, match="removed"):
             resolve_collector_config(CollectorConfig(), "X", mode="vm")
 
     def test_wrong_type_rejected(self):
         with pytest.raises(TypeError, match="CollectorConfig"):
             resolve_collector_config(42, "X")
 
-    def test_legacy_keywords_warn_and_build(self):
-        with pytest.warns(DeprecationWarning, match="X: .*deprecated"):
-            config = resolve_collector_config(None, "X", mode="vm", cpus=2)
-        assert config == CollectorConfig(mode="vm", cpus=2)
+    def test_legacy_keywords_raise_with_migration_hint(self):
+        with pytest.raises(TypeError, match=r"X: .*removed.*CollectorConfig\(cpus=\.\.\., mode=\.\.\.\)"):
+            resolve_collector_config(None, "X", mode="vm", cpus=2)
 
-    def test_capacity_aliases(self):
-        with pytest.warns(DeprecationWarning, match="capacity"):
-            a = resolve_collector_config(None, "X", per_cpu_capacity=7)
-        with pytest.warns(DeprecationWarning, match="capacity"):
-            b = resolve_collector_config(None, "X", stream_capacity=7)
-        assert a.capacity == b.capacity == 7
+    def test_capacity_aliases_named_in_hint(self):
+        with pytest.raises(TypeError, match=r"CollectorConfig\(capacity=\.\.\.\)"):
+            resolve_collector_config(None, "X", per_cpu_capacity=7)
+        with pytest.raises(TypeError, match=r"CollectorConfig\(capacity=\.\.\.\)"):
+            resolve_collector_config(None, "X", stream_capacity=7)
 
 
-class TestDeprecatedConstructorKeywords:
-    """Every collector constructor keeps the legacy keywords for one
-    release — warning, but behaving identically to the config form."""
+class TestRemovedConstructorKeywords:
+    """The legacy per-knob keywords stayed in the constructor signatures
+    after their deprecation cycle so that supplying one raises the
+    targeted migration TypeError, not a bare unexpected-keyword error."""
 
     def test_delta_collector(self):
-        with pytest.warns(DeprecationWarning, match="DeltaCollector"):
-            legacy = DeltaCollector(_kernel(), 1, [Sys.SENDMSG], mode="vm")
+        with pytest.raises(TypeError, match="DeltaCollector.*removed"):
+            DeltaCollector(_kernel(), 1, [Sys.SENDMSG], mode="vm")
         modern = DeltaCollector(_kernel(), 1, [Sys.SENDMSG], "vm")
-        assert legacy.config == modern.config
+        assert modern.config.mode == "vm"
 
     def test_duration_collector(self):
-        with pytest.warns(DeprecationWarning, match="DurationCollector"):
-            legacy = DurationCollector(
-                _kernel(), 1, [Sys.EPOLL_WAIT], charge_cost=True)
-        assert legacy.config.charge_cost
+        with pytest.raises(TypeError, match="DurationCollector.*removed"):
+            DurationCollector(_kernel(), 1, [Sys.EPOLL_WAIT], charge_cost=True)
+        modern = DurationCollector(
+            _kernel(), 1, [Sys.EPOLL_WAIT],
+            CollectorConfig(charge_cost=True))
+        assert modern.config.charge_cost
 
     def test_streaming_collector(self):
-        with pytest.warns(DeprecationWarning, match="StreamingDeltaCollector"):
-            legacy = StreamingDeltaCollector(
+        with pytest.raises(TypeError,
+                           match="StreamingDeltaCollector.*removed"):
+            StreamingDeltaCollector(
                 _kernel(), 1, [Sys.SENDMSG], per_cpu_capacity=4)
-        assert legacy.config.capacity == 4
-        assert legacy.config.mode == "stream"
+        modern = StreamingDeltaCollector(
+            _kernel(), 1, [Sys.SENDMSG], CollectorConfig(capacity=4))
+        assert modern.config.capacity == 4
+        assert modern.config.mode == "stream"
 
     def test_monitor(self):
-        with pytest.warns(DeprecationWarning, match="RequestMetricsMonitor"):
-            legacy = RequestMetricsMonitor(
-                _kernel(), 1, mode="stream", stream_capacity=4)
-        assert legacy.config.mode == "stream"
-        assert legacy.config.capacity == 4
+        with pytest.raises(TypeError, match="RequestMetricsMonitor.*removed"):
+            RequestMetricsMonitor(_kernel(), 1, mode="stream",
+                                  stream_capacity=4)
+        modern = RequestMetricsMonitor(
+            _kernel(), 1, config=CollectorConfig(mode="stream", capacity=4))
+        assert modern.config.mode == "stream"
+        assert modern.config.capacity == 4
 
     def test_config_plus_legacy_rejected(self):
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError, match="removed"):
             DeltaCollector(_kernel(), 1, [Sys.SENDMSG],
                            CollectorConfig(), mode="vm")
 

@@ -125,6 +125,50 @@ def test_duplicate_consumes_link_capacity():
     assert second == 24 * MSEC
 
 
+def test_reset_clears_pacing_watermark():
+    """Regression: the in-order watermark must not survive a reset.
+
+    Pre-fix, ``reset()`` left ``_last_arrival`` pointing at the discarded
+    in-flight message's arrival, so the first send on the *new* connection
+    head-of-line-blocked behind data that was never going to be delivered.
+    """
+    env = Environment()
+    # 1 Mbit/s: the 1000-byte in-flight message holds the link until 8 ms.
+    chan, received = _channel(env, NetemConfig(rate_bps=1_000_000))
+    chan.send(Message(size=1000, tag=1))
+
+    def resetter():
+        yield env.timeout(1 * MSEC)
+        chan.reset()
+        chan.send(Message(size=1, tag=2))
+
+    env.process(resetter())
+    env.run()
+    assert [msg.tag for _, msg in received] == [2]
+    # The fresh connection's send must not queue behind the torn-down
+    # connection's 8 ms serialization slot.
+    assert received[0][0] < 2 * MSEC
+
+
+def test_reset_clears_flow_density_state():
+    """Regression: the send-gap EWMA is per-connection state and must not
+    leak through a reset into the replacement connection."""
+    env = Environment()
+    chan, _ = _channel(env, NetemConfig(delay_ns=1 * MSEC))
+
+    def sender():
+        chan.send(Message())
+        yield env.timeout(1 * MSEC)
+        chan.send(Message())
+        assert chan._gap_ewma_ns is not None
+        chan.reset()
+        assert chan._last_send_ns is None
+        assert chan._gap_ewma_ns is None
+
+    env.process(sender())
+    env.run()
+
+
 def test_reset_drops_in_flight_messages():
     env = Environment()
     chan, received = _channel(env, NetemConfig(delay_ns=5 * MSEC))

@@ -269,3 +269,113 @@ def test_watchdog_timer_canceled_when_done_fires():
     # queue must not advance the clock anywhere near its deadline.
     kernel.env.run()
     assert kernel.env.now - done_at < 10_000_000_000
+
+
+# ----------------------------------------------------------------------
+# canceled-set compaction and fast-forward
+# ----------------------------------------------------------------------
+
+def test_canceled_set_bounded_across_horizon_windows():
+    """Regression: dead schedule entries must not accumulate without bound.
+
+    The windowed-collection pattern — every window arms a far-future
+    watchdog, does its work, cancels the watchdog, then stops at the
+    window edge via ``run(until=horizon)`` — never pops the canceled
+    entries (the run stops long before their deadlines).  Pre-compaction,
+    both the canceled set and the heap grew by one dead entry per cancel
+    for the whole simulation.
+    """
+    env = Environment()
+    windows, per_window = 200, 5
+    for w in range(windows):
+        watchdogs = [env.timeout(10_000_000_000) for _ in range(per_window)]
+        env.timeout(10)  # some live work inside the window
+        env.run(until=(w + 1) * 1_000)
+        for watchdog in watchdogs:
+            env.cancel(watchdog)
+    dead = windows * per_window
+    assert len(env._canceled) < dead // 4
+    assert len(env._queue) + len(env._immediate) < dead // 4
+
+
+def test_compaction_keeps_live_events():
+    """Compaction must only drop canceled entries — live watchdogs armed
+    alongside hundreds of canceled ones still fire on schedule."""
+    env = Environment()
+    fired = []
+    keeper = env.timeout(5_000_000)
+    keeper.callbacks.append(lambda ev: fired.append(env.now))
+    for _ in range(500):
+        env.cancel(env.timeout(1_000_000_000))
+    env.run()
+    assert fired == [5_000_000]
+
+
+def test_cancel_before_schedule_survives_compaction():
+    """An event canceled while only in the canceled set (never scheduled)
+    keeps its suppression through a compaction pass."""
+    env = Environment()
+    pending = env.event()
+    pending.callbacks.append(lambda ev: pytest.fail("canceled event fired"))
+    env.cancel(pending)
+    for _ in range(500):  # force at least one compaction
+        env.cancel(env.timeout(1_000_000_000))
+    pending.succeed("late")  # schedules it; the old cancel must still hold
+    env.run()
+
+
+def test_fast_forward_skips_idle_span():
+    env = Environment()
+    assert env.fast_forward(1_000_000) == 1_000_000
+    assert env.now == 1_000_000
+
+
+def test_fast_forward_purges_canceled_entries_in_bulk():
+    env = Environment()
+    for _ in range(10):
+        env.cancel(env.timeout(500))
+    env.fast_forward(1_000)
+    assert env.now == 1_000
+    assert not env._queue
+    assert not env._canceled
+
+
+def test_fast_forward_refuses_to_jump_over_live_events():
+    env = Environment()
+    env.timeout(500)
+    with pytest.raises(RuntimeError):
+        env.fast_forward(1_000)
+    with pytest.raises(ValueError):
+        env.fast_forward(-1)
+
+
+def test_immediate_lane_merges_with_heap_in_eid_order():
+    """Same-instant default-priority events split across the two schedule
+    containers — zero-delay Timeouts land on the heap, ``succeed()`` lands
+    in the immediate deque — must still dispatch in creation order."""
+    order = []
+
+    def build(env):
+        for i in range(10):
+            if i % 2:
+                ev = env.event()
+                ev.callbacks.append(lambda _e, i=i: order.append(i))
+                ev.succeed(i)  # immediate lane
+            else:
+                t = env.timeout(0)  # heap, same instant
+                t.callbacks.append(lambda _e, i=i: order.append(i))
+
+    env = Environment()
+    build(env)
+    env.run()
+    run_order = list(order)
+
+    order.clear()
+    env = Environment()
+    build(env)
+    while True:
+        try:
+            env.step()
+        except EmptySchedule:
+            break
+    assert run_order == order == list(range(10))

@@ -1,0 +1,166 @@
+"""Differential suite for the compiled workload-sim tier.
+
+The trace-specialized flat service loops (:mod:`repro.workloads.compiled`)
+carry the same contract as the eBPF compiled tier: **bit-identical**
+metrics to the reference generator apps, or they are broken.  These tests
+pin that contract across every registered workload in both collection
+methodologies, across all three eBPF VM tiers, and through the fault
+runner's forced fallback — plus the per-config fallback rules themselves.
+
+The cells here are deliberately small (identity does not need load); the
+3x speed floor is gated by the full-size ``benchmarks/bench_e2e_cell.py``
+baseline instead.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import ExperimentSpec, execute_cell
+from repro.analysis.executor.spec import VM_TIERS
+from repro.faults import WorkerCrash, run_faulted_cell
+from repro.kernel import Kernel, MachineSpec
+from repro.sim import SEC, Environment, SeedSequence
+from repro.workloads import (
+    DispatchPoolApp,
+    ThreadedPollApp,
+    get_workload,
+    workload_keys,
+)
+
+#: Per-workload offered rates comfortably inside each app's capacity.
+RATES = {
+    "data-caching": 4000.0,
+    "img-dnn": 3000.0,
+    "moses": 2500.0,
+    "silo": 4000.0,
+    "specjbb": 2000.0,
+    "triton-grpc": 1500.0,
+    "triton-http": 1200.0,
+    "web-search": 2000.0,
+    "xapian": 2500.0,
+}
+
+
+def _spec(workload, mode="vm", requests=150, **kw):
+    return ExperimentSpec(workload=workload, offered_rps=RATES[workload],
+                          requests=requests, monitor_mode=mode, **kw)
+
+
+def _result(workload, mode, sim_tier, requests=150):
+    return execute_cell(
+        _spec(workload, mode, requests, sim_tier=sim_tier)
+    ).to_dict()
+
+
+def test_rate_table_covers_registry():
+    assert sorted(RATES) == sorted(workload_keys())
+
+
+@pytest.mark.parametrize("workload", sorted(RATES))
+@pytest.mark.parametrize("mode", ["vm", "stream"])
+def test_compiled_sim_is_bit_identical(workload, mode):
+    """Every workload, both methodologies: the flat loops must reproduce
+    the generator apps' LevelResult exactly — every metric field,
+    including the eBPF-side statistics and per-window estimates."""
+    assert _result(workload, mode, "reference") == \
+        _result(workload, mode, "compiled")
+
+
+@pytest.mark.parametrize("workload", ["data-caching", "triton-grpc",
+                                      "web-search"])
+def test_identity_holds_across_vm_tiers(workload):
+    """One archetype per app class: crossing the workload-sim tier with
+    each eBPF VM tier must leave the metrics bit-identical (the two tier
+    axes specialize independently)."""
+    for vm_tier in VM_TIERS:
+        ref = execute_cell(_spec(workload, vm_tier=vm_tier,
+                                 sim_tier="reference")).to_dict()
+        comp = execute_cell(_spec(workload, vm_tier=vm_tier,
+                                  sim_tier="compiled")).to_dict()
+        assert ref == comp, f"{workload} diverged on vm_tier={vm_tier}"
+
+
+def test_auto_sim_tier_follows_vm_tier():
+    spec = _spec("data-caching")
+    assert spec.sim_tier == "auto"
+    assert spec.replace(vm_tier="compiled").resolved_sim_tier == "compiled"
+    assert spec.replace(vm_tier="reference").resolved_sim_tier == "reference"
+    assert spec.replace(vm_tier="fast").resolved_sim_tier == "reference"
+    assert spec.replace(vm_tier="compiled",
+                        sim_tier="reference").resolved_sim_tier == "reference"
+
+
+def test_faulted_cell_falls_back_to_generator_path():
+    """A worker crash needs kill/respawn semantics the flat loops do not
+    implement: the fault runner must force the reference tier even when
+    the spec asks for the compiled one, and deliver the same result."""
+    spec = _spec("data-caching", requests=200, sim_tier="compiled")
+    run_ns = int(spec.requests * SEC / spec.offered_rps)
+    faults = [WorkerCrash(at_ns=run_ns // 4, restart_after_ns=run_ns // 4)]
+    forced, report = run_faulted_cell(
+        spec, faults=faults, retry_timeout_ns=run_ns // 2)
+    explicit, _ = run_faulted_cell(
+        spec.replace(sim_tier="reference"), faults=faults,
+        retry_timeout_ns=run_ns // 2)
+    assert report.killed >= 1
+    assert forced.completed == spec.requests
+    assert forced.to_dict() == explicit.to_dict()
+
+
+# ----------------------------------------------------------------------
+# fallback rules
+# ----------------------------------------------------------------------
+
+def _started_app(definition, sim_tier="compiled", config=None):
+    spec = MachineSpec(name="t", cores=4, ctx_switch_ns=0,
+                       syscall_overhead_ns=0)
+    kernel = Kernel(Environment(), spec, SeedSequence(7), interference=False)
+    app = definition.app_class(kernel, config or definition.config, None, None)
+    app.requested_sim_tier = sim_tier
+    return app.start()
+
+
+def test_supported_configs_specialize():
+    assert _started_app(get_workload("data-caching")).sim_tier == "compiled"
+    assert _started_app(get_workload("triton-grpc")).sim_tier == "compiled"
+    assert _started_app(get_workload("web-search")).sim_tier == "compiled"
+
+
+def test_io_uring_falls_back():
+    definition = get_workload("data-caching")
+    config = dataclasses.replace(definition.config, io_uring=True)
+    app = _started_app(definition, config=config)
+    assert isinstance(app, ThreadedPollApp)
+    assert app.sim_tier == "reference"
+
+
+def test_dynamic_batching_falls_back():
+    definition = get_workload("triton-grpc")
+    config = dataclasses.replace(definition.config, batch_max=4,
+                                 batch_window_ns=100_000)
+    app = _started_app(definition, config=config)
+    assert isinstance(app, DispatchPoolApp)
+    assert app.sim_tier == "reference"
+
+
+def test_subclass_falls_back():
+    """Specialization keys on the *exact* app class: a subclass may have
+    overridden any hook the flat loops inline past."""
+    definition = get_workload("data-caching")
+
+    class TweakedApp(ThreadedPollApp):
+        pass
+
+    tweaked = dataclasses.replace(definition, app_class=TweakedApp)
+    assert _started_app(tweaked).sim_tier == "reference"
+
+
+def test_reference_request_never_specializes():
+    app = _started_app(get_workload("data-caching"), sim_tier="reference")
+    assert app.sim_tier == "reference"
+
+
+def test_unknown_tier_rejected():
+    with pytest.raises(ValueError, match="unknown sim tier"):
+        _started_app(get_workload("data-caching"), sim_tier="jit")
