@@ -13,6 +13,10 @@ Commands:
   serve the rendered exposition at ``/metrics`` (``--oneshot`` prints it
   instead; ``--scrape-once`` self-scrapes over HTTP and exits — the CI
   smoke mode);
+* ``correlate`` — run the blind-spot scenario pack (or one scenario with
+  ``--scenario``) against a workload with the cross-layer correlator on
+  and report whether each scenario produced its annotated taxonomy
+  label; exits non-zero on a miss, so it doubles as the CI smoke;
 * ``report`` — render ``results/*.json`` into markdown
   (same as ``python -m repro.analysis.report``).
 
@@ -38,10 +42,11 @@ from .analysis import (
     save_sweep,
     sweep,
 )
+from .analysis.correlate import AGREE_HEALTHY, correlation_of
 from .analysis.figures import series_table, sparkline
 from .analysis.report import load_results, render_report
 from .analysis.results import results_dir
-from .core.config import ExportConfig
+from .core.config import CorrelateConfig, ExportConfig
 from .sim.timebase import MSEC
 from .workloads import get_workload, workload_keys, WORKLOADS
 
@@ -81,6 +86,12 @@ def _spec_from_run_args(args, definition, rate) -> ExperimentSpec:
     export = None
     if getattr(args, "export_window_ms", None) is not None:
         export = ExportConfig(window_ns=int(args.export_window_ms * MSEC))
+    correlate = None
+    if getattr(args, "correlate_window_ms", None) is not None:
+        correlate = CorrelateConfig(
+            window_ns=int(args.correlate_window_ms * MSEC))
+    elif getattr(args, "correlate", False):
+        correlate = CorrelateConfig()
     return ExperimentSpec(
         workload=definition.key,
         offered_rps=rate,
@@ -91,6 +102,7 @@ def _spec_from_run_args(args, definition, rate) -> ExperimentSpec:
         vm_tier=args.vm_tier,
         cpus=args.cpus,
         export=export,
+        correlate=correlate,
     )
 
 
@@ -125,6 +137,14 @@ def _cmd_run(args) -> int:
         print(f"  export             : {level.export['windows']:6d} windows, "
               f"{level.export['scrapes']} scrapes, "
               f"{level.export['bytes_rendered']} bytes rendered")
+    correlation = correlation_of(level)
+    if correlation is not None:
+        discrepant = len(correlation.discrepancies)
+        counts = ", ".join(f"{label}={count}"
+                           for label, count in correlation.counts.items()
+                           if count)
+        print(f"  correlation        : {len(correlation.windows):6d} windows, "
+              f"{discrepant} discrepant ({counts})")
     print(f"  executor           : {stats.summary()}")
     return 0
 
@@ -231,6 +251,70 @@ def _cmd_serve(args) -> int:
         server.stop()
 
 
+def _cmd_correlate(args) -> int:
+    from .faults import SCENARIOS, run_blind_spot_cell
+    from .faults import scenario as lookup_scenario
+
+    definition = get_workload(args.workload)
+    rate = args.rps if args.rps else definition.paper_fail_rps * args.load
+    spec = ExperimentSpec(workload=definition.key, offered_rps=rate,
+                          requests=args.requests, seed=args.seed)
+    correlate = None
+    if args.window_ms is not None:
+        correlate = CorrelateConfig(window_ns=int(args.window_ms * MSEC))
+    try:
+        entries = ([lookup_scenario(args.scenario)] if args.scenario
+                   else list(SCENARIOS))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    rows = []
+    for entry in entries:
+        _result, report, fault_report = run_blind_spot_cell(
+            spec, entry, correlate=correlate)
+        if entry.expected_label == AGREE_HEALTHY:
+            detected = report.clean  # the control must be *only* healthy
+        else:
+            detected = entry.expected_label in report.labels
+        rows.append((entry, report, fault_report, detected))
+
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "scenario": entry.key,
+                    "expected_label": entry.expected_label,
+                    "detected": detected,
+                    "faults_applied": len(fault_report.applied),
+                    "report": report.to_dict(),
+                }
+                for entry, report, fault_report, detected in rows
+            ],
+            indent=2, sort_keys=True,
+        ))
+        return 0 if all(detected for *_rest, detected in rows) else 1
+
+    print(f"blind-spot scenarios on {definition.label!r} at {rate:g} "
+          f"offered rps ({spec.requests} requests, seed {spec.seed})\n")
+    for entry, report, _fault_report, detected in rows:
+        verdict = "ok  " if detected else "MISS"
+        counts = ", ".join(f"{label}={count}"
+                           for label, count in report.counts.items() if count)
+        print(f"  [{verdict}] {entry.key:<18} expected "
+              f"{entry.expected_label:<14} got {counts}")
+    if args.verbose:
+        for _entry, report, _fault_report, _detected in rows:
+            print()
+            print(report.summary())
+    missed = [entry.key for entry, *_rest, detected in rows if not detected]
+    if missed:
+        print(f"\n{len(missed)} scenario(s) missed their expected label: "
+              f"{', '.join(missed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     directory = results_dir() if args.results is None else args.results
     print(render_report(load_results(directory)))
@@ -291,6 +375,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             metavar="MS",
                             help="enable the Prometheus export pipeline with "
                                  "this window/scrape interval (sim time)")
+    run_parser.add_argument("--correlate", action="store_true",
+                            help="enable the cross-layer correlator with the "
+                                 "default window")
+    run_parser.add_argument("--correlate-window-ms", type=float, default=None,
+                            metavar="MS",
+                            help="enable the correlator with this window "
+                                 "(sim time; implies --correlate)")
     _add_executor_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run a full load sweep")
@@ -327,6 +418,30 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="serve, self-scrape over HTTP, validate, "
                                    "exit (CI smoke mode)")
 
+    correlate_parser = sub.add_parser(
+        "correlate",
+        help="run blind-spot scenarios with the cross-layer correlator")
+    correlate_parser.add_argument("workload", choices=workload_keys())
+    correlate_parser.add_argument("--scenario", default=None,
+                                  help="run only this scenario "
+                                       "(default: the whole pack)")
+    correlate_parser.add_argument("--rps", type=float, default=None,
+                                  help="offered RPS (overrides --load)")
+    correlate_parser.add_argument("--load", type=float, default=0.5,
+                                  help="fraction of the paper failure RPS "
+                                       "(default 0.5)")
+    correlate_parser.add_argument("--requests", type=int, default=600)
+    correlate_parser.add_argument("--seed", type=int, default=1317)
+    correlate_parser.add_argument("--window-ms", type=float, default=None,
+                                  metavar="MS",
+                                  help="correlation window in sim ms "
+                                       "(default: a tenth of the run)")
+    correlate_parser.add_argument("--json", action="store_true",
+                                  help="emit per-scenario reports as JSON")
+    correlate_parser.add_argument("--verbose", action="store_true",
+                                  help="print each scenario's full window "
+                                       "summary")
+
     report_parser = sub.add_parser("report", help="render results/ to markdown")
     report_parser.add_argument("--results", default=None)
     return parser
@@ -339,6 +454,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
+        "correlate": _cmd_correlate,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

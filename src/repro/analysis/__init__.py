@@ -1,5 +1,17 @@
 """Experiment harness: typed specs, parallel executor, persistence, renderers."""
 
+from .correlate import (
+    AGREE_DEGRADED,
+    AGREE_HEALTHY,
+    APP_SILENT,
+    KERNEL_SILENT,
+    TAXONOMY,
+    CorrelationReport,
+    WindowRecorder,
+    WindowVerdict,
+    correlate_windows,
+    correlation_of,
+)
 from .executor import (
     CellProgress,
     ExecutorStats,
@@ -25,6 +37,17 @@ from .tables import render_table1, render_table2
 from .timeline import phase_summary, render_stream, render_timeline
 
 __all__ = [
+    # cross-layer correlation
+    "AGREE_DEGRADED",
+    "AGREE_HEALTHY",
+    "APP_SILENT",
+    "KERNEL_SILENT",
+    "TAXONOMY",
+    "CorrelationReport",
+    "WindowRecorder",
+    "WindowVerdict",
+    "correlate_windows",
+    "correlation_of",
     # specs + executor
     "ExperimentSpec",
     "ResultCache",

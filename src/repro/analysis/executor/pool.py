@@ -127,13 +127,40 @@ def execute_cell(
         arrival=spec.arrival,
         retry_timeout_ns=retry_timeout_ns,
     )
+    recorder = None
+    outcome_log: Optional[list] = None
+    if spec.correlate is not None:
+        # Imported lazily: repro.analysis.correlate consumes executor types
+        # through LevelResult.extra only, but keeping the import local means
+        # cells without correlation never pay for the module.
+        from ..correlate import WindowRecorder
+
+        recorder = WindowRecorder(monitor, spec.correlate.window_ns).start()
+        outcome_log = client.enable_outcome_log()
     if setup is not None:
         setup(CellHandles(env=env, kernel=kernel, app=app,
                           monitor=monitor, client=client))
     client.start()
     report: ClientReport = env.run(until=client.done)
     export_payload: Optional[dict] = None
-    if monitor.exporter is not None:
+    extra: Optional[dict] = None
+    if recorder is not None:
+        from ..correlate import correlate_windows
+
+        windows = recorder.finish()
+        # Merging the recorded windows reproduces the unwindowed totals
+        # exactly (carried-anchor window semantics), so the headline
+        # LevelResult numbers stay bit-identical to a correlate-off cell.
+        snapshot = recorder.merged() if windows else monitor.snapshot()
+        correlation = correlate_windows(
+            windows,
+            outcome_log or (),
+            spec.correlate,
+            config.qos_latency_ns,
+            workload=definition.key,
+        )
+        extra = {"correlation": correlation.to_dict()}
+    elif monitor.exporter is not None:
         # Close the partial tail window, then rebuild the whole-run view by
         # merging the exported windows — bit-identical to the unwindowed
         # snapshot in vm/native modes (the carried-anchor window semantics
@@ -180,13 +207,15 @@ def execute_cell(
         poll_count=snapshot.poll.count,
         window_rps=window_estimates(send_times, spec.estimate_windows),
         lost_records=snapshot.lost_records,
-        confidence=snapshot.confidence,
+        confidence=snapshot.overall_confidence,
         rps_obsv_corrected=snapshot.rps_obsv_corrected,
+        recv_rate_corrected=snapshot.recv_rate_corrected,
         machine=machine.name,
         netem_label=c2s.label(),
         utilization=kernel.cpu.utilization(),
         sim_duration_ns=env.now,
         export=export_payload,
+        extra=extra,
     )
 
 

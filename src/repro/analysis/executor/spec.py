@@ -15,7 +15,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace as _dc_replace
 from typing import List, Mapping, Optional, Sequence, Union
 
-from ...core.config import CollectorConfig, ExportConfig
+from ...core.config import CollectorConfig, CorrelateConfig, ExportConfig
 from ...kernel.machine import AMD_EPYC_7302, MACHINES, InterferenceSpec, MachineSpec
 from ...net.netem import NetemConfig
 from ...sim.rng import SeedSequence
@@ -129,6 +129,13 @@ class ExperimentSpec:
     #: in the cache key: export-enabled cells run an extra simulated
     #: window loop, so their results must never be served for plain runs.
     export: Optional[ExportConfig] = None
+    #: Cross-layer blind-spot correlation (``None`` = off).  When set, the
+    #: cell closes a metrics window every ``correlate.window_ns``, logs
+    #: client-side request outcomes, and attaches the post-hoc
+    #: :class:`~repro.analysis.correlate.CorrelationReport` to
+    #: ``LevelResult.extra["correlation"]``.  Participates in the cache
+    #: key for the same reason ``export`` does.
+    correlate: Optional[CorrelateConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "machine", _machine_from(self.machine))
@@ -164,6 +171,18 @@ class ExperimentSpec:
             raise ValueError(f"cpus must be >= 1, got {self.cpus}")
         if isinstance(self.export, Mapping):
             object.__setattr__(self, "export", ExportConfig.from_dict(self.export))
+        if isinstance(self.correlate, Mapping):
+            object.__setattr__(
+                self, "correlate", CorrelateConfig.from_dict(self.correlate)
+            )
+        if self.correlate is not None and self.export is not None:
+            # Both stages drive their own snapshot(reset=True) window loop;
+            # two cadences resetting the same collectors would corrupt each
+            # other's windows.
+            raise ValueError(
+                "correlate and export cannot be combined in one cell: both "
+                "own the monitor's window loop (run two cells instead)"
+            )
 
     # -- derived views ---------------------------------------------------
     @property
@@ -234,6 +253,7 @@ class ExperimentSpec:
             "arrival": self.arrival,
             "cpus": self.cpus,
             "export": self.export.to_dict() if self.export else None,
+            "correlate": self.correlate.to_dict() if self.correlate else None,
         }
 
     @classmethod
@@ -246,6 +266,9 @@ class ExperimentSpec:
         export = data.get("export")
         if export is not None and not isinstance(export, ExportConfig):
             data["export"] = ExportConfig.from_dict(export)
+        correlate = data.get("correlate")
+        if correlate is not None and not isinstance(correlate, CorrelateConfig):
+            data["correlate"] = CorrelateConfig.from_dict(correlate)
         return cls(**data)
 
     def cache_key(self) -> str:
@@ -320,10 +343,13 @@ class LevelResult:
     poll_count: int
     # per-window Eq.1 estimates (Fig. 2 green dots)
     window_rps: List[float] = field(default_factory=list)
-    # degraded-collection accounting (stream mode; 0 / 1.0 otherwise)
+    # degraded-collection accounting (stream mode; 0 / 1.0 otherwise).
+    # ``confidence`` is the event-weighted combined (send+recv) fraction;
+    # a recv-only outage degrades it too.
     lost_records: int = 0
     confidence: float = 1.0
     rps_obsv_corrected: float = 0.0
+    recv_rate_corrected: float = 0.0
     # run metadata
     machine: str = ""
     netem_label: str = ""
@@ -333,6 +359,10 @@ class LevelResult:
     #: (window count, per-window rates/losses/confidence, scrape stats and
     #: the final rendered exposition text); ``None`` otherwise.
     export: Optional[dict] = None
+    #: Open extension point for per-cell analysis artifacts.  The
+    #: cross-layer correlator stores its report here under
+    #: ``extra["correlation"]`` when ``spec.correlate`` is set.
+    extra: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)

@@ -24,6 +24,7 @@ from .collectors import (
 from .config import (
     COLLECTOR_MODES,
     CollectorConfig,
+    CorrelateConfig,
     ExportConfig,
     resolve_collector_config,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "RequestMetricsMonitor",
     "MetricsSnapshot",
     "CollectorConfig",
+    "CorrelateConfig",
     "ExportConfig",
     "COLLECTOR_MODES",
     "resolve_collector_config",

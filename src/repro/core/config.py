@@ -30,6 +30,8 @@ from ..sim.timebase import MSEC
 __all__ = [
     "COLLECTOR_MODES",
     "CollectorConfig",
+    "CorrelateConfig",
+    "DEFAULT_CORRELATE_WINDOW_NS",
     "DEFAULT_EXPORT_WINDOW_NS",
     "ExportConfig",
     "resolve_collector_config",
@@ -41,6 +43,9 @@ COLLECTOR_MODES = ("native", "vm", "stream")
 
 #: Default export window / scrape interval (sim time).
 DEFAULT_EXPORT_WINDOW_NS = 100 * MSEC
+
+#: Default cross-layer correlation window (sim time).
+DEFAULT_CORRELATE_WINDOW_NS = 50 * MSEC
 
 #: Prometheus metric-name / label-name grammar (the exporter validates its
 #: namespace and static labels against these at construction time).
@@ -103,6 +108,89 @@ class ExportConfig:
         data = dict(payload)
         data["labels"] = tuple(tuple(pair) for pair in data.get("labels", ()))
         return cls(**data)
+
+
+@dataclass(frozen=True)
+class CorrelateConfig:
+    """Configuration of the cross-layer blind-spot correlator.
+
+    Attaching this to an :class:`~repro.analysis.executor.ExperimentSpec`
+    makes the cell close a :class:`~repro.core.MetricsSnapshot` window
+    every ``window_ns`` of sim time and log client-side request outcomes,
+    so that after the run :mod:`repro.analysis.correlate` can join the two
+    streams and classify each window into the discrepancy taxonomy.  The
+    correlation itself is post-hoc — the only in-run cost is one simulated
+    window event per ``window_ns`` plus an outcome-log append per request
+    event, both outside the probe hot loop.
+
+    Threshold fields are deliberately *relative* where the underlying
+    signal is workload-dependent: pattern signals (dispersion knee, slack
+    collapse) are judged against the run's own median window, which a
+    time-bounded anomaly cannot shift.  Only the confidence floor is
+    absolute — a clean collection path never drops records, at any load.
+
+    Frozen, hashable and JSON-serializable, so it participates in the
+    spec's cache key.
+    """
+
+    #: Correlation window length, in sim nanoseconds.
+    window_ns: int = DEFAULT_CORRELATE_WINDOW_NS
+    #: Kernel-side signal: a window whose combined (send+recv) collection
+    #: confidence falls below this is drop-degraded.
+    confidence_floor: float = 0.999
+    #: Kernel-side signal: the variance knee.  A window knees when its
+    #: send-delta dispersion (``cov2``) sits more than ``knee_multiplier``
+    #: robust deviations (median absolute deviation, floored at 10% of the
+    #: median) above the run's median window — self-calibrating to each
+    #: run's own normal, so moses' chunky baseline and data-caching's tight
+    #: one use the same threshold.
+    knee_multiplier: float = 8.0
+    #: Absolute dispersion floor the knee must also clear (guards against
+    #: a near-zero median turning window noise into knees).
+    cov2_floor: float = 1.0
+    #: Kernel-side signal: mean poll duration below ``1/slack_ratio`` x
+    #: the run's median window — the epoll-slack collapse.
+    slack_ratio: float = 6.0
+    #: Pattern signals need at least this many send deltas in the window
+    #: (sparse windows are exactly the instability §IV-B warns about).
+    min_events: int = 8
+    #: App-side signal: a window with zero completions while at least this
+    #: many requests are in flight counts as starvation.
+    starve_inflight: int = 4
+    #: App-side signal: a completion whose latency exceeds this multiple
+    #: of the workload's QoS threshold marks the window as QoS-troubled.
+    qos_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "window_ns", int(self.window_ns))
+        if self.window_ns < 1:
+            raise ValueError(f"window_ns must be >= 1, got {self.window_ns}")
+        if not 0.0 < self.confidence_floor <= 1.0:
+            raise ValueError("confidence_floor must be in (0, 1]")
+        if self.knee_multiplier <= 1.0:
+            raise ValueError("knee_multiplier must be > 1")
+        if self.cov2_floor < 0.0:
+            raise ValueError("cov2_floor must be non-negative")
+        if self.slack_ratio <= 1.0:
+            raise ValueError("slack_ratio must be > 1")
+        if self.min_events < 2:
+            raise ValueError("min_events must be >= 2")
+        if self.starve_inflight < 1:
+            raise ValueError("starve_inflight must be >= 1")
+        if self.qos_multiplier <= 0.0:
+            raise ValueError("qos_multiplier must be positive")
+
+    def replace(self, **changes) -> "CorrelateConfig":
+        """A copy of this config with the given fields changed."""
+        return _dc_replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CorrelateConfig":
+        return cls(**dict(payload))
 
 
 @dataclass(frozen=True)

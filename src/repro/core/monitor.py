@@ -97,6 +97,21 @@ class MetricsSnapshot:
         return seen / total if total else 1.0
 
     @property
+    def overall_confidence(self) -> float:
+        """Event-weighted confidence over *both* monitored families.
+
+        ``confidence`` alone counts only send-family drops, so a recv-only
+        outage (``recv_lost > 0, send_lost == 0``) would report a perfect
+        1.0 while ``lost_records`` says otherwise.  This is the combined
+        fraction of all send+recv events that reached the statistics — the
+        number downstream consumers (LevelResult, the cross-layer
+        correlator) should trust.
+        """
+        seen = self.send.events + self.recv.events
+        total = seen + self.send_lost + self.recv_lost
+        return seen / total if total else 1.0
+
+    @property
     def degraded(self) -> bool:
         """True when any collection-path drop degraded this window."""
         return self.lost_records > 0
@@ -110,6 +125,18 @@ class MetricsSnapshot:
         if self.send.sum <= 0:
             return self.rps_obsv
         return SEC * (self.send.count + self.send_lost) / self.send.sum
+
+    @property
+    def recv_rate_corrected(self) -> float:
+        """The recv-family counterpart of :attr:`rps_obsv_corrected`.
+
+        Same telescoping argument, applied to recv deltas: re-crediting
+        ``recv_lost`` to the numerator recovers the true recv rate.  The
+        correlator needs both sides drop-corrected before judging whether
+        a window's kernel view disagrees with the app's."""
+        if self.recv.sum <= 0:
+            return self.rps_obsv_recv
+        return SEC * (self.recv.count + self.recv_lost) / self.recv.sum
 
     # -- composition -----------------------------------------------------
     def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":

@@ -13,26 +13,39 @@ usable when reality degrades:
   connection resets that discard in-flight data;
 * :mod:`~repro.faults.runner` — glue running one experiment cell with
   faults armed, bypassing the result cache (faulted cells are not pure
-  functions of their spec).
+  functions of their spec);
+* :mod:`~repro.faults.blindspots` — the adversarial scenario pack for the
+  cross-layer correlator: pathologies engineered to be visible to exactly
+  one side of the kernel/app divide, each annotated with the discrepancy
+  taxonomy label it should produce.
 """
 
+from .blindspots import BlindSpotScenario, SCENARIOS, run_blind_spot_cell, scenario
 from .collection import ConsumerSchedule, SlowConsumer
 from .orchestrator import (
+    ChannelStall,
     ConnectionReset,
     FaultOrchestrator,
     FaultReport,
+    SendFragmentation,
     WorkerCrash,
     WorkerStall,
 )
 from .runner import run_faulted_cell
 
 __all__ = [
+    "BlindSpotScenario",
+    "ChannelStall",
     "ConnectionReset",
     "ConsumerSchedule",
     "FaultOrchestrator",
     "FaultReport",
+    "SCENARIOS",
+    "SendFragmentation",
     "SlowConsumer",
     "WorkerCrash",
     "WorkerStall",
+    "run_blind_spot_cell",
     "run_faulted_cell",
+    "scenario",
 ]

@@ -16,9 +16,11 @@ from typing import List, Union
 from ..sim.engine import Environment
 
 __all__ = [
+    "ChannelStall",
     "ConnectionReset",
     "FaultOrchestrator",
     "FaultReport",
+    "SendFragmentation",
     "WorkerCrash",
     "WorkerStall",
 ]
@@ -71,7 +73,48 @@ class ConnectionReset:
             raise ValueError("need at_ns >= 0 and connections >= 1")
 
 
-Fault = Union[WorkerStall, WorkerCrash, ConnectionReset]
+@dataclass(frozen=True)
+class SendFragmentation:
+    """From ``at_ns`` for ``duration_ns``, every response is sent as
+    exactly ``chunks`` small writes instead of one — a buffering regression
+    (TCP_NODELAY flipped on, a shrunk userspace write buffer, a serializer
+    change).  Requests still complete on time, so the app layer reports
+    nothing; only the send-delta dispersion sees the many-small-writes
+    pattern (the APP_SILENT archetype)."""
+
+    at_ns: int
+    duration_ns: int
+    chunks: int = 12
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0 or self.duration_ns <= 0:
+            raise ValueError("need at_ns >= 0 and duration_ns > 0")
+        if self.chunks < 2:
+            raise ValueError("chunks must be >= 2 (1 is the healthy case)")
+
+
+@dataclass(frozen=True)
+class ChannelStall:
+    """At ``at_ns``, head-of-line stall the client→server direction of the
+    first ``connections`` connections (0 = all) for ``duration_ns``:
+    requests sent during the stall queue upstream and arrive in a burst
+    afterwards — delayed accepts / a saturated listen backlog.  The server's
+    syscalls see only a quiet spell, which is exactly what an idle server
+    looks like (the KERNEL_SILENT archetype)."""
+
+    at_ns: int
+    duration_ns: int
+    connections: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0 or self.duration_ns <= 0:
+            raise ValueError("need at_ns >= 0 and duration_ns > 0")
+        if self.connections < 0:
+            raise ValueError("connections must be >= 0 (0 = all)")
+
+
+Fault = Union[WorkerStall, WorkerCrash, ConnectionReset, SendFragmentation,
+              ChannelStall]
 
 
 @dataclass
@@ -84,6 +127,8 @@ class FaultReport:
     respawned: int = 0
     resets: int = 0
     stalls: int = 0
+    fragmentations: int = 0
+    channel_stalls: int = 0
     #: Messages discarded by connection resets (queued + in flight).
     discarded_messages: int = 0
 
@@ -119,6 +164,10 @@ class FaultOrchestrator:
             yield from self._apply_crash(fault)
         elif isinstance(fault, ConnectionReset):
             self._apply_reset(fault)
+        elif isinstance(fault, SendFragmentation):
+            yield from self._apply_fragmentation(fault)
+        elif isinstance(fault, ChannelStall):
+            self._apply_channel_stall(fault)
         else:
             raise TypeError(f"unknown fault {fault!r}")
 
@@ -147,6 +196,27 @@ class FaultOrchestrator:
                 process.respawn_thread(task)
                 self.report.respawned += 1
                 self._record(f"respawn {task.name}")
+
+    def _apply_fragmentation(self, fault: SendFragmentation):
+        self.app._fragment_override = fault.chunks
+        self.report.fragmentations += 1
+        self._record(f"fragment responses into {fault.chunks} sends")
+        yield self.env.timeout(fault.duration_ns)
+        self.app._fragment_override = None
+        self._record("fragmentation cleared")
+
+    def _apply_channel_stall(self, fault: ChannelStall) -> None:
+        sockets = self.app.client_sockets
+        if fault.connections:
+            sockets = sockets[: fault.connections]
+        for sock in sockets:
+            # The client endpoint's tx channel is the client→server
+            # direction: stalling it holds requests upstream of the server.
+            sock._tx.stall(fault.duration_ns)
+        self.report.channel_stalls += 1
+        self._record(
+            f"channel stall {fault.duration_ns}ns on {len(sockets)} connections"
+        )
 
     def _apply_reset(self, fault: ConnectionReset) -> None:
         sockets = self.app.client_sockets[: fault.connections]

@@ -136,6 +136,13 @@ class OpenLoopClient:
         self.retried = 0
         self.abandoned = 0
         self._tags = itertools.count(1)
+        #: Timestamped request-outcome events for cross-layer correlation:
+        #: ``(t_ns, kind, value)`` with kind in {"offer", "complete",
+        #: "retry", "abandon"} and value = latency_ns for completions, the
+        #: request tag otherwise.  ``None`` (off) unless
+        #: :meth:`enable_outcome_log` was called — the clean hot path pays
+        #: only a ``None`` check per event.
+        self.outcome_log: Optional[List[tuple]] = None
         self._first_completion: Optional[int] = None
         self._last_completion: Optional[int] = None
         #: Fires when every offered request has been answered.
@@ -146,6 +153,17 @@ class OpenLoopClient:
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
+    def enable_outcome_log(self) -> List[tuple]:
+        """Turn on the timestamped outcome log (idempotent); returns it.
+
+        Must be called before :meth:`start` so the log covers every event.
+        """
+        if self._started:
+            raise RuntimeError("enable_outcome_log must precede start()")
+        if self.outcome_log is None:
+            self.outcome_log = []
+        return self.outcome_log
+
     def start(self) -> None:
         """Spawn the generator and one reader per connection."""
         if self._started:
@@ -177,6 +195,8 @@ class OpenLoopClient:
                 self._last_attempt[tag] = self.env.now
                 self.offered += 1
                 self.last_offered_ns = self.env.now
+                if self.outcome_log is not None:
+                    self.outcome_log.append((self.env.now, "offer", tag))
                 sock = self.sockets[index % len(self.sockets)]
                 index += 1
                 sock.send(Message(payload="request", size=self.request_size, tag=tag))
@@ -193,6 +213,8 @@ class OpenLoopClient:
             self._retries_of.pop(response.tag, None)
             now = self.env.now
             self.latency.record(now - sent_at)
+            if self.outcome_log is not None:
+                self.outcome_log.append((now, "complete", now - sent_at))
             self.completed += 1
             self._completion_times.append(now)
             if self._first_completion is None:
@@ -221,10 +243,14 @@ class OpenLoopClient:
                     self._last_attempt.pop(tag, None)
                     self._retries_of.pop(tag, None)
                     self.abandoned += 1
+                    if self.outcome_log is not None:
+                        self.outcome_log.append((now, "abandon", tag))
                     continue
                 self._retries_of[tag] = attempts + 1
                 self._last_attempt[tag] = now
                 self.retried += 1
+                if self.outcome_log is not None:
+                    self.outcome_log.append((now, "retry", tag))
                 sock = self.sockets[(tag - 1) % len(self.sockets)]
                 sock.send(Message(payload="request", size=self.request_size,
                                   tag=tag))

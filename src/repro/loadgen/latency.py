@@ -25,6 +25,11 @@ def percentile(samples: Sequence[float], p: float, *, presorted: bool = False) -
         raise ValueError("no samples")
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
+    # NaN is not totally ordered, so sorting a sample set containing one
+    # produces an arbitrary permutation and the interpolation below returns
+    # order-dependent garbage (and +/-inf breaks it outright).  Refuse.
+    if any(not math.isfinite(sample) for sample in samples):
+        raise ValueError("samples must be finite (got NaN or infinity)")
     ordered = samples if presorted else sorted(samples)
     if len(ordered) == 1:
         return float(ordered[0])

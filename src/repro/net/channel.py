@@ -106,6 +106,19 @@ class Channel:
         fast = int(3 * self._gap_ewma_ns + 3 * self.path.config.delay_ns) + 1
         return fast
 
+    def stall(self, duration_ns: int) -> None:
+        """Head-of-line stall this direction for ``duration_ns``: nothing
+        sent from now on is delivered before ``now + duration_ns``, and the
+        backlog then drains in order at the link's pacing.  Models admission
+        delay upstream of the receiver — a saturated listen backlog holding
+        accepts, or a middlebox pausing a flow — which the receiver's own
+        syscalls cannot see: from its side the connection merely goes quiet,
+        then catches up.  Messages already in flight keep their schedule
+        (they are past the stall point, like data already in the backlog)."""
+        if duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        self._last_arrival = max(self._last_arrival, self.env.now + duration_ns)
+
     def reset(self) -> None:
         """Model a connection reset on this direction: every message
         already in flight (sent before now) is discarded instead of

@@ -155,6 +155,12 @@ class ServerApp:
             self._run_chunk_mean = midpoint + self._noise_stream.uniform(-0.3, 0.3)
         else:
             self._run_chunk_mean = float(low)
+        #: Fault-injection hook (:class:`repro.faults.SendFragmentation`):
+        #: when set, every response goes out as exactly this many small
+        #: sends — a buffering regression (TCP_NODELAY flip, shrunk
+        #: userspace write buffer) that multiplies send-syscall counts
+        #: without touching request outcomes.
+        self._fragment_override: Optional[int] = None
 
     @property
     def tgid(self) -> int:
@@ -218,6 +224,8 @@ class ServerApp:
         return accepted
 
     def _chunks_for_response(self) -> int:
+        if self._fragment_override is not None:
+            return self._fragment_override
         low, high = self.config.sends_per_request
         if high == 1:
             return 1
@@ -480,12 +488,19 @@ class TwoTierApp(ServerApp):
                             )
                             inflight -= 1
                             client_index, tag = response.payload
-                            yield from task.sys_send(
-                                config.syscalls.send_nr,
-                                self._server_sockets[client_index],
-                                Message(payload="response",
-                                        size=config.response_size, tag=tag),
-                            )
+                            # The front-end relays in one send unless the
+                            # fragmentation fault is active (chunk noise is a
+                            # back-end property; the relay buffer is not).
+                            chunks = self._fragment_override or 1
+                            size = max(1, config.response_size // chunks)
+                            for chunk in range(chunks):
+                                chunk_tag = tag if chunk == chunks - 1 else None
+                                yield from task.sys_send(
+                                    config.syscalls.send_nr,
+                                    self._server_sockets[client_index],
+                                    Message(payload="response", size=size,
+                                            tag=chunk_tag),
+                                )
                             if config.log_write_prob and self._noise_stream.bernoulli(
                                 self._effective_log_prob
                             ):

@@ -1,0 +1,80 @@
+"""Confidence accounting across both monitored families.
+
+Regression suite for the send-only confidence bug: ``confidence`` counts
+only send-family drops, so a recv-only collection outage reported a
+perfect 1.0 while ``lost_records`` said otherwise.  ``overall_confidence``
+(the number LevelResult now carries) weights both families by events.
+"""
+
+from repro.core.collectors import DurationStats
+from repro.core.deltas import DeltaStats
+from repro.core.monitor import MetricsSnapshot
+
+
+def _stats(timestamps) -> DeltaStats:
+    stats = DeltaStats()
+    for ts in timestamps:
+        stats.add_timestamp(ts)
+    return stats
+
+
+def _snapshot(send_lost=0, recv_lost=0) -> MetricsSnapshot:
+    ts = [i * 1_000_000 for i in range(1, 11)]
+    return MetricsSnapshot(
+        window_start_ns=0,
+        window_end_ns=10_000_000,
+        send=_stats(ts),
+        recv=_stats(ts),
+        poll=DurationStats(),
+        send_lost=send_lost,
+        recv_lost=recv_lost,
+    )
+
+
+class TestOverallConfidence:
+    def test_clean_window_is_fully_confident(self):
+        snap = _snapshot()
+        assert snap.confidence == 1.0
+        assert snap.overall_confidence == 1.0
+
+    def test_recv_only_outage_degrades_overall_confidence(self):
+        # The regression: send-only ``confidence`` stays 1.0 while recv
+        # records were dropped — overall_confidence must not.
+        snap = _snapshot(recv_lost=10)
+        assert snap.confidence == 1.0  # the narrow send-only view
+        assert snap.lost_records == 10
+        assert snap.overall_confidence < 1.0
+        assert snap.overall_confidence == 20 / 30
+
+    def test_send_only_outage_matches_event_weighting(self):
+        snap = _snapshot(send_lost=5)
+        assert snap.confidence == 10 / 15
+        assert snap.overall_confidence == 20 / 25
+
+    def test_empty_window_defaults_to_full_confidence(self):
+        snap = MetricsSnapshot(
+            window_start_ns=0, window_end_ns=1,
+            send=DeltaStats(), recv=DeltaStats(), poll=DurationStats(),
+        )
+        assert snap.overall_confidence == 1.0
+
+
+class TestRecvRateCorrected:
+    def test_symmetric_to_send_correction(self):
+        snap = _snapshot(send_lost=3, recv_lost=3)
+        assert snap.recv_rate_corrected == snap.rps_obsv_corrected
+
+    def test_recredits_lost_records(self):
+        snap = _snapshot(recv_lost=9)
+        # 9 deltas over 9ms plus 9 re-credited drops: 18 per 9ms window.
+        assert snap.recv_rate_corrected == 2 * snap.rps_obsv_recv
+        # The send side is untouched by recv drops.
+        assert snap.rps_obsv_corrected == snap.rps_obsv
+
+    def test_empty_recv_falls_back_to_raw_rate(self):
+        snap = MetricsSnapshot(
+            window_start_ns=0, window_end_ns=1,
+            send=DeltaStats(), recv=DeltaStats(), poll=DurationStats(),
+            recv_lost=4,
+        )
+        assert snap.recv_rate_corrected == snap.rps_obsv_recv == 0.0

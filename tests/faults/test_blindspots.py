@@ -1,0 +1,141 @@
+"""The adversarial blind-spot scenario pack, end to end.
+
+Two properties anchor the correlator's credibility:
+
+* **Detection**: every scenario produces its annotated taxonomy label on
+  every workload architecture (EXP-CORR measures the full grid; here each
+  scenario runs against one representative of each threading model).
+* **Zero false positives**: every *clean* cell — all nine workloads, all
+  eBPF VM tiers, both workload-sim tiers — yields only AGREE_HEALTHY
+  windows.  The taxonomy is worthless if healthy runs trip it.
+"""
+
+import pytest
+
+from repro.analysis.correlate import (
+    AGREE_DEGRADED,
+    AGREE_HEALTHY,
+    APP_SILENT,
+    KERNEL_SILENT,
+    correlation_of,
+)
+from repro.analysis.executor import ExperimentSpec, execute_cell
+from repro.analysis.executor.spec import VM_TIERS
+from repro.core.config import CorrelateConfig
+from repro.faults import SCENARIOS, BlindSpotScenario, run_blind_spot_cell, scenario
+from repro.faults.blindspots import _KINDS
+from repro.sim.timebase import SEC
+from repro.workloads.registry import WORKLOADS
+
+
+def _spec(workload="data-caching", load=0.5, max_requests=600, **overrides):
+    config = WORKLOADS[workload].config
+    rate = config.paper_fail_rps * load
+    requests = min(max_requests, max(240, int(rate * 0.3)))
+    return ExperimentSpec(workload=workload, offered_rps=rate,
+                          requests=requests, **overrides)
+
+
+def _clean_window_ns(spec):
+    nominal = int(spec.requests / spec.offered_rps * SEC)
+    return max(1, nominal // 10)
+
+
+class TestScenarioRegistry:
+    def test_registry_covers_the_taxonomy(self):
+        expected = {s.expected_label for s in SCENARIOS}
+        assert expected == {AGREE_HEALTHY, AGREE_DEGRADED,
+                            KERNEL_SILENT, APP_SILENT}
+
+    def test_lookup(self):
+        assert scenario("hol-stall").kind == "hol-stall"
+        with pytest.raises(KeyError, match="unknown blind-spot scenario"):
+            scenario("nope")
+
+    def test_keys_are_unique(self):
+        keys = [s.key for s in SCENARIOS]
+        assert len(keys) == len(set(keys))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            BlindSpotScenario(key="x", summary="", expected_label=APP_SILENT,
+                              kind="bogus")
+        with pytest.raises(ValueError, match="start_frac"):
+            BlindSpotScenario(key="x", summary="", expected_label=APP_SILENT,
+                              kind="fragment", start_frac=0.7, stop_frac=0.4)
+
+    def test_only_slow_drain_needs_stream(self):
+        for entry in SCENARIOS:
+            assert entry.needs_stream == (entry.kind == "slow-drain")
+        assert set(s.kind for s in SCENARIOS) <= set(_KINDS)
+
+
+# One representative per threading architecture (§IV-A): epoll poll-loop,
+# select poll-loop, dispatch pool, two-tier.  EXP-CORR covers all nine.
+ARCHETYPES = ("data-caching", "xapian", "triton-grpc", "web-search")
+
+
+class TestScenarioDetection:
+    @pytest.mark.parametrize("workload", ARCHETYPES)
+    @pytest.mark.parametrize("key", [s.key for s in SCENARIOS])
+    def test_scenario_produces_expected_label(self, workload, key):
+        entry = scenario(key)
+        result, report, fault_report = run_blind_spot_cell(_spec(workload), entry)
+        if entry.kind == "none":
+            assert report.clean
+            assert not fault_report.applied
+        else:
+            assert entry.expected_label in report.labels, report.counts
+            if entry.kind != "slow-drain":
+                # slow-drain degrades the *collection path* (a consumer
+                # schedule), not the server: no orchestrator fault fires.
+                assert fault_report.applied
+
+    def test_slow_drain_actually_drops_records(self):
+        result, report, _ = run_blind_spot_cell(
+            _spec(), scenario("slow-drain")
+        )
+        assert result.lost_records > 0
+        assert result.confidence < 1.0
+        degraded = [w for w in report.windows if w.lost_records]
+        assert degraded
+        assert all("confidence" in w.kernel_signals for w in degraded)
+
+    def test_hol_stall_has_a_fully_silent_window(self):
+        _result, report, _ = run_blind_spot_cell(_spec(), scenario("hol-stall"))
+        starved = [w for w in report.windows if "starved" in w.app_signals]
+        assert starved
+        assert all(w.label == KERNEL_SILENT for w in starved)
+
+    def test_fragmentation_is_invisible_to_the_app(self):
+        spec = _spec()
+        clean, _, _ = run_blind_spot_cell(spec, scenario("clean"))
+        frag, report, _ = run_blind_spot_cell(spec, scenario("fragmented-writes"))
+        # The app-side ground truth stays healthy (no QoS violation)...
+        assert not frag.qos_violated
+        assert frag.completed == clean.completed
+        # ...while the kernel side knees.
+        kneed = [w for w in report.windows
+                 if "dispersion-knee" in w.kernel_signals]
+        assert kneed
+        assert all(w.label == APP_SILENT for w in kneed)
+
+
+class TestZeroDiscrepancyMatrix:
+    """Clean cells across the full workload x tier grid stay clean."""
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_clean_cells_agree_healthy(self, workload):
+        base = _spec(workload)
+        correlate = CorrelateConfig(window_ns=_clean_window_ns(base))
+        for vm_tier in VM_TIERS:
+            for sim_tier in ("reference", "compiled"):
+                spec = base.replace(correlate=correlate, vm_tier=vm_tier,
+                                    sim_tier=sim_tier)
+                report = correlation_of(execute_cell(spec))
+                assert report.clean, (
+                    workload, vm_tier, sim_tier,
+                    {k: v for k, v in report.counts.items() if v},
+                    [(w.label, w.app_signals, w.kernel_signals)
+                     for w in report.discrepancies],
+                )

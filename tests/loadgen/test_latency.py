@@ -25,6 +25,20 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1], 101)
 
+    def test_rejects_non_finite(self):
+        # NaN poisons comparison-based selection order-dependently: the
+        # same multiset of samples could return different percentiles
+        # depending on input order.  Reject instead of returning garbage.
+        for bad in (
+            [1.0, float("nan"), 2.0],
+            [float("nan"), 1.0, 2.0],
+            [float("inf"), 1.0],
+            [1.0, float("-inf")],
+            [float("nan")],
+        ):
+            with pytest.raises(ValueError):
+                percentile(bad, 50)
+
     @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=200),
            st.floats(min_value=0, max_value=100))
     @settings(max_examples=100)
