@@ -1,0 +1,244 @@
+"""Fleet-scale sweep benchmark: disk code cache + streaming sharded executor.
+
+Measures the two resources the fleet-scale executor work targets and
+asserts both stayed won:
+
+* **Translation amortization** — a 1000-cell sweep is run twice against
+  the same on-disk compiled-program cache.  The cold fleet translates
+  and writes; the warm fleet (fresh worker processes, same directory)
+  must serve >= 99% of its compiled-tier lookups from disk and translate
+  **nothing**.  Wall-clock for both runs is recorded; the gated quantity
+  is the translation counters, which are deterministic where wall time
+  on a loaded CI box is not.
+
+* **Parent-memory flatness** — results stream to a JSONL spill instead
+  of accumulating in the parent.  The benchmark runs a 50-cell batch
+  first, snapshots the parent's ``ru_maxrss`` watermark, then runs the
+  1000-cell fleet twice; the final watermark must stay within 1.3x of
+  the 50-cell watermark.  (``ru_maxrss`` is monotone, so ordering the
+  small batch first is what makes the ratio meaningful.)  Parent heap
+  peaks via ``tracemalloc`` are recorded alongside for diagnosis.
+
+A shard identity check rides along: ``--shard 1/2`` union ``--shard
+2/2`` of the base grid must be bit-identical to the unsharded run.
+
+``--smoke`` shrinks the grid for CI and writes
+``results/bench_sweep_smoke.json``; the full run writes the committed
+baseline ``BENCH_sweep.json`` at the repo root.  Exit code is non-zero
+when any gate fails, so CI can run this directly.
+"""
+
+import argparse
+import json
+import resource
+import shutil
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro import __version__
+from repro.analysis import ExperimentSpec, run_cells
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Cheap workloads so the benchmark times the executor, not the apps.
+WORKLOADS = ("silo", "xapian")
+
+HIT_RATE_FLOOR = 0.99
+RSS_CEILING = 1.3
+
+
+def _grid(cells: int, requests: int):
+    """``cells`` distinct specs: WORKLOADS x distinct offered-RPS levels.
+
+    ``monitor_mode="vm"`` so every cell actually loads, translates, and
+    runs eBPF programs — the native monitor would never touch the
+    translation path this benchmark exists to measure.
+    """
+    levels = [600.0 + 4.0 * i for i in range(cells // len(WORKLOADS))]
+    return ExperimentSpec.grid(WORKLOADS, levels, requests=requests,
+                               monitor_mode="vm")
+
+
+def _dicts(results):
+    return [r.to_dict() if r is not None else None for r in results]
+
+
+def _rss_kb() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _run(specs, *, jobs, work_dir, tag, code_cache, spill=True):
+    spill_path = work_dir / f"spill-{tag}.jsonl" if spill else None
+    t0 = time.perf_counter()
+    sink, stats = run_cells(specs, jobs=jobs, spill=spill_path,
+                            code_cache=code_cache)
+    wall = time.perf_counter() - t0
+    return sink, stats, wall
+
+
+def _hit_rate(translation: dict) -> float:
+    """Disk hit rate over cacheable (compiled-tier) lookups only."""
+    looked_up = translation["disk_hits"] + translation["disk_misses"]
+    return translation["disk_hits"] / looked_up if looked_up else 0.0
+
+
+def _shard_identity(specs, baseline, *, jobs, work_dir) -> dict:
+    union = [None] * len(specs)
+    for i in (1, 2):
+        sink, _, _ = _run(specs, jobs=jobs, work_dir=work_dir,
+                          tag=f"shard{i}", code_cache=False)
+        for pos, result in sink.iter_results():
+            union[pos] = result
+    return {"cells": len(specs), "identical": _dicts(union) == baseline}
+
+
+def run_benchmark(cells: int, base_cells: int, requests: int, jobs: int,
+                  smoke: bool) -> dict:
+    work_dir = REPO_ROOT / "results" / ".bench-sweep"
+    shutil.rmtree(work_dir, ignore_errors=True)
+    work_dir.mkdir(parents=True)
+    code_dir = work_dir / "codecache"
+
+    try:
+        tracemalloc.start()
+
+        # Phase 1 — the small batch, FIRST (ru_maxrss is monotone).
+        print(f"base:  {base_cells} cells x {requests} requests "
+              f"(jobs={jobs}, spill on)")
+        base_specs = _grid(base_cells, requests)
+        base_sink, base_stats, base_wall = _run(
+            base_specs, jobs=jobs, work_dir=work_dir, tag="base",
+            code_cache=False)
+        base_rss_kb = _rss_kb()
+        base_heap_kb = tracemalloc.get_traced_memory()[1] // 1024
+        tracemalloc.reset_peak()
+        baseline = _dicts(base_sink.materialize())
+
+        # Phase 2 — cold fleet: empty disk cache, everything translates.
+        specs = _grid(cells, requests)
+        print(f"cold:  {len(specs)} cells, fresh code cache at {code_dir}")
+        _, cold_stats, cold_wall = _run(specs, jobs=jobs, work_dir=work_dir,
+                                        tag="cold", code_cache=code_dir)
+
+        # Phase 3 — warm fleet: fresh worker processes, same directory.
+        print("warm:  same grid, second fleet against the populated cache")
+        _, warm_stats, warm_wall = _run(specs, jobs=jobs, work_dir=work_dir,
+                                        tag="warm", code_cache=code_dir)
+        full_rss_kb = _rss_kb()
+        full_heap_kb = tracemalloc.get_traced_memory()[1] // 1024
+        tracemalloc.stop()
+
+        # Phase 4 — shard identity on the base grid.
+        print("shard: 1/2 union 2/2 vs the unsharded base run")
+        shard = _shard_identity(base_specs, baseline, jobs=jobs,
+                                work_dir=work_dir)
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+    return {
+        "benchmark": "bench_sweep_scale",
+        "version": __version__,
+        "smoke": smoke,
+        "cells": cells,
+        "base_cells": base_cells,
+        "requests": requests,
+        "jobs": jobs,
+        "base": {"wall_s": round(base_wall, 3),
+                 "spilled": base_stats.spilled},
+        "cold": {"wall_s": round(cold_wall, 3),
+                 "spilled": cold_stats.spilled,
+                 "translation": cold_stats.translation},
+        "warm": {"wall_s": round(warm_wall, 3),
+                 "spilled": warm_stats.spilled,
+                 "translation": warm_stats.translation,
+                 "disk_hit_rate": round(_hit_rate(warm_stats.translation), 4)},
+        "shard": shard,
+        "rss": {"base_kb": base_rss_kb, "full_kb": full_rss_kb,
+                "ratio": round(full_rss_kb / base_rss_kb, 4)},
+        "heap": {"base_peak_kb": base_heap_kb, "full_peak_kb": full_heap_kb},
+        "limits": {"hit_rate_floor": HIT_RATE_FLOOR,
+                   "rss_ceiling": RSS_CEILING},
+    }
+
+
+def gate(record: dict, println=print) -> int:
+    """Judge the record against its gates; returns the failure count."""
+    failures = 0
+    warm = record["warm"]
+
+    hit_rate = warm["disk_hit_rate"]
+    verdict = "FAIL" if hit_rate < HIT_RATE_FLOOR else "ok"
+    println(f"{verdict:>4} warm disk hit rate {hit_rate:.2%} "
+            f"(floor {HIT_RATE_FLOOR:.0%})")
+    failures += hit_rate < HIT_RATE_FLOOR
+
+    translations = warm["translation"]["translations"]
+    verdict = "FAIL" if translations else "ok"
+    println(f"{verdict:>4} warm fleet translations: {translations} "
+            "(must be 0 — every program served from disk)")
+    failures += translations != 0
+
+    cold_ns = record["cold"]["translation"]["translate_ns"]
+    warm_ns = warm["translation"]["translate_ns"]
+    verdict = "FAIL" if warm_ns > cold_ns else "ok"
+    println(f"{verdict:>4} translate time amortized: "
+            f"{warm_ns}ns warm vs {cold_ns}ns cold")
+    failures += warm_ns > cold_ns
+
+    ratio = record["rss"]["ratio"]
+    verdict = "FAIL" if ratio > RSS_CEILING else "ok"
+    println(f"{verdict:>4} peak RSS {record['rss']['full_kb']}KB after "
+            f"{record['cells']}-cell fleet = {ratio:.3f}x the "
+            f"{record['base_cells']}-cell watermark "
+            f"(ceiling {RSS_CEILING}x)")
+    failures += ratio > RSS_CEILING
+
+    identical = record["shard"]["identical"]
+    verdict = "ok" if identical else "FAIL"
+    println(f"{verdict:>4} shard 1/2 union 2/2 bit-identical to unsharded "
+            f"({record['shard']['cells']} cells)")
+    failures += not identical
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid for CI; writes results/bench_sweep_smoke.json")
+    parser.add_argument("--cells", type=int, default=None,
+                        help="fleet size (default 1000, smoke 120)")
+    parser.add_argument("--base-cells", type=int, default=None,
+                        help="RSS-watermark batch size (default 50, smoke 20)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per cell (default 60, smoke 30)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (default 2)")
+    args = parser.parse_args(argv)
+
+    cells = args.cells or (120 if args.smoke else 1000)
+    base_cells = args.base_cells or (20 if args.smoke else 50)
+    requests = args.requests or (30 if args.smoke else 60)
+
+    record = run_benchmark(cells, base_cells, requests, args.jobs, args.smoke)
+
+    if args.smoke:
+        out = REPO_ROOT / "results" / "bench_sweep_smoke.json"
+        out.parent.mkdir(exist_ok=True)
+    else:
+        out = REPO_ROOT / "BENCH_sweep.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    failures = gate(record)
+    if failures:
+        print(f"{failures} sweep-scale gate(s) failed", file=sys.stderr)
+        return 1
+    print("sweep-scale gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

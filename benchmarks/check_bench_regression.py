@@ -35,6 +35,14 @@ small to time the overhead meaningfully.  The overhead ceiling at the
 default scrape interval is judged against the committed full-size
 baseline ``BENCH_export.json``, which CI refreshes on full runs.
 
+The fleet-scale sweep gate works the same way: when a fresh
+``bench_sweep_scale`` smoke record is present it is judged on the
+executor's deterministic counters — warm-fleet disk hit rate at or
+above the floor, zero warm translations, shard union identity, and the
+parent-RSS ceiling — and the committed full-size baseline
+``BENCH_sweep.json`` must hold the same gates at 1000-cell scale.
+Absent fresh records are reported and skipped.
+
 Exit codes: 0 pass, 1 regression (or identity failure in the fresh
 run), 2 usage errors (missing/corrupt input files).
 """
@@ -96,6 +104,18 @@ def load_export_run(path: Path) -> dict:
         raise _usage_error(f"{path}: not valid JSON ({exc})")
     if data.get("benchmark") != "bench_export_overhead":
         raise _usage_error(f"{path}: not a bench_export_overhead record")
+    return data
+
+
+def load_sweep_run(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise _usage_error(f"{path}: no such file (run the benchmark first)")
+    except json.JSONDecodeError as exc:
+        raise _usage_error(f"{path}: not valid JSON ({exc})")
+    if data.get("benchmark") != "bench_sweep_scale":
+        raise _usage_error(f"{path}: not a bench_sweep_scale record")
     return data
 
 
@@ -205,6 +225,72 @@ def check_export(fresh: dict, baseline: dict, println=print) -> int:
     return failures
 
 
+def _judge_sweep_record(record: dict, origin: str, println=print) -> int:
+    """Apply the sweep-scale gates to one record (fresh or baseline).
+
+    The gated quantities are deterministic executor counters, so the
+    same gates hold for a smoke grid and the full-size baseline — only
+    the scale differs.
+    """
+    failures = 0
+    limits = record.get("limits", {})
+    hit_floor = limits.get("hit_rate_floor", 0.99)
+    rss_ceiling = limits.get("rss_ceiling", 1.3)
+    warm = record.get("warm", {})
+
+    hit_rate = warm.get("disk_hit_rate")
+    if hit_rate is None:
+        println(f"FAIL sweep {origin}: no warm disk hit rate recorded")
+        return failures + 1
+    verdict = "FAIL" if hit_rate < hit_floor else "  ok"
+    println(
+        f"{verdict} sweep {origin}: warm disk hit rate {hit_rate:.2%} "
+        f"over {record['cells']} cells (floor {hit_floor:.0%})"
+    )
+    failures += hit_rate < hit_floor
+
+    translations = warm.get("translation", {}).get("translations", -1)
+    verdict = "FAIL" if translations != 0 else "  ok"
+    println(f"{verdict} sweep {origin}: warm fleet translations {translations} (must be 0)")
+    failures += translations != 0
+
+    ratio = record.get("rss", {}).get("ratio")
+    if ratio is None:
+        println(f"FAIL sweep {origin}: no RSS ratio recorded")
+        failures += 1
+    else:
+        verdict = "FAIL" if ratio > rss_ceiling else "  ok"
+        println(
+            f"{verdict} sweep {origin}: peak RSS {ratio:.3f}x the "
+            f"{record['base_cells']}-cell watermark (ceiling {rss_ceiling}x)"
+        )
+        failures += ratio > rss_ceiling
+
+    shard = record.get("shard", {})
+    verdict = "  ok" if shard.get("identical", False) else "FAIL"
+    println(f"{verdict} sweep {origin}: shard union bit-identical ({shard.get('cells', 0)} cells)")
+    failures += not shard.get("identical", False)
+    return failures
+
+
+def check_sweep(fresh: dict, baseline: dict, println=print) -> int:
+    """Gate the fleet-scale sweep records; returns the failure count.
+
+    The fresh (smoke) record proves the executor still amortizes and
+    streams on this branch; the committed baseline proves it held at
+    1000-cell scale when it was generated.
+    """
+    failures = _judge_sweep_record(fresh, "fresh", println)
+    if baseline.get("smoke"):
+        println(
+            "FAIL sweep baseline: committed BENCH_sweep.json is a smoke "
+            "record (regenerate with a full run)"
+        )
+        return failures + 1
+    failures += _judge_sweep_record(baseline, "baseline", println)
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -239,6 +325,16 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_export.json"),
         help="committed full-size export baseline",
     )
+    parser.add_argument(
+        "--sweep-fresh",
+        default=str(REPO_ROOT / "results" / "bench_sweep_smoke.json"),
+        help="fresh sweep-scale benchmark record (skipped with a note if absent)",
+    )
+    parser.add_argument(
+        "--sweep-baseline",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="committed full-size sweep-scale baseline",
+    )
     args = parser.parse_args(argv)
 
     fresh = load_run(Path(args.fresh))
@@ -254,6 +350,15 @@ def main(argv=None) -> int:
         )
     else:
         print(f"skip export gate: {export_fresh_path} absent (run the export smoke first)")
+
+    sweep_fresh_path = Path(args.sweep_fresh)
+    if sweep_fresh_path.exists():
+        failures += check_sweep(
+            load_sweep_run(sweep_fresh_path),
+            load_sweep_run(Path(args.sweep_baseline)),
+        )
+    else:
+        print(f"skip sweep gate: {sweep_fresh_path} absent (run the sweep smoke first)")
 
     if failures:
         print(f"{failures} perf-regression check(s) failed", file=sys.stderr)

@@ -111,7 +111,8 @@ def _cmd_run(args) -> int:
     rate = args.rps if args.rps else definition.paper_fail_rps * args.load
     spec = _spec_from_run_args(args, definition, rate)
     levels, stats = run_cells(
-        [spec], jobs=args.jobs, cache=_cache_from(args)
+        [spec], jobs=args.jobs, cache=_cache_from(args),
+        code_cache=_code_cache_from(args),
     )
     level = levels[0]
     if args.json:
@@ -161,14 +162,21 @@ def _cmd_sweep(args) -> int:
         jobs=args.jobs,
         cache=_cache_from(args),
         progress=progress,
+        shard=args.shard,
+        code_cache=_code_cache_from(args),
     )
     if args.save:
         save_sweep(result, args.save)
     if args.json:
+        # Sharded runs keep positional null holes so that N shard outputs
+        # union into the unsharded payload by position.
         print(json.dumps(
             {
                 "workload": result.workload,
-                "levels": [level.to_dict() for level in result.levels],
+                "levels": [
+                    level.to_dict() if level is not None else None
+                    for level in result.levels
+                ],
                 "telemetry": result.telemetry,
             },
             indent=2, sort_keys=True,
@@ -183,9 +191,9 @@ def _cmd_sweep(args) -> int:
             "RPS_obsv": result.observed,
             "dispersion": result.dispersion,
             "poll ms": [d / 1e6 for d in result.poll_durations],
-            "p99 ms": [l.p99_ns / 1e6 for l in result.levels],
+            "p99 ms": [l.p99_ns / 1e6 for l in result.completed_levels],
         },
-        qos_marker=[l.qos_violated for l in result.levels],
+        qos_marker=[l.qos_violated for l in result.completed_levels],
     ))
     print(f"\n  RPS_obsv    {sparkline(result.observed)}")
     print(f"  dispersion  {sparkline(result.dispersion)}")
@@ -348,8 +356,19 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="bypass the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default results/.cache)")
+    parser.add_argument("--no-code-cache", action="store_true",
+                        help="bypass the cross-process compiled-program cache")
+    parser.add_argument("--code-cache-dir", default=None, metavar="DIR",
+                        help="compiled-program cache directory "
+                             "(default results/.codecache)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable LevelResult JSON")
+
+
+def _code_cache_from(args):
+    if args.no_code_cache:
+        return False
+    return args.code_cache_dir  # None -> default resolution (env, then on)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -393,6 +412,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=1317)
     sweep_parser.add_argument("--save", default=None, metavar="NAME",
                               help="persist the sweep as results/NAME.json")
+    sweep_parser.add_argument("--shard", default=None, metavar="i/N",
+                              help="compute only shard i of N (1-based); the N "
+                                   "shard outputs union bit-identically into "
+                                   "the unsharded sweep")
     _add_executor_flags(sweep_parser)
 
     serve_parser = sub.add_parser(

@@ -21,9 +21,11 @@ from .pool import (
     ExecutorStats,
     ProgressCallback,
     execute_cell,
+    parse_shard,
     run_cells,
 )
 from .spec import DEFAULT_SEED, ExperimentSpec, LevelResult, SweepResult
+from .spill import ResultSpill
 
 __all__ = [
     "DEFAULT_SEED",
@@ -31,10 +33,12 @@ __all__ = [
     "LevelResult",
     "SweepResult",
     "ResultCache",
+    "ResultSpill",
     "default_cache_dir",
     "CellProgress",
     "ExecutorStats",
     "ProgressCallback",
     "execute_cell",
+    "parse_shard",
     "run_cells",
 ]

@@ -42,6 +42,9 @@ class ResultCache:
             Path(directory) if directory is not None else default_cache_dir()
         )
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
 
     def path_for(self, spec: ExperimentSpec) -> Path:
         return self.directory / f"{spec.cache_key()}.json"
@@ -51,9 +54,12 @@ class ResultCache:
         path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text())
-            return LevelResult(**payload["result"])
+            result = LevelResult(**payload["result"])
         except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            self.misses += 1
             return None
+        self.hits += 1
+        return result
 
     def put(self, spec: ExperimentSpec, result: LevelResult) -> Path:
         """Store ``result`` under ``spec``'s key; returns the entry path."""
@@ -64,11 +70,18 @@ class ResultCache:
             "result": result.to_dict(),
         }
         # Write-then-rename so a crashed run never leaves a truncated entry
-        # that a later run would have to classify as corrupt.
+        # that a later run would have to classify as corrupt.  Two batches
+        # racing on the same key are last-writer-wins: replace is atomic,
+        # so readers only ever see one complete entry or the other.
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, path)
+        self.puts += 1
         return path
+
+    def stats(self) -> dict:
+        """Lifetime hit/miss/put counters for this cache object."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
 
     def invalidate(self, spec: ExperimentSpec) -> bool:
         """Drop the entry for ``spec``; True if one existed."""

@@ -9,16 +9,27 @@ callback.
 
 Determinism: each cell derives its own :class:`SeedSequence` from its spec
 (see :meth:`ExperimentSpec.seed_sequence`), so results are a pure function
-of the spec — ``jobs=4`` is bit-identical to ``jobs=1``, and a cache hit is
-bit-identical to a fresh computation.
+of the spec — ``jobs=4`` is bit-identical to ``jobs=1``, a cache hit is
+bit-identical to a fresh computation, and a shard's output is positionally
+bit-identical to the corresponding slice of the unsharded batch.
+
+Fleet-scale path (DESIGN.md §11): submission is bounded-inflight (at most
+``max_inflight`` pickled specs outstanding, backfilled as futures drain —
+never the whole batch up front), completed results can stream to a
+:class:`~repro.analysis.executor.spill.ResultSpill` instead of
+accumulating in RAM, a ``shard="i/N"`` knob deterministically partitions
+the batch across independent invocations, and workers share one
+cross-process :class:`~repro.ebpf.diskcache.DiskCodeCache` so only the
+fleet's very first attach of a program ever pays translation.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ...core.monitor import MetricsSnapshot, RequestMetricsMonitor
 from ...core.windows import window_estimates
@@ -28,6 +39,7 @@ from ...net.netem import NetemConfig
 from ...sim.engine import Environment
 from .cache import ResultCache
 from .spec import ExperimentSpec, LevelResult
+from .spill import ResultSpill
 
 __all__ = [
     "CellHandles",
@@ -35,6 +47,7 @@ __all__ = [
     "ExecutorStats",
     "ProgressCallback",
     "execute_cell",
+    "parse_shard",
     "run_cells",
 ]
 
@@ -219,9 +232,82 @@ def execute_cell(
     )
 
 
+# Translation-cache counters aggregated across workers.  Workers report
+# per-cell *deltas* (snapshot before/after each cell), so sums stay exact
+# even though pool workers are persistent across cells.
+_TRANSLATION_KEYS = ("hits", "misses", "translations", "translate_ns")
+_DISK_KEYS = ("hits", "misses", "writes")
+
+
+def _translation_counters() -> Dict[str, int]:
+    from ...ebpf.fastvm import _GLOBAL_CACHE
+
+    stats = _GLOBAL_CACHE.stats()
+    out = {key: int(stats.get(key, 0)) for key in _TRANSLATION_KEYS}
+    disk = stats.get("disk") or {}
+    for key in _DISK_KEYS:
+        out[f"disk_{key}"] = int(disk.get(key, 0))
+    return out
+
+
+def _counter_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {key: after[key] - before[key] for key in after}
+
+
+def _merge_counters(into: Dict[str, int], delta: Dict[str, int]) -> None:
+    for key, value in delta.items():
+        into[key] = into.get(key, 0) + value
+
+
+def _pool_worker_init(code_cache_dir: Optional[str]) -> None:
+    """Pool initializer: attach the shared disk code cache, so a fresh
+    worker's first attach of any program another process already
+    translated is a disk hit, not a retranslation."""
+    if code_cache_dir is not None:
+        from ...ebpf.diskcache import enable_disk_cache
+
+        enable_disk_cache(code_cache_dir)
+
+
 def _cell_worker(payload: dict) -> dict:
-    """Process-pool entry point: dicts in, dicts out (spawn-safe, picklable)."""
-    return execute_cell(ExperimentSpec.from_dict(payload)).to_dict()
+    """Process-pool entry point: dicts in, dicts out (spawn-safe, picklable).
+
+    Alongside the result, reports the translation-cache counter delta the
+    cell caused in this worker, so the parent can aggregate fleet-wide
+    cache effectiveness without assuming one worker per cell.
+    """
+    before = _translation_counters()
+    result = execute_cell(ExperimentSpec.from_dict(payload)).to_dict()
+    return {
+        "result": result,
+        "translation": _counter_delta(before, _translation_counters()),
+    }
+
+
+def parse_shard(shard: Union[None, str, Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+    """Parse a ``"i/N"`` shard designator into a 1-based ``(i, N)`` pair.
+
+    Shard ``i`` of ``N`` owns the batch positions ``p`` with
+    ``p % N == i - 1`` — a pure function of position, so the same batch
+    sharded any way always partitions identically and the per-shard
+    outputs union to the unsharded result bit-identically.
+    """
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        try:
+            index_s, _, count_s = shard.partition("/")
+            parsed = (int(index_s), int(count_s))
+        except ValueError:
+            raise ValueError(
+                f"shard must look like 'i/N' (e.g. '1/4'), got {shard!r}"
+            ) from None
+    else:
+        parsed = (int(shard[0]), int(shard[1]))
+    index, count = parsed
+    if count < 1 or not (1 <= index <= count):
+        raise ValueError(f"shard index must satisfy 1 <= i <= N, got {index}/{count}")
+    return index, count
 
 
 @dataclass(frozen=True)
@@ -248,21 +334,48 @@ class CellProgress:
 
 @dataclass
 class ExecutorStats:
-    """End-of-batch telemetry: cells done, cache hits, wall-clock."""
+    """End-of-batch telemetry: cells done, cache hits, wall-clock.
+
+    ``translation`` aggregates the in-memory translation-cache and disk
+    code-cache counter deltas this batch caused (parent plus the per-cell
+    deltas every worker reported), ``result_cache`` the
+    :class:`ResultCache` hit/miss/put deltas — together they make the
+    amortization claims of the fleet-scale sweep path measurable from
+    any run's own ``--json`` output.
+    """
 
     total: int = 0
     cache_hits: int = 0
     computed: int = 0
     wall_s: float = 0.0
+    #: Cells that failed in a worker but were recovered by the one
+    #: in-process retry (counted in ``computed`` as well).
+    retried: int = 0
+    #: Cells with no result: the worker failed *and* the in-process retry
+    #: failed.  Their batch positions stay ``None`` in the results list.
+    failed: int = 0
+    #: ``{"index", "label", "error"}`` per unrecoverable cell.
+    errors: List[dict] = field(default_factory=list)
+    #: The ``"i/N"`` designator when the batch ran sharded.
+    shard: Optional[str] = None
+    #: Results streamed to a :class:`ResultSpill` instead of held in RAM.
+    spilled: int = 0
+    #: Translation + disk code-cache counter deltas for the whole batch.
+    translation: Optional[Dict[str, int]] = None
+    #: ResultCache hit/miss/put deltas for the batch.
+    result_cache: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} cells: {self.cache_hits} cached, "
             f"{self.computed} computed in {self.wall_s:.2f}s"
         )
+        if self.failed:
+            text += f" ({self.failed} failed)"
+        return text
 
 
 ProgressCallback = Callable[[CellProgress], None]
@@ -274,7 +387,11 @@ def run_cells(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
-) -> Tuple[List[LevelResult], ExecutorStats]:
+    shard: Union[None, str, Tuple[int, int]] = None,
+    spill: Union[None, bool, str, Path, ResultSpill] = None,
+    code_cache: Union[None, bool, str, Path] = None,
+    max_inflight: Optional[int] = None,
+) -> Tuple[Union[List[Optional[LevelResult]], ResultSpill], ExecutorStats]:
     """Run a batch of cells, in spec order, across up to ``jobs`` workers.
 
     Cache hits are served first (and never occupy a worker); only missing
@@ -282,19 +399,74 @@ def run_cells(
     cache from the parent process, so concurrent workers never race on the
     cache directory.  The returned results list is ordered like ``specs``
     regardless of completion order.
+
+    ``shard="i/N"`` runs only the batch positions owned by shard ``i`` of
+    ``N`` (see :func:`parse_shard`); positions owned by other shards stay
+    ``None``, so N shard invocations union positionally into exactly the
+    unsharded output.
+
+    ``spill`` streams completed results to a
+    :class:`~repro.analysis.executor.spill.ResultSpill` (``True`` for a
+    fresh one under ``results/``, a path, or an instance) instead of
+    holding them in RAM; the spill object is returned in place of the
+    results list — call ``materialize()`` on it for small batches.
+
+    ``code_cache`` controls the cross-process compiled-program cache
+    shared by parent and workers (``None`` = on at the default
+    ``results/.codecache/`` unless ``REPRO_CODE_CACHE=off``; ``False`` =
+    off; a path = on, there).
+
+    At most ``max_inflight`` (default ``2 * jobs``) submitted cells are
+    outstanding at once — specs are pickled as workers free up, never all
+    up front.  A cell whose worker fails is retried once in the parent;
+    cells that still fail are reported in ``ExecutorStats.failed`` /
+    ``.errors`` with their positions left ``None``, instead of aborting
+    the rest of the batch.
     """
+    from ...ebpf.diskcache import enable_disk_cache, resolve_codecache_dir
+    from ...ebpf.fastvm import _GLOBAL_CACHE
+
     specs = list(specs)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    shard_parsed = parse_shard(shard)
+    owned = list(range(len(specs)))
+    if shard_parsed is not None:
+        shard_index, shard_count = shard_parsed
+        owned = [p for p in owned if p % shard_count == shard_index - 1]
+
+    if spill is None or spill is False:
+        spill_sink: Optional[ResultSpill] = None
+    elif isinstance(spill, ResultSpill):
+        spill_sink = spill
+        if spill_sink.total is None:
+            spill_sink.total = len(specs)
+    elif spill is True:
+        spill_sink = ResultSpill(total=len(specs))
+    else:
+        spill_sink = ResultSpill(spill, total=len(specs))
+
     start = time.perf_counter()
-    stats = ExecutorStats(total=len(specs))
-    results: List[Optional[LevelResult]] = [None] * len(specs)
+    stats = ExecutorStats(total=len(owned))
+    if shard_parsed is not None:
+        stats.shard = f"{shard_parsed[0]}/{shard_parsed[1]}"
+    results: List[Optional[LevelResult]] = (
+        [] if spill_sink is not None else [None] * len(specs)
+    )
+    cache_before = cache.stats() if cache is not None else None
+    translation: Dict[str, int] = {}
+
+    code_cache_dir = resolve_codecache_dir(code_cache)
+    previous_disk = _GLOBAL_CACHE.disk
+    if code_cache_dir is not None:
+        enable_disk_cache(code_cache_dir)
+    parent_before = _translation_counters()
 
     def emit(index: int, source: str) -> None:
         if progress is not None:
             progress(CellProgress(
                 index=index,
-                total=len(specs),
+                total=len(owned),
                 spec=specs[index],
                 source=source,
                 done=stats.cache_hits + stats.computed,
@@ -303,35 +475,124 @@ def run_cells(
                 elapsed_s=time.perf_counter() - start,
             ))
 
-    pending: List[int] = []
-    for index, spec in enumerate(specs):
-        hit = cache.get(spec) if cache is not None else None
-        if hit is not None:
-            results[index] = hit
-            stats.cache_hits += 1
-            emit(index, "cache")
+    def deliver(index: int, result: LevelResult) -> None:
+        if spill_sink is not None:
+            spill_sink.add(index, result)
+            stats.spilled += 1
         else:
-            pending.append(index)
+            results[index] = result
 
     def finish(index: int, result: LevelResult) -> None:
-        results[index] = result
         stats.computed += 1
         if cache is not None:
             cache.put(specs[index], result)
+        deliver(index, result)
         emit(index, "computed")
 
-    workers = min(jobs, len(pending))
-    if workers <= 1:
-        for index in pending:
-            finish(index, execute_cell(specs[index]))
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_cell_worker, specs[index].to_dict()): index
-                for index in pending
-            }
-            for future in as_completed(futures):
-                finish(futures[future], LevelResult(**future.result()))
+    def fail(index: int, error: BaseException) -> None:
+        stats.failed += 1
+        stats.errors.append({
+            "index": index,
+            "label": specs[index].label(),
+            "error": f"{type(error).__name__}: {error}",
+        })
 
+    def retry_in_process(index: int, error: BaseException) -> None:
+        # One in-process retry: cells are pure functions of their spec, so
+        # this recovers environmental worker deaths (OOM kill, broken
+        # pool) bit-identically; deterministic cell bugs fail again here
+        # and are recorded instead of sinking the rest of the batch.
+        try:
+            result = execute_cell(specs[index])
+        except Exception as retry_error:  # noqa: BLE001 - reported, not hidden
+            fail(index, retry_error)
+        else:
+            stats.retried += 1
+            finish(index, result)
+
+    try:
+        pending: List[int] = []
+        for index in owned:
+            hit = cache.get(specs[index]) if cache is not None else None
+            if hit is not None:
+                stats.cache_hits += 1
+                deliver(index, hit)
+                emit(index, "cache")
+            else:
+                pending.append(index)
+
+        workers = min(jobs, len(pending))
+        if workers <= 1:
+            for index in pending:
+                try:
+                    result = execute_cell(specs[index])
+                except Exception as error:  # noqa: BLE001 - reported, not hidden
+                    fail(index, error)
+                else:
+                    finish(index, result)
+        else:
+            inflight_cap = max_inflight if max_inflight is not None else 2 * workers
+            if inflight_cap < workers:
+                inflight_cap = workers
+            backlog = iter(pending)
+            inflight: Dict[object, int] = {}
+            pool_broken = False
+
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_worker_init,
+                initargs=(str(code_cache_dir) if code_cache_dir else None,),
+            ) as pool:
+
+                def submit_next() -> bool:
+                    nonlocal pool_broken
+                    if pool_broken:
+                        return False
+                    for index in backlog:
+                        try:
+                            future = pool.submit(
+                                _cell_worker, specs[index].to_dict()
+                            )
+                        except Exception as error:  # pool broken mid-batch
+                            pool_broken = True
+                            retry_in_process(index, error)
+                            return False
+                        inflight[future] = index
+                        return True
+                    return False
+
+                while len(inflight) < inflight_cap and submit_next():
+                    pass
+                while inflight:
+                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = inflight.pop(future)
+                        try:
+                            payload = future.result()
+                        except Exception as error:  # noqa: BLE001
+                            retry_in_process(index, error)
+                        else:
+                            _merge_counters(
+                                translation, payload["translation"]
+                            )
+                            finish(index, LevelResult(**payload["result"]))
+                        submit_next()
+                # Cells never submitted because the pool broke run here.
+                for index in backlog:
+                    try:
+                        result = execute_cell(specs[index])
+                    except Exception as error:  # noqa: BLE001
+                        fail(index, error)
+                    else:
+                        finish(index, result)
+    finally:
+        _merge_counters(
+            translation, _counter_delta(parent_before, _translation_counters())
+        )
+        _GLOBAL_CACHE.disk = previous_disk
+
+    stats.translation = translation
+    if cache is not None and cache_before is not None:
+        stats.result_cache = _counter_delta(cache_before, cache.stats())
     stats.wall_s = time.perf_counter() - start
-    return results, stats
+    return (spill_sink if spill_sink is not None else results), stats

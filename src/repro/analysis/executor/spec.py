@@ -370,41 +370,52 @@ class LevelResult:
 
 @dataclass
 class SweepResult:
-    """A full load sweep for one workload."""
+    """A full load sweep for one workload.
+
+    A sharded run (``sweep(..., shard="i/N")``) leaves ``None`` holes in
+    ``levels`` at positions other shards own; the convenience accessors
+    below skip the holes, so they describe whatever this invocation
+    actually computed.
+    """
 
     workload: str
-    levels: List[LevelResult]
+    levels: List[Optional[LevelResult]]
     #: Executor telemetry for the run that produced this sweep (cells done,
     #: cache hits, wall-clock), when it came through the executor.
     telemetry: Optional[dict] = None
 
     @property
+    def completed_levels(self) -> List[LevelResult]:
+        """The levels this run actually produced (no shard/failure holes)."""
+        return [l for l in self.levels if l is not None]
+
+    @property
     def offered(self) -> List[float]:
-        return [l.offered_rps for l in self.levels]
+        return [l.offered_rps for l in self.completed_levels]
 
     @property
     def achieved(self) -> List[float]:
-        return [l.achieved_rps for l in self.levels]
+        return [l.achieved_rps for l in self.completed_levels]
 
     @property
     def observed(self) -> List[float]:
-        return [l.rps_obsv for l in self.levels]
+        return [l.rps_obsv for l in self.completed_levels]
 
     @property
     def variances(self) -> List[float]:
-        return [float(l.send_delta_variance) for l in self.levels]
+        return [float(l.send_delta_variance) for l in self.completed_levels]
 
     @property
     def dispersion(self) -> List[float]:
-        return [l.send_delta_cov2 for l in self.levels]
+        return [l.send_delta_cov2 for l in self.completed_levels]
 
     @property
     def poll_durations(self) -> List[float]:
-        return [float(l.poll_mean_duration_ns) for l in self.levels]
+        return [float(l.poll_mean_duration_ns) for l in self.completed_levels]
 
     def qos_failure_rps(self) -> Optional[float]:
         """First offered RPS whose p99 crossed the QoS threshold."""
-        for level in self.levels:
+        for level in self.completed_levels:
             if level.qos_violated:
                 return level.offered_rps
         return None

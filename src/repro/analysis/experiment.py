@@ -85,6 +85,8 @@ def sweep(
     jobs: int = 1,
     cache: Union[None, bool, str, Path, ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    shard: Optional[str] = None,
+    code_cache: Union[None, bool, str, Path] = None,
     **level_kwargs,
 ) -> SweepResult:
     """Run a full load sweep (Figs. 2/3/4 trajectories).
@@ -94,6 +96,10 @@ def sweep(
     cache: ``True`` for the default ``results/.cache/`` directory, a path,
     or a :class:`ResultCache`.  ``progress`` receives one
     :class:`~repro.analysis.executor.CellProgress` event per finished cell.
+    ``shard="i/N"`` computes only shard ``i``'s levels (the others stay
+    ``None`` in ``SweepResult.levels``; N shard runs union positionally
+    into the unsharded sweep).  ``code_cache`` controls the cross-process
+    compiled-program cache (see :func:`~repro.analysis.executor.run_cells`).
     Remaining keywords (``seed``, ``monitor_mode``, netem configs, ...) are
     :class:`ExperimentSpec` fields applied to every level.
     """
@@ -110,7 +116,8 @@ def sweep(
         for rate in levels
     ]
     results, stats = run_cells(
-        specs, jobs=jobs, cache=_resolve_cache(cache), progress=progress
+        specs, jobs=jobs, cache=_resolve_cache(cache), progress=progress,
+        shard=shard, code_cache=code_cache,
     )
     return SweepResult(
         workload=definition.key, levels=results, telemetry=stats.to_dict()

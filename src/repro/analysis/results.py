@@ -30,7 +30,11 @@ def save_sweep(sweep: SweepResult, name: str, base: Optional[Path] = None) -> Pa
     path = results_dir(base) / f"{name}.json"
     payload = {
         "workload": sweep.workload,
-        "levels": [level.to_dict() for level in sweep.levels],
+        # Sharded sweeps keep positional null holes (see SweepResult).
+        "levels": [
+            level.to_dict() if level is not None else None
+            for level in sweep.levels
+        ],
     }
     if sweep.telemetry is not None:
         payload["telemetry"] = dict(sweep.telemetry)
@@ -42,7 +46,10 @@ def load_sweep(name: str, base: Optional[Path] = None) -> SweepResult:
     """Load a sweep previously written by :func:`save_sweep`."""
     path = results_dir(base) / f"{name}.json"
     payload = json.loads(path.read_text())
-    levels: List[LevelResult] = [LevelResult(**entry) for entry in payload["levels"]]
+    levels: List[Optional[LevelResult]] = [
+        LevelResult(**entry) if entry is not None else None
+        for entry in payload["levels"]
+    ]
     return SweepResult(
         workload=payload["workload"],
         levels=levels,

@@ -11,6 +11,12 @@ from .compiled import (
     compile_insns,
     make_vm,
 )
+from .diskcache import (
+    DiskCodeCache,
+    disable_disk_cache,
+    disk_cache_stats,
+    enable_disk_cache,
+)
 from .context import (
     SYS_ENTER_ARGS_OFF,
     SYS_ENTER_CTX_SIZE,
@@ -59,6 +65,10 @@ __all__ = [
     "decode_program",
     "translation_cache_stats",
     "clear_translation_cache",
+    "DiskCodeCache",
+    "enable_disk_cache",
+    "disable_disk_cache",
+    "disk_cache_stats",
     "verify",
     "Insn",
     "encode",

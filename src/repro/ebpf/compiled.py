@@ -74,9 +74,19 @@ __all__ = [
     "CompiledVm",
     "VM_TIERS",
     "DEFAULT_VM_TIER",
+    "CODEGEN_TAG",
     "compile_insns",
+    "rebind_namespace",
     "make_vm",
 ]
+
+#: Version stamp of the code generator's output contract.  The on-disk
+#: compiled-code cache (:mod:`repro.ebpf.diskcache`) keys entries on this
+#: tag: bump it whenever the generated source, the namespace binding
+#: scheme (``I``/``G``/``Z``/``B``/``M`` names), or the calling
+#: convention of ``_prog`` changes shape, so stale entries can never be
+#: executed by a newer generator.
+CODEGEN_TAG = "cg1"
 
 _MASK32 = (1 << 32) - 1
 _MASK64 = (1 << 64) - 1
@@ -668,15 +678,19 @@ class CompiledProgram:
 
     ``fn(ctx_bytes, runtime, insn_cost_ns, scratch)`` returns the
     ``(r0, steps, cost_ns)`` triple; ``source`` keeps the generated text
-    for diagnostics and tests.
+    for diagnostics and tests, and ``code`` the compiled module code
+    object — the piece the on-disk cache persists (it is marshal-able:
+    every non-constant the generated source touches rides in through the
+    exec namespace, never through the code object itself).
     """
 
-    __slots__ = ("fn", "source", "n")
+    __slots__ = ("fn", "source", "n", "code")
 
-    def __init__(self, fn, source: str, n: int) -> None:
+    def __init__(self, fn, source: str, n: int, code=None) -> None:
         self.fn = fn
         self.source = source
         self.n = n
+        self.code = code
 
 
 def compile_insns(insns: Sequence[Insn]) -> Optional[CompiledProgram]:
@@ -693,8 +707,80 @@ def compile_insns(insns: Sequence[Insn]) -> Optional[CompiledProgram]:
     except _Unsupported:
         return None
     namespace = codegen.ns
-    exec(compile(source, "<ebpf-compiled>", "exec"), namespace)  # noqa: S102
-    return CompiledProgram(namespace["_prog"], source, len(insns))
+    code = compile(source, "<ebpf-compiled>", "exec")
+    exec(code, namespace)  # noqa: S102
+    return CompiledProgram(namespace["_prog"], source, len(insns), code)
+
+
+#: Static names every generated program's namespace carries (the
+#: non-per-pc half of ``_Codegen.ns``); :func:`rebind_namespace` seeds
+#: rebuilt namespaces from this template.
+_STATIC_NS = {
+    "VmFault": VmFault,
+    "Pointer": Pointer,
+    "MapRef": MapRef,
+    "MemRegion": MemRegion,
+    "ArrayMap": ArrayMap,
+    "PerfEventArray": PerfEventArray,
+    "_alu": _REF._alu,
+    "_branch": _REF._branch,
+    "_load": mem_load,
+    "_store": mem_store,
+    "_call": call_helper,
+    "_ifb": int.from_bytes,
+}
+
+
+def rebind_namespace(insns: Sequence[Insn]) -> Optional[dict]:
+    """Rebuild the exec namespace of a generated program from ``insns``.
+
+    The generated source is a pure function of the instruction *wire
+    encoding* — map loads compile to ``rN = M<pc>`` with the map object
+    living only in the namespace — which is what makes compiled
+    translations shareable across processes: the on-disk cache persists
+    the source/code keyed on the wire blob and this function re-binds the
+    per-pc names (``I`` insns, ``G`` helper sigs, ``Z`` sizes, ``B``
+    store blobs, ``M`` map refs) against the *caller's* live maps.  It
+    deliberately over-binds — a name is bound for every pc that could
+    need one, whether or not the generator ended up referencing it —
+    so it never has to replicate the generator's emission choices.
+
+    Returns ``None`` when ``insns`` cannot satisfy the bindings (an
+    unresolved map reference, an unknown helper): the caller must then
+    translate from scratch, which reproduces the generator's own
+    unsupported verdict.
+    """
+    ns = dict(_STATIC_NS)
+    skip = False
+    for pc, insn in enumerate(insns):
+        if skip:
+            skip = False
+            continue
+        klass = insn.opcode & 0x07
+        ns[f"I{pc}"] = insn
+        if klass in (InsnClass.LDX, InsnClass.STX, InsnClass.ST):
+            size = MemSize(insn.opcode & 0x18)
+            ns[f"Z{pc}"] = size
+            if klass == InsnClass.ST:
+                nb = size.nbytes
+                value = insn.imm & _MASK64
+                ns[f"B{pc}"] = (value & ((1 << (8 * nb)) - 1)).to_bytes(nb, "little")
+        elif klass == InsnClass.LD:
+            if not insn.is_ld_imm64 or pc + 1 >= len(insns):
+                return None
+            skip = True
+            if insn.is_map_load:
+                ref = insn.map_ref
+                if not isinstance(ref, (BpfMap, RingBuf, PerfEventArray)):
+                    return None
+                ns[f"M{pc}"] = MapRef(ref)
+        elif klass in (InsnClass.JMP, InsnClass.JMP32):
+            if (insn.opcode & 0xF0) == JmpOp.CALL:
+                sig = HELPER_SIGS.get(insn.imm)
+                if sig is None:
+                    return None
+                ns[f"G{pc}"] = sig
+    return ns
 
 
 # ----------------------------------------------------------------------

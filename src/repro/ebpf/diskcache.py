@@ -1,0 +1,293 @@
+"""Cross-process on-disk cache of compiled eBPF translations.
+
+The in-process :class:`~repro.ebpf.fastvm.TranslationCache` amortizes
+translation *within* a process, but every pool worker of a sweep used to
+start cold and retranslate every program it attaches.  This module
+persists compiled-tier translations under ``results/.codecache/`` so a
+forked or spawned worker's first attach is a disk read, not a
+codegen + ``compile()`` pass — the piece that makes thousand-cell sweep
+batches pay translation cost approximately once per *fleet*, not once
+per process.
+
+Key contract (see DESIGN.md §11).  Entries are content-addressed like
+``TranslationCache._content_key`` — the instruction **wire encoding**
+plus the tier — but deliberately *map-identity-free*: the in-memory key
+includes ``id()``\\ s of the referenced maps because translations bind
+live map objects, and an ``id`` is meaningless in another process.  The
+generated source never embeds a map (map loads compile to ``rN = M<pc>``
+with the map object living in the exec namespace), so the disk entry
+stores only the source and its compiled code object; on load,
+:func:`~repro.ebpf.compiled.rebind_namespace` re-binds every per-pc name
+— including the map *roles* ``M<pc>`` — against the caller's live maps.
+The key is additionally salted with the interpreter's bytecode magic
+number, the package version, and :data:`~repro.ebpf.compiled.CODEGEN_TAG`,
+so a Python upgrade, a release, or a generator change each invalidate
+the cache wholesale rather than ever executing a stale translation.
+
+Negative verdicts are cached too: a program the generator rejects is
+stored as an ``unsupported`` entry, so workers skip the (cheap but not
+free) unsupported-construct scan as well.
+
+Writes are atomic (unique temp file + ``os.replace``), reads treat any
+corrupt, truncated, or foreign file as a miss — a cache directory can
+always be deleted or shipped between machines safely.  Fast-tier
+translations (micro-op closures) are not representable on disk and are
+reported as uncacheable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import marshal
+import os
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .insn import Insn, encode
+
+__all__ = [
+    "CODEC_VERSION",
+    "DiskCodeCache",
+    "default_codecache_dir",
+    "disable_disk_cache",
+    "disk_cache_stats",
+    "enable_disk_cache",
+    "resolve_codecache_dir",
+]
+
+#: Entry container format version (bump on any payload shape change).
+CODEC_VERSION = 1
+
+#: Truthy-but-off spellings accepted in ``REPRO_CODE_CACHE``.
+_OFF_VALUES = frozenset(("0", "off", "no", "false", "disabled"))
+
+
+def default_codecache_dir() -> Path:
+    """``results/.codecache`` under the repository root."""
+    return Path(__file__).resolve().parents[3] / "results" / ".codecache"
+
+
+def resolve_codecache_dir(setting: Union[None, bool, str, Path]) -> Optional[Path]:
+    """Resolve a code-cache knob to a directory (or ``None`` = disabled).
+
+    ``False`` disables; a path selects that directory; ``None``/``True``
+    defer to the ``REPRO_CODE_CACHE`` environment variable (``0``/``off``
+    disables, a path overrides the location) and fall back to
+    :func:`default_codecache_dir`.
+    """
+    if setting is False:
+        return None
+    if setting not in (None, True):
+        return Path(setting)
+    env = os.environ.get("REPRO_CODE_CACHE", "").strip()
+    if env.lower() in _OFF_VALUES and env:
+        return None
+    if env:
+        return Path(env)
+    return default_codecache_dir()
+
+
+def _version_salt() -> bytes:
+    from .. import __version__
+    from .compiled import CODEGEN_TAG
+
+    return b"|".join((
+        importlib.util.MAGIC_NUMBER,
+        str(CODEC_VERSION).encode(),
+        __version__.encode(),
+        CODEGEN_TAG.encode(),
+    ))
+
+
+class DiskCodeCache:
+    """Persistent (program wire encoding, tier) → compiled translation.
+
+    Duck-typed backend for :class:`~repro.ebpf.fastvm.TranslationCache`:
+    ``load`` returns a ready-to-execute entry (or ``None`` on a miss),
+    ``store`` persists a freshly translated one.  Only the compiled tier
+    has an on-disk representation; other tiers report uncacheable
+    without touching the hit/miss counters.
+    """
+
+    def __init__(self, directory: Union[None, str, Path] = None) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else default_codecache_dir()
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._salt = _version_salt()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.errors = 0
+        self.uncacheable = 0
+
+    # -- keying ----------------------------------------------------------
+    def key_for(self, insns: Sequence[Insn], tier: str) -> str:
+        digest = hashlib.sha256(
+            self._salt + b"|" + tier.encode() + b"|" + encode(insns)
+        )
+        return digest.hexdigest()[:40]
+
+    def path_for(self, insns: Sequence[Insn], tier: str) -> Path:
+        return self.directory / f"{self.key_for(insns, tier)}.cbc"
+
+    # -- load / store ----------------------------------------------------
+    def load(self, insns: Sequence[Insn], tier: str):
+        """A rebound translation for ``insns``, or ``None`` on a miss."""
+        if tier != "compiled":
+            self.uncacheable += 1
+            return None
+        try:
+            blob = self.path_for(insns, tier).read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        entry = self._decode(blob, insns)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, insns: Sequence[Insn], tier: str, entry) -> bool:
+        """Persist ``entry``; returns True when it hit the disk."""
+        payload = self._encode(tier, entry)
+        if payload is None:
+            self.uncacheable += 1
+            return False
+        path = self.path_for(insns, tier)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            # Unique temp name + atomic replace: concurrent workers racing
+            # on the same key are last-writer-wins with no torn entry ever
+            # visible to a reader.
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError:
+            self.errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.writes += 1
+        return True
+
+    # -- codecs ----------------------------------------------------------
+    def _encode(self, tier: str, entry) -> Optional[bytes]:
+        if tier != "compiled":
+            return None
+        from .compiled import CompiledProgram
+        from .fastvm import _UNSUPPORTED
+
+        if entry is _UNSUPPORTED:
+            return marshal.dumps((CODEC_VERSION, "unsupported"))
+        if isinstance(entry, CompiledProgram) and entry.code is not None:
+            return marshal.dumps(
+                (CODEC_VERSION, "ok", entry.source, entry.code, entry.n)
+            )
+        return None
+
+    def _decode(self, blob: bytes, insns: Sequence[Insn]):
+        from .compiled import CompiledProgram, rebind_namespace
+        from .fastvm import _UNSUPPORTED
+
+        try:
+            payload = marshal.loads(blob)
+        except (ValueError, EOFError, TypeError):
+            self.errors += 1
+            return None
+        if not isinstance(payload, tuple) or not payload:
+            self.errors += 1
+            return None
+        if payload[0] != CODEC_VERSION:
+            self.errors += 1
+            return None
+        kind = payload[1] if len(payload) > 1 else None
+        if kind == "unsupported":
+            return _UNSUPPORTED
+        if kind != "ok" or len(payload) != 5:
+            self.errors += 1
+            return None
+        _version, _kind, source, code, n = payload
+        if n != len(insns):
+            self.errors += 1
+            return None
+        namespace = rebind_namespace(insns)
+        if namespace is None:
+            # The caller's insns cannot satisfy the entry's bindings
+            # (unresolved maps, unknown helper); translating from scratch
+            # reproduces the generator's own verdict.
+            return None
+        try:
+            exec(code, namespace)  # noqa: S102 - cache holds our own codegen output
+        except Exception:
+            self.errors += 1
+            return None
+        return CompiledProgram(namespace["_prog"], source, n, code)
+
+    # -- maintenance -----------------------------------------------------
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.cbc"):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "entries": sum(1 for _ in self.directory.glob("*.cbc")),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "errors": self.errors,
+            "uncacheable": self.uncacheable,
+        }
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.cbc"))
+
+    def __repr__(self) -> str:
+        return f"<DiskCodeCache dir={str(self.directory)!r} entries={len(self)}>"
+
+
+# ----------------------------------------------------------------------
+# process-wide wiring
+# ----------------------------------------------------------------------
+
+def enable_disk_cache(
+    directory: Union[None, str, Path] = None,
+) -> DiskCodeCache:
+    """Attach a :class:`DiskCodeCache` to the process-wide translation
+    cache (every ``BPF`` attach site consults it from then on).  Re-enabling
+    with the same directory keeps the existing backend and its counters."""
+    from .fastvm import _GLOBAL_CACHE
+
+    resolved = Path(directory) if directory is not None else default_codecache_dir()
+    current = _GLOBAL_CACHE.disk
+    if isinstance(current, DiskCodeCache) and current.directory == resolved:
+        return current
+    cache = DiskCodeCache(resolved)
+    _GLOBAL_CACHE.disk = cache
+    return cache
+
+
+def disable_disk_cache():
+    """Detach (and return) the process-wide disk backend, if any."""
+    from .fastvm import _GLOBAL_CACHE
+
+    current = _GLOBAL_CACHE.disk
+    _GLOBAL_CACHE.disk = None
+    return current
+
+
+def disk_cache_stats() -> Optional[dict]:
+    """Counters of the process-wide disk backend (``None`` when detached)."""
+    from .fastvm import _GLOBAL_CACHE
+
+    return None if _GLOBAL_CACHE.disk is None else _GLOBAL_CACHE.disk.stats()

@@ -29,6 +29,7 @@ them, and helper costs come from the same :func:`~repro.ebpf.vm.call_helper`.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
@@ -543,19 +544,34 @@ class TranslationCache:
     objects into closures; a cached entry keeps those maps alive, which
     also guarantees their ``id``\\ s cannot be recycled while the entry
     exists.
+
+    ``disk`` optionally attaches a cross-process backend (in practice a
+    :class:`repro.ebpf.diskcache.DiskCodeCache`, duck-typed so this
+    module never imports it): an in-memory content miss consults
+    ``disk.load(insns, tier)`` before translating, and a fresh
+    translation is offered to ``disk.store`` so the next process starts
+    warm.  Disk entries are map-identity-free (the backend re-binds map
+    *roles* against the caller's live maps), which is why the disk layer
+    can sit below the identity-ful in-memory key.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256, disk=None) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         #: ``(blob, map identities, tier)`` → translation (or, for the
         #: compiled tier, the ``_UNSUPPORTED`` marker).
         self._by_blob: "OrderedDict[tuple, object]" = OrderedDict()
-        #: ``id(insns)`` → ``(insns, {tier: translation})``.
+        #: ``id(insns)`` → ``[insns, {tier: translation}, content key,
+        #: hit-since-last-purge flag]``.
         self._by_seq: dict = {}
+        self.disk = disk
         self.hits = 0
         self.misses = 0
+        #: Translations actually performed (in-memory and disk both missed).
+        self.translations = 0
+        #: Wall time spent inside ``translate_fn`` (the amortization metric).
+        self.translate_ns = 0
 
     @staticmethod
     def _content_key(insns: Sequence[Insn]) -> tuple:
@@ -570,14 +586,23 @@ class TranslationCache:
             entry = memo[1].get(tier)
             if entry is not None:
                 self.hits += 1
+                memo[3] = True
                 return entry
         else:
             memo = None
-        key = self._content_key(insns) + (tier,)
+        base = self._content_key(insns)
+        key = base + (tier,)
         entry = self._by_blob.get(key)
         if entry is None:
             self.misses += 1
-            entry = translate_fn(insns)
+            entry = self.disk.load(insns, tier) if self.disk is not None else None
+            if entry is None:
+                start = time.perf_counter_ns()
+                entry = translate_fn(insns)
+                self.translate_ns += time.perf_counter_ns() - start
+                self.translations += 1
+                if self.disk is not None:
+                    self.disk.store(insns, tier, entry)
             self._by_blob[key] = entry
             while len(self._by_blob) > self.max_entries:
                 self._by_blob.popitem(last=False)
@@ -585,11 +610,39 @@ class TranslationCache:
             self.hits += 1
         if memo is None:
             if len(self._by_seq) > 4 * self.max_entries:
-                self._by_seq.clear()
-            memo = (insns, {})
+                self._purge_seq_memos()
+            memo = [insns, {}, base, True]
             self._by_seq[id(insns)] = memo
         memo[1][tier] = entry
+        memo[3] = True
         return entry
+
+    def _purge_seq_memos(self) -> None:
+        """Shed cold identity memos without touching the hot ones.
+
+        A memo is *live* while any of its tiers' translations is still in
+        ``_by_blob`` — those are the attach sites the memo layer exists
+        for, and evicting them mid-run (as the old wholesale ``clear()``
+        did) put a content-key probe back on every subsequent firing
+        until re-memoized.  Memos whose blob entry aged out of the LRU
+        are dead weight and dropped.  If that alone does not get under
+        budget (many distinct list objects of the same live content), a
+        second-chance pass drops memos not hit since the previous purge,
+        so steadily-firing attach sites always survive.
+        """
+        by_blob = self._by_blob
+        live = {
+            seq_id: memo
+            for seq_id, memo in self._by_seq.items()
+            if any(memo[2] + (tier,) in by_blob for tier in memo[1])
+        }
+        if len(live) > 4 * self.max_entries:
+            live = {
+                seq_id: memo for seq_id, memo in live.items() if memo[3]
+            }
+        for memo in live.values():
+            memo[3] = False
+        self._by_seq = live
 
     def get(self, insns: Sequence[Insn]) -> DecodedProgram:
         """The fast-tier (micro-op) translation of ``insns``."""
@@ -614,13 +667,20 @@ class TranslationCache:
         self._by_seq.clear()
         self.hits = 0
         self.misses = 0
+        self.translations = 0
+        self.translate_ns = 0
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "entries": len(self._by_blob),
             "hits": self.hits,
             "misses": self.misses,
+            "translations": self.translations,
+            "translate_ns": self.translate_ns,
         }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
 
     def __len__(self) -> int:
         return len(self._by_blob)

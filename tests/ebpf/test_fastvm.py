@@ -418,7 +418,12 @@ class TestTranslationCache:
         first = cache.get(insns)
         second = cache.get(insns)
         assert first is second
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["translations"] == 1
+        assert stats["translate_ns"] > 0
 
     def test_equal_blobs_share_translation(self):
         cache = TranslationCache()
@@ -452,6 +457,65 @@ class TestTranslationCache:
             asm.exit_()
             cache.get(asm.build())
         assert len(cache) == 4
+
+    def test_purge_keeps_hot_attach_site_memoized(self):
+        """Regression: the identity-memo purge at ``4 * max_entries`` used
+        to be a wholesale ``clear()``, evicting the hot attach site's memo
+        along with the cold ones mid-run.  Now only memos whose blob left
+        ``_by_blob`` (plus cold second-chance victims) are shed — the
+        steadily-firing site keeps its *original* memo object across every
+        purge, while the churn stays bounded."""
+        cache = TranslationCache(max_entries=8)
+        hot = self._program_insns()
+        cache.get(hot)
+        hot_memo = cache._by_seq[id(hot)]
+
+        def rebuild_cold():
+            asm = Asm()
+            asm.mov_imm(Reg.R0, 99)
+            asm.sub_imm(Reg.R0, 1)
+            asm.exit_()
+            return asm.build()
+
+        churn = []  # keep identities alive so ids are never recycled
+        for _ in range(20 * cache.max_entries):
+            cold = rebuild_cold()
+            churn.append(cold)
+            cache.get(cold)
+            cache.get(hot)
+
+        # Purges definitely ran (160 memos created, budget is 32) and
+        # bounded the table, yet the hot site still holds the exact memo
+        # object from before the churn: every one of its lookups stayed
+        # on the identity fast path.
+        assert len(cache._by_seq) <= 4 * cache.max_entries + 1
+        assert cache._by_seq.get(id(hot)) is hot_memo
+        hits = cache.hits
+        assert cache.get(hot) is hot_memo[1]["fast"]
+        assert cache.hits == hits + 1
+        assert cache.misses == 2  # hot + the one shared cold content
+
+    def test_purge_drops_memos_of_evicted_blobs(self):
+        """Memos whose translation aged out of the blob LRU are dead
+        weight (a lookup through them can't be served) and are dropped at
+        purge time; memos whose blob is still resident survive."""
+        cache = TranslationCache(max_entries=2)
+
+        def distinct(value):
+            asm = Asm()
+            asm.mov_imm(Reg.R0, value)
+            asm.exit_()
+            return asm.build()
+
+        keep_alive = [distinct(v) for v in range(10)]
+        for insns in keep_alive:
+            cache.get(insns)
+        # The 10th identity crossed the 4 * max_entries budget: a purge
+        # ran, and everything whose blob had aged out of the 2-entry LRU
+        # was shed — the table holds at most the resident survivors plus
+        # the memo added after the purge.
+        assert len(cache._by_seq) <= cache.max_entries + 1
+        assert len(cache._by_seq) < len(keep_alive)
 
     def test_attached_bpf_reuses_one_translation(self):
         """The BPF frontend's millions-of-firings path: one miss, then hits."""
