@@ -119,6 +119,18 @@ def load_sweep_run(path: Path) -> dict:
     return data
 
 
+def load_ctl_run(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise _usage_error(f"{path}: no such file (run the benchmark first)")
+    except json.JSONDecodeError as exc:
+        raise _usage_error(f"{path}: not valid JSON ({exc})")
+    if data.get("benchmark") != "bench_closed_loop":
+        raise _usage_error(f"{path}: not a bench_closed_loop record")
+    return data
+
+
 def normalized_ratios(cell: dict) -> dict:
     """Per-tier cpu_s normalized by the run's own reference tier."""
     cpu = cell["cpu_s"]
@@ -254,6 +266,14 @@ def _judge_sweep_record(record: dict, origin: str, println=print) -> int:
     println(f"{verdict} sweep {origin}: warm fleet translations {translations} (must be 0)")
     failures += translations != 0
 
+    # The mirror gate: the cold fleet must really have translated.  A
+    # "cold" run served from a stale shared code cache would both pass
+    # the warm gate trivially and corrupt the cold timing baseline.
+    cold = record.get("cold", {}).get("translation", {}).get("translations", 0)
+    verdict = "FAIL" if cold <= 0 else "  ok"
+    println(f"{verdict} sweep {origin}: cold fleet translations {cold} (must be > 0)")
+    failures += cold <= 0
+
     ratio = record.get("rss", {}).get("ratio")
     if ratio is None:
         println(f"FAIL sweep {origin}: no RSS ratio recorded")
@@ -288,6 +308,44 @@ def check_sweep(fresh: dict, baseline: dict, println=print) -> int:
         )
         return failures + 1
     failures += _judge_sweep_record(baseline, "baseline", println)
+    return failures
+
+
+def _judge_ctl_record(record: dict, origin: str, println=print) -> int:
+    """Apply the EXP-CTL documented bounds to one closed-loop record.
+
+    The bounds live in ``bench_closed_loop.check_bounds`` — the same
+    per-scenario violation-ratio ceilings and goodput floors hold for a
+    smoke record (one workload per architecture) and the committed
+    full-matrix baseline; only the cell count differs.
+    """
+    from bench_closed_loop import check_bounds
+
+    problems = check_bounds(record)
+    cells = len(record.get("cells", {}))
+    if problems:
+        for problem in problems:
+            println(f"FAIL ctl {origin}: {problem}")
+        return len(problems)
+    println(f"  ok ctl {origin}: {cells} closed-loop cells inside the documented bounds")
+    return 0
+
+
+def check_ctl(fresh: dict, baseline: dict, println=print) -> int:
+    """Gate the closed-loop controller records; returns the failure count.
+
+    The fresh (smoke) record proves the controller still detects and
+    sheds/re-scales on this branch; the committed baseline proves the
+    bounds held across the full workload matrix when it was generated.
+    """
+    failures = _judge_ctl_record(fresh, "fresh", println)
+    if baseline.get("smoke"):
+        println(
+            "FAIL ctl baseline: committed BENCH_ctl.json is a smoke "
+            "record (regenerate with a full run)"
+        )
+        return failures + 1
+    failures += _judge_ctl_record(baseline, "baseline", println)
     return failures
 
 
@@ -335,6 +393,16 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_sweep.json"),
         help="committed full-size sweep-scale baseline",
     )
+    parser.add_argument(
+        "--ctl-fresh",
+        default=str(REPO_ROOT / "results" / "bench_ctl_smoke.json"),
+        help="fresh closed-loop benchmark record (skipped with a note if absent)",
+    )
+    parser.add_argument(
+        "--ctl-baseline",
+        default=str(REPO_ROOT / "BENCH_ctl.json"),
+        help="committed full-matrix closed-loop baseline",
+    )
     args = parser.parse_args(argv)
 
     fresh = load_run(Path(args.fresh))
@@ -359,6 +427,15 @@ def main(argv=None) -> int:
         )
     else:
         print(f"skip sweep gate: {sweep_fresh_path} absent (run the sweep smoke first)")
+
+    ctl_fresh_path = Path(args.ctl_fresh)
+    if ctl_fresh_path.exists():
+        failures += check_ctl(
+            load_ctl_run(ctl_fresh_path),
+            load_ctl_run(Path(args.ctl_baseline)),
+        )
+    else:
+        print(f"skip ctl gate: {ctl_fresh_path} absent (run the closed-loop smoke first)")
 
     if failures:
         print(f"{failures} perf-regression check(s) failed", file=sys.stderr)

@@ -23,7 +23,7 @@ stack:
   collector pipeline (text/OpenMetrics exposition, ``/metrics`` server).
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from .analysis import (
     ExperimentSpec,

@@ -17,6 +17,10 @@ Commands:
   ``--scenario``) against a workload with the cross-layer correlator on
   and report whether each scenario produced its annotated taxonomy
   label; exits non-zero on a miss, so it doubles as the CI smoke;
+* ``control`` — run the closed-loop control scenarios (surge-shed,
+  stall-shed, crash-scale) against a workload: an uncontrolled arm vs a
+  controlled arm driven only by windowed eBPF-side signals; exits
+  non-zero when the controller never engaged;
 * ``report`` — render ``results/*.json`` into markdown
   (same as ``python -m repro.analysis.report``).
 
@@ -115,6 +119,11 @@ def _cmd_run(args) -> int:
         code_cache=_code_cache_from(args),
     )
     level = levels[0]
+    if level is None:
+        for error in stats.errors:
+            print(f"cell failed: {error['label']}: {error['error']}",
+                  file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps(level.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -167,9 +176,15 @@ def _cmd_sweep(args) -> int:
     )
     if args.save:
         save_sweep(result, args.save)
+    telemetry = result.telemetry or {}
+    failed = int(telemetry.get("failed", 0))
+    errors = telemetry.get("errors", [])
     if args.json:
         # Sharded runs keep positional null holes so that N shard outputs
-        # union into the unsharded payload by position.
+        # union into the unsharded payload by position.  Failed cells are
+        # *also* null holes, so the error list is surfaced top-level and
+        # the exit code goes non-zero — a consumer must never mistake a
+        # crashed cell for a not-my-shard hole.
         print(json.dumps(
             {
                 "workload": result.workload,
@@ -178,9 +193,15 @@ def _cmd_sweep(args) -> int:
                     for level in result.levels
                 ],
                 "telemetry": result.telemetry,
+                "failed": failed,
+                "errors": errors,
             },
             indent=2, sort_keys=True,
         ))
+        if failed:
+            print(f"{failed} cell(s) failed; see the 'errors' field",
+                  file=sys.stderr)
+            return 1
         return 0
     print(f"sweep of {definition.label!r} "
           f"(paper failure at {definition.paper_fail_rps:g} rps)\n")
@@ -205,6 +226,12 @@ def _cmd_sweep(args) -> int:
         t = result.telemetry
         print(f"executor: {t['total']} cells: {t['cache_hits']} cached, "
               f"{t['computed']} computed in {t['wall_s']:.2f}s")
+    if failed:
+        for error in errors:
+            print(f"cell failed: {error['label']}: {error['error']}",
+                  file=sys.stderr)
+        print(f"{failed} cell(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -319,6 +346,59 @@ def _cmd_correlate(args) -> int:
     if missed:
         print(f"\n{len(missed)} scenario(s) missed their expected label: "
               f"{', '.join(missed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_control(args) -> int:
+    from .control import SCENARIO_KEYS, run_scenario, scenario_of
+
+    try:
+        keys = ([scenario_of(args.scenario).key] if args.scenario
+                else list(SCENARIO_KEYS))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    records = [
+        run_scenario(args.workload, key, requests=args.requests,
+                     seed=args.seed)
+        for key in keys
+    ]
+
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0 if all((r["control"] or {}).get("engagements", 0)
+                        for r in records) else 1
+
+    definition = get_workload(args.workload)
+    print(f"closed-loop control scenarios on {definition.label!r} "
+          f"({args.requests} requests per arm, seed {args.seed})\n")
+    for record in records:
+        control = record["control"] or {}
+        vr = record["violation_ratio"]
+        gr = record["goodput_ratio"]
+        print(f"  {record['scenario']:<12} policy={record['policy']:<6} "
+              f"violations {record['uncontrolled']['qos_violations']:>4d} -> "
+              f"{record['controlled']['qos_violations']:<4d} "
+              f"(ratio {'n/a' if vr is None else format(vr, '.3f')})  "
+              f"goodput ratio {'n/a' if gr is None else format(gr, '.3f')}  "
+              f"engagements={control.get('engagements', 0)} "
+              f"rejected={control.get('rejected', 0)} "
+              f"respawned={control.get('respawned', 0)}")
+        if args.verbose:
+            for action in control.get("actions", []):
+                detail = ", ".join(
+                    f"{key}={value}" for key, value in sorted(action.items())
+                    if key not in ("action", "window", "t_ns"))
+                print(f"      window {action['window']:>3d} "
+                      f"t={action['t_ns'] / 1e6:10.2f}ms "
+                      f"{action['action']:<10} {detail}")
+    missed = [r["scenario"] for r in records
+              if not (r["control"] or {}).get("engagements", 0)]
+    if missed:
+        print(f"\ncontroller never engaged on: {', '.join(missed)}",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -465,6 +545,21 @@ def _build_parser() -> argparse.ArgumentParser:
                                   help="print each scenario's full window "
                                        "summary")
 
+    control_parser = sub.add_parser(
+        "control",
+        help="run the closed-loop control scenarios (shed / scale)")
+    control_parser.add_argument("workload", choices=workload_keys())
+    control_parser.add_argument("--scenario", default=None,
+                                help="run only this scenario "
+                                     "(default: all three)")
+    control_parser.add_argument("--requests", type=int, default=900,
+                                help="requests per arm (default 900)")
+    control_parser.add_argument("--seed", type=int, default=1317)
+    control_parser.add_argument("--json", action="store_true",
+                                help="emit per-scenario records as JSON")
+    control_parser.add_argument("--verbose", action="store_true",
+                                help="print the controller's action log")
+
     report_parser = sub.add_parser("report", help="render results/ to markdown")
     report_parser.add_argument("--results", default=None)
     return parser
@@ -478,6 +573,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
         "correlate": _cmd_correlate,
+        "control": _cmd_control,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -80,11 +80,22 @@ class WindowRecorder:
     environment with an explicit ``env.run(until=...)`` target.
     """
 
-    def __init__(self, monitor: RequestMetricsMonitor, window_ns: int) -> None:
+    def __init__(
+        self,
+        monitor: RequestMetricsMonitor,
+        window_ns: int,
+        on_window=None,
+    ) -> None:
+        """``on_window`` (optional): callable invoked as
+        ``on_window(snapshot)`` right after each full window is appended —
+        the in-run consumer hook the closed-loop controller
+        (:mod:`repro.control`) decides from.  Not called for the partial
+        tail window closed by :meth:`finish`."""
         if window_ns < 1:
             raise ValueError(f"window_ns must be >= 1, got {window_ns}")
         self.monitor = monitor
         self.window_ns = window_ns
+        self.on_window = on_window
         self.windows: List[MetricsSnapshot] = []
         self._finished = False
 
@@ -99,7 +110,10 @@ class WindowRecorder:
             yield env.timeout(self.window_ns)
             if self._finished:
                 return
-            self.windows.append(self.monitor.snapshot(reset=True))
+            snapshot = self.monitor.snapshot(reset=True)
+            self.windows.append(snapshot)
+            if self.on_window is not None:
+                self.on_window(snapshot)
 
     def finish(self) -> List[MetricsSnapshot]:
         """Close the partial tail window and stop the loop; returns all
@@ -299,6 +313,10 @@ def _bin_outcomes(
             entry.retries += 1
         elif kind == "abandon":
             entry.abandons += 1
+            inflight -= 1
+        elif kind == "reject":
+            # Socket-layer shedding (repro.control): the request is done
+            # from the client's perspective, just not completed.
             inflight -= 1
         entry.inflight_end = inflight
     # Windows the walk never reached keep the in-flight count they ended

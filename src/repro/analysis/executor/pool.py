@@ -138,9 +138,11 @@ def execute_cell(
         request_size=config.request_size,
         qos_latency_ns=config.qos_latency_ns,
         arrival=spec.arrival,
+        phases=spec.phases,
         retry_timeout_ns=retry_timeout_ns,
     )
     recorder = None
+    controller = None
     outcome_log: Optional[list] = None
     if spec.correlate is not None:
         # Imported lazily: repro.analysis.correlate consumes executor types
@@ -150,6 +152,12 @@ def execute_cell(
 
         recorder = WindowRecorder(monitor, spec.correlate.window_ns).start()
         outcome_log = client.enable_outcome_log()
+    elif spec.control is not None and spec.control.policy != "none":
+        # ``policy="none"`` deliberately wires nothing: the cell must stay
+        # byte-identical to a control-free run (zero overhead when off).
+        from ...control import QoSController
+
+        controller = QoSController(app, monitor, spec.control).start()
     if setup is not None:
         setup(CellHandles(env=env, kernel=kernel, app=app,
                           monitor=monitor, client=client))
@@ -173,6 +181,12 @@ def execute_cell(
             workload=definition.key,
         )
         extra = {"correlation": correlation.to_dict()}
+    elif controller is not None:
+        windows = controller.finish()
+        # Same carried-anchor merge as the correlate path: the headline
+        # numbers stay bit-identical to an unwindowed snapshot.
+        snapshot = controller.merged() if windows else monitor.snapshot()
+        extra = {"control": controller.summary(report, config.qos_latency_ns)}
     elif monitor.exporter is not None:
         # Close the partial tail window, then rebuild the whole-run view by
         # merging the exported windows — bit-identical to the unwindowed
@@ -211,6 +225,11 @@ def execute_cell(
         mean_latency_ns=report.latency.mean_ns(),
         completed=report.completed,
         qos_violated=report.qos_violated,
+        abandoned=report.abandoned,
+        rejected=report.rejected,
+        late_completions=sum(
+            1 for s in report.latency.samples() if s > config.qos_latency_ns
+        ),
         rps_obsv=snapshot.rps_obsv,
         rps_obsv_recv=snapshot.rps_obsv_recv,
         send_delta_variance=float(snapshot.send_delta_variance),

@@ -15,7 +15,12 @@ import json
 from dataclasses import asdict, dataclass, field, replace as _dc_replace
 from typing import List, Mapping, Optional, Sequence, Union
 
-from ...core.config import CollectorConfig, CorrelateConfig, ExportConfig
+from ...core.config import (
+    CollectorConfig,
+    ControlConfig,
+    CorrelateConfig,
+    ExportConfig,
+)
 from ...kernel.machine import AMD_EPYC_7302, MACHINES, InterferenceSpec, MachineSpec
 from ...net.netem import NetemConfig
 from ...sim.rng import SeedSequence
@@ -136,6 +141,20 @@ class ExperimentSpec:
     #: ``LevelResult.extra["correlation"]``.  Participates in the cache
     #: key for the same reason ``export`` does.
     correlate: Optional[CorrelateConfig] = None
+    #: Feedback-free closed-loop controller (``None`` = off, and
+    #: ``policy="none"`` behaves exactly like ``None``).  When active, the
+    #: cell closes a metrics window every ``control.window_ns``, feeds it
+    #: to a :class:`~repro.control.QoSController`, and attaches the action
+    #: log / QoS accounting to ``LevelResult.extra["control"]``.
+    #: Participates in the cache key for the same reason ``correlate``
+    #: does: an actuated cell's results must never be served for plain
+    #: runs (or vice versa).
+    control: Optional[ControlConfig] = None
+    #: Optional multi-phase offered-load schedule: ``((rate_rps, count),
+    #: ...)`` pairs driven in order by the client, overriding
+    #: ``offered_rps``/``requests`` (surge/ramp experiments, EXP-CTL).
+    #: ``offered_rps`` still names the cell (labels, seed derivation).
+    phases: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "machine", _machine_from(self.machine))
@@ -175,13 +194,37 @@ class ExperimentSpec:
             object.__setattr__(
                 self, "correlate", CorrelateConfig.from_dict(self.correlate)
             )
-        if self.correlate is not None and self.export is not None:
-            # Both stages drive their own snapshot(reset=True) window loop;
+        if isinstance(self.control, Mapping):
+            object.__setattr__(
+                self, "control", ControlConfig.from_dict(self.control)
+            )
+        if self.phases is not None:
+            phases = tuple(
+                (float(rate), int(count)) for rate, count in self.phases
+            )
+            if not phases or any(r <= 0 or c < 1 for r, c in phases):
+                raise ValueError(
+                    "phases must be non-empty (rate>0, count>=1) pairs"
+                )
+            object.__setattr__(self, "phases", phases)
+        active_control = self.control is not None and self.control.policy != "none"
+        window_owners = [
+            name
+            for name, active in (
+                ("correlate", self.correlate is not None),
+                ("export", self.export is not None),
+                ("control", active_control),
+            )
+            if active
+        ]
+        if len(window_owners) > 1:
+            # Each stage drives its own snapshot(reset=True) window loop;
             # two cadences resetting the same collectors would corrupt each
             # other's windows.
             raise ValueError(
-                "correlate and export cannot be combined in one cell: both "
-                "own the monitor's window loop (run two cells instead)"
+                f"{' and '.join(window_owners)} cannot be combined in one "
+                "cell: each owns the monitor's window loop (run separate "
+                "cells instead)"
             )
 
     # -- derived views ---------------------------------------------------
@@ -254,6 +297,10 @@ class ExperimentSpec:
             "cpus": self.cpus,
             "export": self.export.to_dict() if self.export else None,
             "correlate": self.correlate.to_dict() if self.correlate else None,
+            "control": self.control.to_dict() if self.control else None,
+            "phases": (
+                [list(pair) for pair in self.phases] if self.phases else None
+            ),
         }
 
     @classmethod
@@ -269,6 +316,9 @@ class ExperimentSpec:
         correlate = data.get("correlate")
         if correlate is not None and not isinstance(correlate, CorrelateConfig):
             data["correlate"] = CorrelateConfig.from_dict(correlate)
+        control = data.get("control")
+        if control is not None and not isinstance(control, ControlConfig):
+            data["control"] = ControlConfig.from_dict(control)
         return cls(**data)
 
     def cache_key(self) -> str:
@@ -343,6 +393,13 @@ class LevelResult:
     poll_count: int
     # per-window Eq.1 estimates (Fig. 2 green dots)
     window_rps: List[float] = field(default_factory=list)
+    # request-outcome accounting beyond completions (fault / control runs;
+    # all zero on clean uncontrolled cells).
+    abandoned: int = 0
+    rejected: int = 0
+    #: Completions whose latency exceeded the workload's QoS threshold
+    #: (the per-request QoS-violation count EXP-CTL scores against).
+    late_completions: int = 0
     # degraded-collection accounting (stream mode; 0 / 1.0 otherwise).
     # ``confidence`` is the event-weighted combined (send+recv) fraction;
     # a recv-only outage degrades it too.

@@ -23,7 +23,9 @@ from .collectors import (
 )
 from .config import (
     COLLECTOR_MODES,
+    CONTROL_POLICIES,
     CollectorConfig,
+    ControlConfig,
     CorrelateConfig,
     ExportConfig,
     resolve_collector_config,
@@ -49,9 +51,11 @@ __all__ = [
     "RequestMetricsMonitor",
     "MetricsSnapshot",
     "CollectorConfig",
+    "ControlConfig",
     "CorrelateConfig",
     "ExportConfig",
     "COLLECTOR_MODES",
+    "CONTROL_POLICIES",
     "resolve_collector_config",
     "DeltaHistogram",
     "NBUCKETS",

@@ -29,8 +29,11 @@ from ..sim.timebase import MSEC
 
 __all__ = [
     "COLLECTOR_MODES",
+    "CONTROL_POLICIES",
     "CollectorConfig",
+    "ControlConfig",
     "CorrelateConfig",
+    "DEFAULT_CONTROL_WINDOW_NS",
     "DEFAULT_CORRELATE_WINDOW_NS",
     "DEFAULT_EXPORT_WINDOW_NS",
     "ExportConfig",
@@ -46,6 +49,13 @@ DEFAULT_EXPORT_WINDOW_NS = 100 * MSEC
 
 #: Default cross-layer correlation window (sim time).
 DEFAULT_CORRELATE_WINDOW_NS = 50 * MSEC
+
+#: Default closed-loop controller decision window (sim time).
+DEFAULT_CONTROL_WINDOW_NS = 50 * MSEC
+
+#: Closed-loop controller policies: off, socket-layer load shedding, or
+#: worker-thread scaling.
+CONTROL_POLICIES = ("none", "shed", "scale")
 
 #: Prometheus metric-name / label-name grammar (the exporter validates its
 #: namespace and static labels against these at construction time).
@@ -190,6 +200,122 @@ class CorrelateConfig:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CorrelateConfig":
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Configuration of the feedback-free closed-loop QoS controller.
+
+    Attaching this to an :class:`~repro.analysis.executor.ExperimentSpec`
+    (with ``policy != "none"``) puts a :class:`~repro.control.QoSController`
+    in the cell: the monitor closes a window every ``window_ns`` of sim
+    time and the controller reads *only* the windowed eBPF-derived signals
+    (RPS_obsv, send-delta dispersion, epoll-poll slack, collection
+    confidence) — never the application's or the client's view — and
+    actuates below the application: socket-layer admission control
+    (``"shed"``) or worker-thread scaling (``"scale"``).
+
+    The first ``calibrate_windows`` eligible windows establish the run's
+    own baseline (median + MAD, exactly the correlator's self-calibrating
+    robust-z scheme); until then the controller never actuates.  A window
+    is *troubled* when any kernel signal fires: confidence below
+    ``confidence_floor``, dispersion more than ``knee_multiplier`` robust
+    deviations above baseline (and above ``cov2_floor``), or mean poll
+    duration collapsed below ``1/slack_ratio`` x baseline.  Hysteresis
+    (``trigger_windows`` / ``clear_windows``) plus a ``cooldown_windows``
+    refractory period between actuations keep the loop from flapping.
+
+    Frozen, hashable and JSON-serializable; participates in the spec's
+    cache key like :class:`CorrelateConfig`.
+    """
+
+    #: Actuation policy: ``"none"``, ``"shed"`` or ``"scale"``.
+    policy: str = "none"
+    #: Decision window length, in sim nanoseconds.
+    window_ns: int = DEFAULT_CONTROL_WINDOW_NS
+    #: Eligible windows used to establish the baseline before any
+    #: actuation is allowed.
+    calibrate_windows: int = 6
+    #: Kernel signal: combined collection confidence below this.
+    confidence_floor: float = 0.999
+    #: Kernel signal: send-delta dispersion knee, in robust deviations
+    #: above the calibration median (MAD floored at 10% of the median).
+    knee_multiplier: float = 8.0
+    #: Absolute dispersion floor the knee must also clear.
+    cov2_floor: float = 1.0
+    #: Kernel signal: mean poll duration below ``1/slack_ratio`` x the
+    #: calibration baseline — the epoll-slack collapse.
+    slack_ratio: float = 6.0
+    #: Kernel signal: windowed RPS_obsv below ``1/rps_drop_ratio`` x the
+    #: calibration baseline — the service went quiet while the window
+    #: clock kept ticking (stall, crash, capacity loss).  Deliberately not
+    #: gated on ``min_events``: silence *is* the signal.
+    rps_drop_ratio: float = 2.0
+    #: Pattern signals need at least this many send deltas in the window.
+    min_events: int = 8
+    #: Consecutive troubled windows before the controller engages.
+    trigger_windows: int = 2
+    #: Consecutive healthy windows before an engaged controller releases.
+    clear_windows: int = 3
+    #: Refractory windows after any engage/release before the next action.
+    cooldown_windows: int = 2
+    #: Fraction of inbound requests rejected while shedding is engaged
+    #: (deterministic error-accumulator, no RNG).
+    shed_fraction: float = 0.5
+    #: Dead worker threads revived per ``"scale"`` engagement (0 = all).
+    scale_step: int = 0
+    #: Simulated size (bytes) of the rejection response message.
+    reject_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.policy not in CONTROL_POLICIES:
+            raise ValueError(
+                f"policy must be one of {CONTROL_POLICIES}, got {self.policy!r}"
+            )
+        for name in ("window_ns", "calibrate_windows", "min_events",
+                     "trigger_windows", "clear_windows", "cooldown_windows",
+                     "scale_step", "reject_size"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+        if self.window_ns < 1:
+            raise ValueError(f"window_ns must be >= 1, got {self.window_ns}")
+        if self.calibrate_windows < 3:
+            raise ValueError("calibrate_windows must be >= 3")
+        if not 0.0 < self.confidence_floor <= 1.0:
+            raise ValueError("confidence_floor must be in (0, 1]")
+        if self.knee_multiplier <= 1.0:
+            raise ValueError("knee_multiplier must be > 1")
+        if self.cov2_floor < 0.0:
+            raise ValueError("cov2_floor must be non-negative")
+        if self.slack_ratio <= 1.0:
+            raise ValueError("slack_ratio must be > 1")
+        if self.rps_drop_ratio <= 1.0:
+            raise ValueError("rps_drop_ratio must be > 1")
+        if self.min_events < 2:
+            raise ValueError("min_events must be >= 2")
+        if self.trigger_windows < 1:
+            raise ValueError("trigger_windows must be >= 1")
+        if self.clear_windows < 1:
+            raise ValueError("clear_windows must be >= 1")
+        if self.cooldown_windows < 0:
+            raise ValueError("cooldown_windows must be >= 0")
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ValueError("shed_fraction must be in (0, 1]")
+        if self.scale_step < 0:
+            raise ValueError("scale_step must be >= 0")
+        if self.reject_size < 1:
+            raise ValueError("reject_size must be >= 1")
+
+    def replace(self, **changes) -> "ControlConfig":
+        """A copy of this config with the given fields changed."""
+        return _dc_replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ControlConfig":
         return cls(**dict(payload))
 
 

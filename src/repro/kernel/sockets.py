@@ -24,6 +24,11 @@ __all__ = ["SocketEndpoint", "ListenSocket", "connect_pair"]
 class SocketEndpoint(FileDescriptor):
     """One end of an established stream connection."""
 
+    #: Optional admission gate consulted before a delivered message is
+    #: queued (closed-loop load shedding, :mod:`repro.control`).  ``None``
+    #: on the class so the plain data path pays a single attribute check.
+    admission = None
+
     def __init__(self, env: Environment, name: str = "sock") -> None:
         super().__init__(name=name)
         self.env = env
@@ -44,8 +49,19 @@ class SocketEndpoint(FileDescriptor):
         return bool(self.rx)
 
     def deliver(self, message: Message) -> None:
-        """Called by the inbound channel when a message arrives."""
+        """Called by the inbound channel when a message arrives.
+
+        When an admission gate is installed on this endpoint (server-side
+        sockets under a ``"shed"`` controller), the gate may consume the
+        message *below* the application — the rejected request never
+        reaches the receive queue; the gate answers it on the wire.  Both
+        sim tiers funnel every inbound message through here, so the gate
+        behaves identically under the reference and compiled workload
+        loops.
+        """
         if self.closed:
+            return
+        if self.admission is not None and not self.admission.admit(self, message):
             return
         self.rx.append(message)
         self.rx_messages += 1

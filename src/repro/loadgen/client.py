@@ -41,6 +41,10 @@ class ClientReport:
     retried: int = 0
     #: Requests given up on after exhausting retries (fault runs only).
     abandoned: int = 0
+    #: Requests refused at the socket layer by an admission gate
+    #: (closed-loop shedding runs only).  Rejected requests count toward
+    #: run completion but contribute no latency sample.
+    rejected: int = 0
 
     @property
     def achieved_rps(self) -> float:
@@ -135,11 +139,12 @@ class OpenLoopClient:
         self._retries_of: Dict[int, int] = {}
         self.retried = 0
         self.abandoned = 0
+        self.rejected = 0
         self._tags = itertools.count(1)
         #: Timestamped request-outcome events for cross-layer correlation:
         #: ``(t_ns, kind, value)`` with kind in {"offer", "complete",
-        #: "retry", "abandon"} and value = latency_ns for completions, the
-        #: request tag otherwise.  ``None`` (off) unless
+        #: "retry", "abandon", "reject"} and value = latency_ns for
+        #: completions, the request tag otherwise.  ``None`` (off) unless
         #: :meth:`enable_outcome_log` was called — the clean hot path pays
         #: only a ``None`` check per event.
         self.outcome_log: Optional[List[tuple]] = None
@@ -212,6 +217,14 @@ class OpenLoopClient:
             self._last_attempt.pop(response.tag, None)
             self._retries_of.pop(response.tag, None)
             now = self.env.now
+            if response.payload == "rejected":
+                # Shed at the socket layer: treat as a final refusal (no
+                # retry, no latency sample) so the run still completes.
+                self.rejected += 1
+                if self.outcome_log is not None:
+                    self.outcome_log.append((now, "reject", response.tag))
+                self._maybe_finish()
+                continue
             self.latency.record(now - sent_at)
             if self.outcome_log is not None:
                 self.outcome_log.append((now, "complete", now - sent_at))
@@ -257,7 +270,7 @@ class OpenLoopClient:
             self._maybe_finish()
 
     def _maybe_finish(self) -> None:
-        if (self.completed + self.abandoned >= self.total_requests
+        if (self.completed + self.abandoned + self.rejected >= self.total_requests
                 and not self.done.triggered):
             self.done.succeed(self.report())
             sleep = self._watchdog_sleep
@@ -291,4 +304,5 @@ class OpenLoopClient:
             steady_span_ns=steady_span,
             retried=self.retried,
             abandoned=self.abandoned,
+            rejected=self.rejected,
         )

@@ -279,12 +279,35 @@ class ServerApp:
 
         (process or self.process).spawn_thread(logger, name=f"{config.name}/logger")
 
+    # -- closed-loop actuation hooks (repro.control) -----------------------
+    def admission_points(self) -> List[SocketEndpoint]:
+        """Server-side sockets a shed-policy admission gate installs on.
+
+        These sit below the application: the gate intercepts deliveries
+        before the receive queue, so neither sim tier's service loop ever
+        sees a rejected request.
+        """
+        return list(self._server_sockets)
+
+    def worker_pools(self) -> List[tuple]:
+        """``(process, name_substring)`` pools the scale actuator may act on.
+
+        The substring convention matches the fault orchestrator's victim
+        selection, so a controller revives exactly the population a
+        :class:`~repro.faults.WorkerCrash` targets.
+        """
+        return [(self.process, f"{self.config.name}/w")]
+
     def _spawn(self) -> None:
         raise NotImplementedError
 
 
 class ThreadedPollApp(ServerApp):
     """N worker threads, each polling its share of connections."""
+
+    def worker_pools(self) -> List[tuple]:
+        suffix = "/io" if self.config.io_uring else "/w"
+        return [(self.process, f"{self.config.name}{suffix}")]
 
     def _spawn(self) -> None:
         if self.config.io_uring:
@@ -359,6 +382,9 @@ class DispatchPoolApp(ServerApp):
     """Triton's structure: network threads dispatch to an executor pool."""
 
     NETWORK_THREADS = 2
+
+    def worker_pools(self) -> List[tuple]:
+        return [(self.process, f"{self.config.name}/exec")]
 
     def _spawn(self) -> None:
         from ..sim.resources import Store
@@ -450,6 +476,12 @@ class TwoTierApp(ServerApp):
                  server_to_client: Optional[NetemConfig] = None) -> None:
         super().__init__(kernel, config, client_to_server, server_to_client)
         self.backend_process = kernel.create_process(f"{config.name}-index")
+
+    def worker_pools(self) -> List[tuple]:
+        return [
+            (self.process, f"{self.config.name}/fe"),
+            (self.backend_process, f"{self.config.name}/ix"),
+        ]
 
     def _spawn(self) -> None:
         config = self.config

@@ -1,0 +1,54 @@
+"""CLI coverage: the ``control`` command and cell-failure surfacing."""
+
+import json
+from types import SimpleNamespace
+
+import repro.__main__ as cli
+
+
+def test_control_command_json(capsys):
+    assert cli.main(["control", "silo", "--scenario", "crash-scale", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert rows[0]["scenario"] == "crash-scale"
+    assert rows[0]["control"]["engagements"] >= 1
+    assert rows[0]["violation_ratio"] < 1.0
+
+
+def test_control_command_text(capsys):
+    assert cli.main(["control", "silo", "--scenario", "surge-shed", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "surge-shed" in out
+    assert "engage" in out
+
+
+def test_control_command_rejects_unknown_scenario(capsys):
+    assert cli.main(["control", "silo", "--scenario", "bogus"]) == 2
+    assert "unknown control scenario" in capsys.readouterr().err
+
+
+def test_sweep_json_surfaces_cell_failures(monkeypatch, capsys):
+    telemetry = {
+        "total": 1,
+        "computed": 1,
+        "cache_hits": 0,
+        "failed": 1,
+        "errors": [{"index": 0, "label": "silo@500", "error": "boom"}],
+        "wall_s": 0.0,
+    }
+    fake = SimpleNamespace(workload="silo", levels=[None], telemetry=telemetry)
+    monkeypatch.setattr(cli, "sweep", lambda *args, **kwargs: fake)
+    assert cli.main(["sweep", "silo", "--levels", "2", "--json"]) == 1
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["failed"] == 1
+    assert payload["errors"][0]["error"] == "boom"
+    assert payload["levels"] == [None]
+    assert "1 cell(s) failed" in captured.err
+
+
+def test_run_reports_failed_cell(monkeypatch, capsys):
+    stats = SimpleNamespace(errors=[{"index": 0, "label": "silo@500", "error": "boom"}])
+    monkeypatch.setattr(cli, "run_cells", lambda *args, **kwargs: ([None], stats))
+    assert cli.main(["run", "silo", "--no-cache"]) == 1
+    assert "boom" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""Unit tests for the controller's actuators."""
+
+import pytest
+
+from repro.control import AdmissionGate
+from repro.net.packet import Message
+
+
+class FakeSocket:
+    def __init__(self):
+        self.admission = None
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+
+def test_gate_fraction_validation():
+    with pytest.raises(ValueError, match="fraction"):
+        AdmissionGate(0.0)
+    with pytest.raises(ValueError, match="fraction"):
+        AdmissionGate(1.5)
+
+
+def test_disengaged_gate_admits_everything():
+    gate = AdmissionGate(0.5)
+    sock = FakeSocket()
+    assert all(gate.admit(sock, Message(tag=i)) for i in range(10))
+    assert gate.rejected == 0
+    assert not sock.sent
+
+
+def test_engaged_gate_sheds_a_deterministic_fraction():
+    gate = AdmissionGate(0.5)
+    gate.engaged = True
+    sock = FakeSocket()
+    decisions = [gate.admit(sock, Message(tag=i)) for i in range(10)]
+    # Error accumulator: 0.5 (admit), 1.0 (reject), 0.5 (admit), ...
+    assert decisions == [True, False] * 5
+    assert gate.admitted == 5
+    assert gate.rejected == 5
+    assert [m.tag for m in sock.sent] == [1, 3, 5, 7, 9]
+    assert all(m.payload == "rejected" for m in sock.sent)
+
+
+def test_full_shed_rejects_everything():
+    gate = AdmissionGate(1.0, reject_size=7)
+    gate.engaged = True
+    sock = FakeSocket()
+    assert not any(gate.admit(sock, Message(tag=i)) for i in range(5))
+    assert gate.rejected == 5
+    assert all(m.size == 7 for m in sock.sent)
+
+
+def test_install_attaches_to_sockets():
+    gate = AdmissionGate(0.5)
+    sockets = [FakeSocket(), FakeSocket()]
+    assert gate.install(sockets) is gate
+    assert all(sock.admission is gate for sock in sockets)

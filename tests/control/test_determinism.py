@@ -1,0 +1,49 @@
+"""Controller determinism: same spec + seed => bit-identical results.
+
+The controller's decisions derive only from windowed snapshot values the
+executor already reproduces bit-identically, so a controlled cell must
+stay byte-stable across process pools, eBPF VM tiers and workload-sim
+tiers — and ``policy="none"`` must be indistinguishable from running
+with no control config at all.
+"""
+
+from repro.analysis.executor.pool import execute_cell, run_cells
+from repro.control.scenarios import build_scenario
+from repro.core import ControlConfig
+
+REQUESTS = 900
+
+
+def _controlled_spec(**overrides):
+    built = build_scenario("silo", "surge-shed", REQUESTS)
+    spec = built["spec"].replace(control=built["control"])
+    return spec.replace(**overrides) if overrides else spec
+
+
+def test_jobs_fanout_is_bit_identical():
+    spec = _controlled_spec()
+    serial, _ = run_cells([spec], jobs=1, cache=None)
+    fanned, _ = run_cells([spec], jobs=4, cache=None)
+    assert serial[0].to_dict() == fanned[0].to_dict()
+    serial_control = serial[0].extra["control"]
+    assert serial_control["actions"] == fanned[0].extra["control"]["actions"]
+    assert serial_control["engagements"] >= 1
+
+
+def test_vm_and_sim_tiers_are_bit_identical():
+    results = {}
+    for vm_tier in ("reference", "fast", "compiled"):
+        for sim_tier in ("reference", "compiled"):
+            spec = _controlled_spec(monitor_mode="vm", vm_tier=vm_tier, sim_tier=sim_tier)
+            results[(vm_tier, sim_tier)] = execute_cell(spec).to_dict()
+    baseline = results[("reference", "reference")]
+    for combo, result in results.items():
+        assert result == baseline, f"{combo} diverged from reference/reference"
+
+
+def test_policy_none_is_byte_identical_to_control_free():
+    built = build_scenario("silo", "surge-shed", REQUESTS)
+    plain = execute_cell(built["spec"])
+    nulled = execute_cell(built["spec"].replace(control=ControlConfig(policy="none")))
+    assert plain.to_dict() == nulled.to_dict()
+    assert nulled.extra is None

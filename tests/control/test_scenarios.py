@@ -1,0 +1,59 @@
+"""The EXP-CTL scenario matrix: shapes, accounting, end-to-end effect."""
+
+import pytest
+
+from repro.control import SCENARIO_KEYS, build_scenario, run_scenario, scenario_of
+
+REQUESTS = 900
+
+
+def test_scenario_registry():
+    assert SCENARIO_KEYS == ("surge-shed", "stall-shed", "crash-scale")
+    with pytest.raises(KeyError, match="unknown control scenario"):
+        scenario_of("bogus")
+
+
+def test_build_scenario_shapes():
+    surge = build_scenario("silo", "surge-shed", REQUESTS)
+    assert surge["spec"].phases is not None
+    assert not surge["faults"]
+    assert surge["control"].policy == "shed"
+
+    stall = build_scenario("silo", "stall-shed", REQUESTS)
+    assert stall["faults"]
+    assert stall["control"].policy == "shed"
+
+    crash = build_scenario("silo", "crash-scale", REQUESTS)
+    assert crash["control"].policy == "scale"
+    assert crash["faults"][0].match == "silo/w"
+    assert crash["retry_timeout_ns"] > 0
+
+    with pytest.raises(ValueError, match="at least 40"):
+        build_scenario("silo", "surge-shed", 10)
+
+
+def test_crash_target_scales_with_architecture():
+    # Shared dispatch queues degrade gracefully, so the scenario kills a
+    # larger slice of the pool there than for partitioned poll loops.
+    assert build_scenario("silo", "crash-scale", REQUESTS)["faults"][0].count == 8
+    assert build_scenario("triton-grpc", "crash-scale", REQUESTS)["faults"][0].count == 6
+    web = build_scenario("web-search", "crash-scale", REQUESTS)["faults"][0]
+    assert web.match == "web-search/fe"
+
+
+def test_surge_shed_reduces_violations_and_accounts_rejections():
+    record = run_scenario("silo", "surge-shed", requests=REQUESTS)
+    controlled = record["controlled"]
+    assert record["violation_ratio"] < 1.0
+    assert record["control"]["engagements"] >= 1
+    assert controlled["rejected"] > 0
+    # Every request ends exactly one way: completed, abandoned or rejected.
+    assert controlled["completed"] + controlled["abandoned"] + controlled["rejected"] == REQUESTS
+    assert record["uncontrolled"]["rejected"] == 0
+
+
+def test_crash_scale_revives_workers():
+    record = run_scenario("silo", "crash-scale", requests=REQUESTS)
+    assert record["control"]["respawned"] > 0
+    assert record["control"]["engagements"] >= 1
+    assert record["violation_ratio"] < 1.0

@@ -21,7 +21,7 @@ SUBPACKAGES = [
 
 
 def test_version():
-    assert repro.__version__ == "1.7.0"
+    assert repro.__version__ == "1.8.0"
 
 
 def test_top_level_all_resolvable():
